@@ -1,0 +1,237 @@
+(* Benchmark & reproduction harness.
+
+   Phase 1 regenerates every table and figure of the paper's evaluation
+   (at a reduced-but-same-shape scale; the `lepts` CLI runs the full
+   protocol) and prints the rows the paper reports.
+
+   Phase 2 runs Bechamel micro-benchmarks, one per experiment
+   (plus ablations of the design choices called out in DESIGN.md), and
+   prints estimated wall-clock time per run. *)
+
+open Bechamel
+module Model = Lepts_power.Model
+module Plan = Lepts_preempt.Plan
+module Solver = Lepts_core.Solver
+module Static_schedule = Lepts_core.Static_schedule
+module Objective = Lepts_core.Objective
+module Experiments = Lepts_experiments
+
+let power = Model.ideal ~v_min:0.5 ~v_max:4. ()
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(* ---------------------------------------------------------------------- *)
+(* Phase 1: regenerate every table / figure.                              *)
+(* ---------------------------------------------------------------------- *)
+
+let regenerate_motivation () =
+  section "Table 1 / Figs 1-2: motivational example (paper vs measured)";
+  match Experiments.Motivation.run () with
+  | Error e -> Format.printf "error: %a@." Solver.pp_error e
+  | Ok report -> Lepts_util.Table.print (Experiments.Motivation.to_table report)
+
+let regenerate_fig6a () =
+  section "Fig 6(a): random task sets (reduced scale; paper: 100 sets, 1000 rounds)";
+  let config =
+    { Experiments.Fig6a.paper_config with sets_per_point = 3; rounds = 100 }
+  in
+  let points =
+    Experiments.Fig6a.run ~progress:(fun s -> Printf.printf "  %s\n%!" s) config ~power
+  in
+  Lepts_util.Table.print (Experiments.Fig6a.to_table points);
+  print_endline
+    "paper shape: improvement grows with workload variation (ratio 0.1 >> 0.9),\n\
+     peaking around 60% (10 tasks, ratio 0.1); near zero at ratio 0.9."
+
+let regenerate_fig6b () =
+  section "Fig 6(b): CNC and GAP applications (reduced rounds)";
+  let config = { Experiments.Fig6b.paper_config with rounds = 100 } in
+  let points =
+    Experiments.Fig6b.run ~progress:(fun s -> Printf.printf "  %s\n%!" s) config ~power
+  in
+  Lepts_util.Table.print (Experiments.Fig6b.to_table points);
+  print_endline
+    "paper shape: CNC up to ~41% and GAP up to ~30% at ratio 0.1, decaying as\n\
+     the ratio approaches 1."
+
+let regenerate_design_ablations () =
+  section "Ablations: DESIGN.md design choices (CNC, ratio 0.1)";
+  let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
+  let show title = function
+    | Error e -> Format.printf "%s: error: %a@." title Solver.pp_error e
+    | Ok table ->
+      Printf.printf "%s:\n" title;
+      Lepts_util.Table.print table
+  in
+  show "NLP formulations" (Experiments.Ablations.formulations ~task_set:ts ~power);
+  show "Objectives"
+    (Experiments.Ablations.objectives ~rounds:200 ~task_set:ts ~power ~seed:3 ());
+  show "Voltage quantization"
+    (Experiments.Ablations.quantization ~rounds:200 ~task_set:ts ~power ~seed:3 ());
+  show "Structures"
+    (Experiments.Ablations.structures ~task_set:ts ~power);
+  section "Extension: utilization sweep (CNC, ratio 0.1)";
+  Lepts_util.Table.print
+    (Experiments.Utilization_sweep.to_table
+       (Experiments.Utilization_sweep.run ~rounds:200 ~task_set:ts ~power ~seed:3 ()));
+  section "Extension: workload distribution shapes (CNC, ratio 0.1)";
+  (match Experiments.Distribution_sweep.run ~rounds:200 ~task_set:ts ~power ~seed:3 () with
+  | Error e -> Format.printf "error: %a@." Solver.pp_error e
+  | Ok points -> Lepts_util.Table.print (Experiments.Distribution_sweep.to_table points));
+  section "Extension: voltage-transition overhead (CNC, ratio 0.1)";
+  match Experiments.Transition_sweep.run ~rounds:200 ~task_set:ts ~power ~seed:3 () with
+  | Error e -> Format.printf "error: %a@." Solver.pp_error e
+  | Ok points -> Lepts_util.Table.print (Experiments.Transition_sweep.to_table points)
+
+let regenerate_policy_ablation () =
+  section "Ablation: offline schedule x online policy (CNC, ratio 0.1)";
+  let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
+  match Experiments.Policies.run ~rounds:200 ~task_set:ts ~power ~seed:7 () with
+  | Error e -> Format.printf "error: %a@." Solver.pp_error e
+  | Ok cells -> Lepts_util.Table.print (Experiments.Policies.to_table cells)
+
+(* ---------------------------------------------------------------------- *)
+(* Phase 2: Bechamel micro-benchmarks.                                    *)
+(* ---------------------------------------------------------------------- *)
+
+let cnc_plan = lazy (Plan.expand (Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 ()))
+
+let cnc_schedules =
+  lazy
+    (let plan = Lazy.force cnc_plan in
+     let wcs, _ = Result.get_ok (Solver.solve_wcs ~plan ~power ()) in
+     let acs, _ =
+       Result.get_ok
+         (Solver.solve_acs
+            ~warm_starts:[ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ]
+            ~plan ~power ())
+     in
+     (wcs, acs))
+
+let random_set n =
+  lazy
+    (let rng = Lepts_prng.Xoshiro256.create ~seed:(100 + n) in
+     Result.get_ok
+       (Lepts_workloads.Random_gen.generate
+          (Lepts_workloads.Random_gen.default_config ~n_tasks:n ~ratio:0.1)
+          ~power ~rng))
+
+let rand5 = random_set 5
+
+let bench_tests () =
+  let motivation =
+    Test.make ~name:"motivation (Table 1 / Figs 1-2)"
+      (Staged.stage (fun () -> Result.get_ok (Experiments.Motivation.run ())))
+  in
+  let fig6a_point =
+    Test.make ~name:"fig6a point (n=4, ratio=0.1, 1 set, 50 rounds)"
+      (Staged.stage (fun () ->
+           let rng = Lepts_prng.Xoshiro256.create ~seed:17 in
+           let ts =
+             Result.get_ok
+               (Lepts_workloads.Random_gen.generate
+                  (Lepts_workloads.Random_gen.default_config ~n_tasks:4 ~ratio:0.1)
+                  ~power ~rng)
+           in
+           Result.get_ok
+             (Experiments.Improvement.measure ~rounds:50 ~task_set:ts ~power
+                ~sim_seed:3 ())))
+  in
+  let fig6b_cnc =
+    Test.make ~name:"fig6b CNC point (ratio=0.1, 50 rounds)"
+      (Staged.stage (fun () ->
+           let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
+           Result.get_ok
+             (Experiments.Improvement.measure ~rounds:50 ~task_set:ts ~power
+                ~sim_seed:5 ())))
+  in
+  let expand =
+    Test.make ~name:"fully preemptive expansion (rand n=5)"
+      (Staged.stage (fun () -> Plan.expand (Lazy.force rand5)))
+  in
+  let solve_wcs =
+    Test.make ~name:"WCS solve (CNC, 32 subs)"
+      (Staged.stage (fun () ->
+           Result.get_ok (Solver.solve_wcs ~plan:(Lazy.force cnc_plan) ~power ())))
+  in
+  let solve_acs =
+    Test.make ~name:"ACS solve (CNC, 32 subs)"
+      (Staged.stage (fun () ->
+           Result.get_ok (Solver.solve_acs ~plan:(Lazy.force cnc_plan) ~power ())))
+  in
+  let gradient_adjoint =
+    Test.make ~name:"objective adjoint gradient (CNC)"
+      (Staged.stage (fun () ->
+           let plan = Lazy.force cnc_plan in
+           let _, acs = Lazy.force cnc_schedules in
+           let totals = Objective.instance_totals Objective.Average plan in
+           Objective.eval_with_gradient ~plan ~power ~totals
+             ~e:acs.Static_schedule.end_times ~w_hat:acs.Static_schedule.quotas))
+  in
+  let gradient_numdiff =
+    Test.make ~name:"objective numerical gradient (CNC)"
+      (Staged.stage (fun () ->
+           let plan = Lazy.force cnc_plan in
+           let _, acs = Lazy.force cnc_schedules in
+           let totals = Objective.instance_totals Objective.Average plan in
+           let m = Plan.size plan in
+           let f x =
+             Objective.eval ~plan ~power ~totals ~e:(Array.sub x 0 m)
+               ~w_hat:(Array.sub x m m)
+           in
+           Lepts_optim.Numdiff.gradient ~f
+             (Array.append acs.Static_schedule.end_times acs.Static_schedule.quotas)))
+  in
+  let event_sim =
+    Test.make ~name:"event-driven simulation (CNC, 1 hyper-period)"
+      (Staged.stage (fun () ->
+           let _, acs = Lazy.force cnc_schedules in
+           let rng = Lepts_prng.Xoshiro256.create ~seed:23 in
+           let totals = Lepts_sim.Sampler.instance_totals (Lazy.force cnc_plan) ~rng in
+           Lepts_sim.Event_sim.run ~schedule:acs ~policy:Lepts_dvs.Policy.Greedy ~totals ()))
+  in
+  let sequence_sim =
+    Test.make ~name:"closed-form executor (CNC, 1 hyper-period)"
+      (Staged.stage (fun () ->
+           let _, acs = Lazy.force cnc_schedules in
+           let totals = Lepts_sim.Sampler.fixed (Lazy.force cnc_plan) ~value:`Acec in
+           Lepts_sim.Sequence.run ~schedule:acs ~totals))
+  in
+  [ motivation; fig6a_point; fig6b_cnc; expand; solve_wcs; solve_acs;
+    gradient_adjoint; gradient_numdiff; event_sim; sequence_sim ]
+
+let run_benchmarks () =
+  section "Bechamel micro-benchmarks (time per run)";
+  (* Force shared fixtures so setup cost cannot contaminate the runs. *)
+  ignore (Lazy.force cnc_plan);
+  ignore (Lazy.force cnc_schedules);
+  ignore (Lazy.force rand5);
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 2.) ~kde:None () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyses = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let time_ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> t
+            | Some [] | None -> Float.nan
+          in
+          Printf.printf "  %-48s %12.3f ms/run\n%!" name (time_ns /. 1e6))
+        analyses)
+    (bench_tests ())
+
+let () =
+  regenerate_motivation ();
+  regenerate_fig6a ();
+  regenerate_fig6b ();
+  regenerate_policy_ablation ();
+  regenerate_design_ablations ();
+  run_benchmarks ();
+  print_endline "\nbench: done"

@@ -1,0 +1,286 @@
+(* Command-line interface for the lepts library: reproduce the paper's
+   experiments, inspect schedules, and run one-off task sets. *)
+
+module Model = Lepts_power.Model
+module Plan = Lepts_preempt.Plan
+module Task_set = Lepts_task.Task_set
+module Solver = Lepts_core.Solver
+module Static_schedule = Lepts_core.Static_schedule
+module Objective = Lepts_core.Objective
+module Validate = Lepts_core.Validate
+module Experiments = Lepts_experiments
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose" ] ~doc:"Enable debug logging.")
+
+let power_of ~v_min ~v_max = Model.ideal ~v_min ~v_max ()
+
+let v_min_arg =
+  Arg.(value & opt float 0.5 & info [ "v-min" ] ~docv:"VOLTS" ~doc:"Minimum supply voltage.")
+
+let v_max_arg =
+  Arg.(value & opt float 4.0 & info [ "v-max" ] ~docv:"VOLTS" ~doc:"Maximum supply voltage.")
+
+let rounds_arg default =
+  Arg.(value & opt int default
+       & info [ "rounds" ] ~docv:"N" ~doc:"Hyper-periods simulated per schedule.")
+
+let seed_arg =
+  Arg.(value & opt int 2005 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let progress line =
+  print_endline line;
+  flush stdout
+
+(* --- motivation -------------------------------------------------------- *)
+
+let motivation_cmd =
+  let run verbose =
+    setup_logs verbose;
+    match Experiments.Motivation.run () with
+    | Error e -> Format.printf "error: %a@." Solver.pp_error e; 1
+    | Ok report ->
+      print_endline "Motivational example (paper Table 1, Figs 1-2):";
+      Lepts_util.Table.print (Experiments.Motivation.to_table report);
+      0
+  in
+  Cmd.v
+    (Cmd.info "motivation" ~doc:"Reproduce the paper's motivational example (Table 1, Figs 1-2).")
+    Term.(const run $ verbose_arg)
+
+(* --- fig6a ------------------------------------------------------------- *)
+
+let fig6a_cmd =
+  let run verbose sets rounds seed v_min v_max =
+    setup_logs verbose;
+    let power = power_of ~v_min ~v_max in
+    let config =
+      { Experiments.Fig6a.paper_config with sets_per_point = sets; rounds; seed }
+    in
+    let points = Experiments.Fig6a.run ~progress config ~power in
+    print_endline "Fig 6(a): ACS improvement over WCS, random task sets:";
+    Lepts_util.Table.print (Experiments.Fig6a.to_table points);
+    0
+  in
+  let sets =
+    Arg.(value & opt int 10
+         & info [ "sets" ] ~docv:"N" ~doc:"Random task sets per (tasks, ratio) point (paper: 100).")
+  in
+  Cmd.v
+    (Cmd.info "fig6a" ~doc:"Reproduce Fig 6(a): improvement vs task count and BCEC/WCEC ratio.")
+    Term.(const run $ verbose_arg $ sets $ rounds_arg 1000 $ seed_arg $ v_min_arg $ v_max_arg)
+
+(* --- fig6b ------------------------------------------------------------- *)
+
+let fig6b_cmd =
+  let run verbose rounds seed v_min v_max no_gap =
+    setup_logs verbose;
+    let power = power_of ~v_min ~v_max in
+    let config =
+      { Experiments.Fig6b.paper_config with rounds; seed; include_gap = not no_gap }
+    in
+    let points = Experiments.Fig6b.run ~progress config ~power in
+    print_endline "Fig 6(b): ACS improvement over WCS, real-life applications:";
+    Lepts_util.Table.print (Experiments.Fig6b.to_table points);
+    0
+  in
+  let no_gap =
+    Arg.(value & flag & info [ "no-gap" ] ~doc:"Skip the (slow) GAP avionics task set.")
+  in
+  Cmd.v
+    (Cmd.info "fig6b" ~doc:"Reproduce Fig 6(b): improvement on the CNC and GAP task sets.")
+    Term.(const run $ verbose_arg $ rounds_arg 1000 $ seed_arg $ v_min_arg $ v_max_arg $ no_gap)
+
+(* --- schedule ---------------------------------------------------------- *)
+
+let schedule_cmd =
+  let run verbose v_min v_max =
+    setup_logs verbose;
+    let power = power_of ~v_min ~v_max in
+    let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
+    let plan = Plan.expand ts in
+    Format.printf "CNC fully preemptive plan:@.%a@." Plan.pp_timeline plan;
+    (match Solver.solve_acs ~plan ~power () with
+    | Error e -> Format.printf "error: %a@." Solver.pp_error e
+    | Ok (schedule, stats) ->
+      Format.printf "%a@." Static_schedule.pp schedule;
+      Format.printf "predicted avg energy: %g, worst: %g, feasible: %b@."
+        (Static_schedule.predicted_energy schedule ~mode:Objective.Average)
+        (Static_schedule.predicted_energy schedule ~mode:Objective.Worst)
+        (Validate.is_feasible schedule);
+      Format.printf "solver: %d outer, %d inner iterations@."
+        stats.Solver.outer_iterations stats.Solver.inner_iterations);
+    0
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Expand and solve the CNC task set; print the plan and the ACS schedule.")
+    Term.(const run $ verbose_arg $ v_min_arg $ v_max_arg)
+
+(* --- random ------------------------------------------------------------ *)
+
+let random_cmd =
+  let run verbose n ratio rounds seed v_min v_max =
+    setup_logs verbose;
+    let power = power_of ~v_min ~v_max in
+    let rng = Lepts_prng.Xoshiro256.create ~seed in
+    let config = Lepts_workloads.Random_gen.default_config ~n_tasks:n ~ratio in
+    (match Lepts_workloads.Random_gen.generate config ~power ~rng with
+    | Error msg -> Format.printf "generation failed: %s@." msg; ()
+    | Ok ts -> (
+      Format.printf "task set: %a@." Task_set.pp ts;
+      match
+        Experiments.Improvement.measure ~rounds ~task_set:ts ~power ~sim_seed:(seed + 1) ()
+      with
+      | Error e -> Format.printf "error: %a@." Solver.pp_error e
+      | Ok r -> Format.printf "%a@." Experiments.Improvement.pp r));
+    0
+  in
+  let n =
+    Arg.(value & opt int 5 & info [ "tasks"; "n" ] ~docv:"N" ~doc:"Number of tasks.")
+  in
+  let ratio =
+    Arg.(value & opt float 0.1 & info [ "ratio" ] ~docv:"R" ~doc:"BCEC/WCEC ratio.")
+  in
+  Cmd.v
+    (Cmd.info "random" ~doc:"Generate one random task set and measure ACS vs WCS.")
+    Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 1000 $ seed_arg $ v_min_arg $ v_max_arg)
+
+(* --- policies ---------------------------------------------------------- *)
+
+let policies_cmd =
+  let run verbose rounds seed v_min v_max =
+    setup_logs verbose;
+    let power = power_of ~v_min ~v_max in
+    let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
+    (match Experiments.Policies.run ~rounds ~task_set:ts ~power ~seed () with
+    | Error e -> Format.printf "error: %a@." Solver.pp_error e
+    | Ok cells ->
+      print_endline "Policy ablation on the CNC task set (ratio 0.1):";
+      Lepts_util.Table.print (Experiments.Policies.to_table cells));
+    0
+  in
+  Cmd.v
+    (Cmd.info "policies"
+       ~doc:"Ablate online policies (max-speed / static / greedy) on both schedules.")
+    Term.(const run $ verbose_arg $ rounds_arg 500 $ seed_arg $ v_min_arg $ v_max_arg)
+
+(* --- ablations ---------------------------------------------------------- *)
+
+let ablations_cmd =
+  let run verbose rounds seed v_min v_max =
+    setup_logs verbose;
+    let power = power_of ~v_min ~v_max in
+    let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
+    let show title = function
+      | Error e -> Format.printf "%s: error: %a@." title Solver.pp_error e
+      | Ok table ->
+        Printf.printf "\n%s:\n" title;
+        Lepts_util.Table.print table
+    in
+    show "NLP formulations (slack vs paper-literal)"
+      (Experiments.Ablations.formulations ~task_set:ts ~power);
+    show "Objectives (WCS vs ACS vs stochastic)"
+      (Experiments.Ablations.objectives ~rounds ~task_set:ts ~power ~seed ());
+    show "Voltage quantization"
+      (Experiments.Ablations.quantization ~rounds ~task_set:ts ~power ~seed ());
+    show "Scheduling structures (preemptive vs non-preemptive vs YDS bound)"
+      (Experiments.Ablations.structures ~task_set:ts ~power);
+    (match Experiments.Distribution_sweep.run ~rounds ~task_set:ts ~power ~seed () with
+    | Error e -> Format.printf "distribution sweep: error: %a@." Solver.pp_error e
+    | Ok points ->
+      print_endline "\nWorkload distribution shapes:";
+      Lepts_util.Table.print (Experiments.Distribution_sweep.to_table points));
+    (match Experiments.Transition_sweep.run ~rounds ~task_set:ts ~power ~seed () with
+    | Error e -> Format.printf "transition sweep: error: %a@." Solver.pp_error e
+    | Ok points ->
+      print_endline "\nVoltage-transition overhead:";
+      Lepts_util.Table.print (Experiments.Transition_sweep.to_table points));
+    0
+  in
+  Cmd.v
+    (Cmd.info "ablations"
+       ~doc:"Run the design-choice ablations from DESIGN.md on the CNC task set.")
+    Term.(const run $ verbose_arg $ rounds_arg 500 $ seed_arg $ v_min_arg $ v_max_arg)
+
+(* --- utilization sweep --------------------------------------------------- *)
+
+let utilization_cmd =
+  let run verbose rounds seed v_min v_max =
+    setup_logs verbose;
+    let power = power_of ~v_min ~v_max in
+    let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
+    let points =
+      Experiments.Utilization_sweep.run ~rounds ~task_set:ts ~power ~seed ()
+    in
+    print_endline "ACS improvement vs worst-case utilization (CNC, ratio 0.1):";
+    Lepts_util.Table.print (Experiments.Utilization_sweep.to_table points);
+    0
+  in
+  Cmd.v
+    (Cmd.info "utilization"
+       ~doc:"Sweep worst-case utilization and measure the ACS gain (extension).")
+    Term.(const run $ verbose_arg $ rounds_arg 400 $ seed_arg $ v_min_arg $ v_max_arg)
+
+(* --- export -------------------------------------------------------------- *)
+
+let export_cmd =
+  let run verbose n ratio seed v_min v_max out =
+    setup_logs verbose;
+    let power = power_of ~v_min ~v_max in
+    let ts =
+      if n = 0 then Lepts_workloads.Cnc.task_set ~power ~ratio ()
+      else
+        let rng = Lepts_prng.Xoshiro256.create ~seed in
+        match
+          Lepts_workloads.Random_gen.generate
+            (Lepts_workloads.Random_gen.default_config ~n_tasks:n ~ratio)
+            ~power ~rng
+        with
+        | Ok ts -> ts
+        | Error msg -> failwith msg
+    in
+    let plan = Plan.expand ts in
+    (match Solver.solve_acs ~plan ~power () with
+    | Error e -> Format.printf "error: %a@." Solver.pp_error e
+    | Ok (schedule, _) ->
+      let csv = Lepts_core.Export.schedule_to_csv schedule in
+      (match out with
+      | None -> print_string csv
+      | Some path ->
+        let oc = open_out path in
+        output_string oc csv;
+        close_out oc;
+        Printf.printf "wrote %s (%d sub-instances)\n" path
+          (Lepts_core.Static_schedule.size schedule)));
+    0
+  in
+  let n =
+    Arg.(value & opt int 0
+         & info [ "tasks"; "n" ] ~docv:"N"
+             ~doc:"Number of random tasks; 0 (default) exports the CNC schedule.")
+  in
+  let ratio =
+    Arg.(value & opt float 0.1 & info [ "ratio" ] ~docv:"R" ~doc:"BCEC/WCEC ratio.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the CSV here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export an ACS schedule as CSV (the firmware tables).")
+    Term.(const run $ verbose_arg $ n $ ratio $ seed_arg $ v_min_arg $ v_max_arg $ out)
+
+let main_cmd =
+  let doc = "low-energy preemptive task scheduling (DATE 2005 reproduction)" in
+  Cmd.group (Cmd.info "lepts" ~version:"1.0.0" ~doc)
+    [ motivation_cmd; fig6a_cmd; fig6b_cmd; schedule_cmd; random_cmd; policies_cmd;
+      ablations_cmd; utilization_cmd; export_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/cnc_controller.mli:

@@ -1,0 +1,1 @@
+examples/gap_avionics.mli:

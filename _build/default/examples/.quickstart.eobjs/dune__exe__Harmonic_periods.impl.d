@@ -1,0 +1,1 @@
+examples/harmonic_periods.ml: Array Float Lepts_experiments Lepts_power Lepts_prng Lepts_util Lepts_workloads List

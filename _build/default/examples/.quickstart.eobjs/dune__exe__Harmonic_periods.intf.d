@@ -1,0 +1,1 @@
+examples/harmonic_periods.mli:

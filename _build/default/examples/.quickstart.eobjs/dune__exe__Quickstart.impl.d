@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Lepts_core Lepts_dvs Lepts_power Lepts_preempt Lepts_prng Lepts_sim Lepts_task Result

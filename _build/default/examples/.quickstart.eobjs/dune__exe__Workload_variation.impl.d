@@ -1,0 +1,1 @@
+examples/workload_variation.ml: Format Lepts_core Lepts_experiments Lepts_power Lepts_task Lepts_util List

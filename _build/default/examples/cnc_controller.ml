@@ -1,0 +1,39 @@
+(* The CNC machine controller (Kim et al., RTSS 1996) — the first
+   real-life application in the paper's Fig 6(b).
+
+   Shows the full workflow on a published task set: schedulability
+   analysis, both schedules, policy ablation, and the ratio sweep.
+
+   Run with: dune exec examples/cnc_controller.exe *)
+
+module Model = Lepts_power.Model
+module Task_set = Lepts_task.Task_set
+module Rm = Lepts_task.Rm
+module Plan = Lepts_preempt.Plan
+module Experiments = Lepts_experiments
+
+let () =
+  let power = Model.ideal ~v_min:0.5 ~v_max:4.0 () in
+  let task_set = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
+  Format.printf "CNC task set: %a@." Task_set.pp task_set;
+  Format.printf "utilization at v_max: %.3f, RM-schedulable: %b@."
+    (Task_set.utilization task_set ~power)
+    (Rm.schedulable task_set ~power);
+  let plan = Plan.expand task_set in
+  Format.printf "fully preemptive plan: %d sub-instances over %g ms@."
+    (Plan.size plan) (Plan.hyper_period plan);
+
+  (* Policy ablation: where do the savings come from? *)
+  (match Experiments.Policies.run ~rounds:300 ~task_set ~power ~seed:7 () with
+  | Error e -> Format.printf "error: %a@." Lepts_core.Solver.pp_error e
+  | Ok cells ->
+    print_endline "\nEnergy by (schedule, online policy):";
+    Lepts_util.Table.print (Experiments.Policies.to_table cells));
+
+  (* Ratio sweep: the CNC series of the paper's Fig 6(b). *)
+  print_endline "\nImprovement vs BCEC/WCEC ratio (Fig 6(b), CNC series):";
+  let config =
+    { Experiments.Fig6b.quick_config with rounds = 300; include_gap = false }
+  in
+  let points = Experiments.Fig6b.run config ~power in
+  Lepts_util.Table.print (Experiments.Fig6b.to_table points)

@@ -1,0 +1,43 @@
+(* The GAP generic avionics platform (Locke et al., RTSS 1991) — the
+   second real-life application in the paper's Fig 6(b), and the
+   largest workload in this repository (~1200 sub-instances).
+
+   Run with: dune exec examples/gap_avionics.exe
+   (takes a couple of minutes: the NLP has ~2500 variables) *)
+
+module Model = Lepts_power.Model
+module Task_set = Lepts_task.Task_set
+module Plan = Lepts_preempt.Plan
+module Solver = Lepts_core.Solver
+module Static_schedule = Lepts_core.Static_schedule
+module Objective = Lepts_core.Objective
+
+let () =
+  let power = Model.ideal ~v_min:0.5 ~v_max:4.0 () in
+  let task_set = Lepts_workloads.Gap.task_set ~power ~ratio:0.1 () in
+  Format.printf "GAP task set (%d tasks): %a@." (Task_set.size task_set)
+    Task_set.pp task_set;
+  let plan = Plan.expand task_set in
+  Format.printf "plan: %d sub-instances over %g ms@." (Plan.size plan)
+    (Plan.hyper_period plan);
+  match Solver.solve_wcs ~plan ~power () with
+  | Error e -> Format.printf "WCS failed: %a@." Solver.pp_error e
+  | Ok (wcs, _) -> (
+    let warm = [ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ] in
+    match Solver.solve_acs ~warm_starts:warm ~plan ~power () with
+    | Error e -> Format.printf "ACS failed: %a@." Solver.pp_error e
+    | Ok (acs, _) ->
+      let avg s = Static_schedule.predicted_energy s ~mode:Objective.Average in
+      Format.printf "predicted average energy: WCS %.0f vs ACS %.0f (%.1f %% lower)@."
+        (avg wcs) (avg acs)
+        (100. *. (avg wcs -. avg acs) /. avg wcs);
+      let simulate schedule =
+        Lepts_sim.Runner.simulate ~rounds:100 ~schedule
+          ~policy:Lepts_dvs.Policy.Greedy
+          ~rng:(Lepts_prng.Xoshiro256.create ~seed:17) ()
+      in
+      let sw = simulate wcs and sa = simulate acs in
+      Format.printf "simulated: WCS %a@.           ACS %a@."
+        Lepts_sim.Runner.pp_summary sw Lepts_sim.Runner.pp_summary sa;
+      Format.printf "runtime saving on sampled workloads: %.1f %%@."
+        (100. *. (sw.mean_energy -. sa.mean_energy) /. sw.mean_energy))

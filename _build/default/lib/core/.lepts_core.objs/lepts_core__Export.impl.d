@@ -1,0 +1,1 @@
+lib/core/export.ml: Array Buffer Float Lepts_power Lepts_preempt List Printf Static_schedule String

@@ -1,0 +1,1 @@
+lib/core/export.mli: Lepts_power Lepts_preempt Static_schedule

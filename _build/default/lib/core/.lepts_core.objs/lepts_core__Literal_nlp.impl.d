@@ -1,0 +1,1 @@
+lib/core/literal_nlp.ml: Array Lepts_linalg Lepts_optim Lepts_power Lepts_preempt Lepts_task Lepts_util List Objective Printf Solver Static_schedule

@@ -1,0 +1,1 @@
+lib/core/literal_nlp.mli: Lepts_power Lepts_preempt Objective Solver Static_schedule

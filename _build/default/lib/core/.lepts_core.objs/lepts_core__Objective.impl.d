@@ -1,0 +1,1 @@
+lib/core/objective.ml: Array Float Lepts_power Lepts_preempt Lepts_task Lepts_util List Waterfall

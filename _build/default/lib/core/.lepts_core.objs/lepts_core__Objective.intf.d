@@ -1,0 +1,1 @@
+lib/core/objective.mli: Lepts_power Lepts_preempt

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Float Format Lepts_linalg Lepts_optim Lepts_power Lepts_preempt Lepts_prng Lepts_task Lepts_util List Logs Objective Static_schedule

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Format Lepts_power Lepts_preempt Objective Static_schedule

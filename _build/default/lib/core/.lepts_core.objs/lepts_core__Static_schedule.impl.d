@@ -1,0 +1,1 @@
+lib/core/static_schedule.ml: Array Format Lepts_power Lepts_preempt Objective Waterfall

@@ -1,0 +1,1 @@
+lib/core/static_schedule.mli: Format Lepts_power Lepts_preempt Objective

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Float Format Lepts_power Lepts_preempt Lepts_task Lepts_util List Printf Result Static_schedule

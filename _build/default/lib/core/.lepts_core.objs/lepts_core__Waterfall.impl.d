@@ -1,0 +1,1 @@
+lib/core/waterfall.ml: Array Float

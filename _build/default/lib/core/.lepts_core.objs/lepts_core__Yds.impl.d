@@ -1,0 +1,1 @@
+lib/core/yds.ml: Float Lepts_power Lepts_task List

@@ -1,0 +1,1 @@
+lib/core/yds.mli: Lepts_power Lepts_task

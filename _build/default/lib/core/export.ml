@@ -1,0 +1,99 @@
+module Plan = Lepts_preempt.Plan
+module Sub = Lepts_preempt.Sub_instance
+module Model = Lepts_power.Model
+
+let csv_header =
+  "index,label,task,instance,segment,release,boundary,deadline,end_time,quota,worst_voltage"
+
+let float_cell x = Printf.sprintf "%.17g" x
+
+(* Worst-case voltages, recomputed here rather than importing the DVS
+   layer (which depends on this library). *)
+let worst_voltages (s : Static_schedule.t) =
+  let power = s.Static_schedule.power in
+  let m = Array.length s.Static_schedule.end_times in
+  let v = Array.make m 0. in
+  let cursor = ref 0. in
+  Array.iter
+    (fun (sub : Sub.t) ->
+      let k = sub.Sub.index in
+      if s.Static_schedule.quotas.(k) > 0. then begin
+        let start = Float.max sub.Sub.release !cursor in
+        let window = s.Static_schedule.end_times.(k) -. start in
+        v.(k) <-
+          (if window <= 0. then power.Model.v_max
+           else
+             Model.voltage_for_clamped power ~cycles:s.Static_schedule.quotas.(k)
+               ~duration:window);
+        cursor := s.Static_schedule.end_times.(k)
+      end)
+    s.Static_schedule.plan.Plan.order;
+  v
+
+let schedule_to_rows (s : Static_schedule.t) =
+  let v = worst_voltages s in
+  Array.to_list
+    (Array.map
+       (fun (sub : Sub.t) ->
+         let k = sub.Sub.index in
+         [ string_of_int k; Sub.label sub; string_of_int (sub.Sub.task + 1);
+           string_of_int (sub.Sub.instance + 1); string_of_int (sub.Sub.segment + 1);
+           float_cell sub.Sub.release; float_cell sub.Sub.boundary;
+           float_cell sub.Sub.deadline;
+           float_cell s.Static_schedule.end_times.(k);
+           float_cell s.Static_schedule.quotas.(k); float_cell v.(k) ])
+       s.Static_schedule.plan.Plan.order)
+
+let schedule_to_csv s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," row);
+      Buffer.add_char buf '\n')
+    (schedule_to_rows s);
+  Buffer.contents buf
+
+let schedule_of_csv ~plan ~power csv =
+  let lines =
+    String.split_on_char '\n' csv |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty input"
+  | header :: rows ->
+    if String.trim header <> csv_header then Error "unrecognised header"
+    else begin
+      let m = Array.length plan.Plan.order in
+      if List.length rows <> m then
+        Error
+          (Printf.sprintf "expected %d rows for this plan, found %d" m
+             (List.length rows))
+      else begin
+        let end_times = Array.make m 0. and quotas = Array.make m 0. in
+        let problem = ref None in
+        List.iteri
+          (fun row_idx line ->
+            match String.split_on_char ',' line with
+            | idx :: _label :: _task :: _inst :: _seg :: _r :: _b :: _d :: e :: q :: _
+              -> (
+              match
+                (int_of_string_opt idx, float_of_string_opt e, float_of_string_opt q)
+              with
+              | Some k, Some e, Some q when k >= 0 && k < m ->
+                end_times.(k) <- e;
+                quotas.(k) <- q
+              | _ ->
+                if !problem = None then
+                  problem := Some (Printf.sprintf "malformed row %d" (row_idx + 2)))
+            | _ ->
+              if !problem = None then
+                problem := Some (Printf.sprintf "malformed row %d" (row_idx + 2)))
+          rows;
+        match !problem with
+        | Some msg -> Error msg
+        | None -> (
+          try Ok (Static_schedule.create ~plan ~power ~end_times ~quotas)
+          with Invalid_argument msg -> Error msg)
+      end
+    end

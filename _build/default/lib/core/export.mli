@@ -1,0 +1,28 @@
+(** Exporting static schedules for consumption outside OCaml.
+
+    The runtime only needs two numbers per sub-instance (end-time and
+    worst-case quota); these exports are the tables a firmware build
+    would embed. *)
+
+val schedule_to_csv : Static_schedule.t -> string
+(** One row per sub-instance, in total order:
+    [index,label,task,instance,segment,release,boundary,deadline,end_time,quota,worst_voltage].
+    Floats are printed with enough digits to round-trip. *)
+
+val schedule_to_rows : Static_schedule.t -> string list list
+(** The same data as lists of cells (header excluded), for callers that
+    want a different serialisation. *)
+
+val csv_header : string
+
+val schedule_of_csv :
+  plan:Lepts_preempt.Plan.t ->
+  power:Lepts_power.Model.t ->
+  string ->
+  (Static_schedule.t, string) result
+(** Parse a CSV produced by {!schedule_to_csv} back into a schedule for
+    the given plan (the plan itself is reconstructed from the task set,
+    not the file). Checks the header, the row count and the sub-instance
+    indices; returns a descriptive [Error] on any mismatch. The
+    round-trip is exact ({!schedule_to_csv} prints floats with 17
+    significant digits). *)

@@ -1,0 +1,75 @@
+(** Closed-form runtime energy of a static schedule under greedy slack
+    reclamation (the NLP objective, paper eqns 4–14 reduced).
+
+    Given per-sub-instance end-times [e] and worst-case quotas [w_hat],
+    the online policy dispatches sub-instances in the fully-preemptive
+    total order; a sub-instance with pending work starting at time [s]
+    runs at the voltage that would finish its {e worst-case} quota
+    exactly at its end-time, [v = voltage_for w_hat (e - s)] (clamped
+    below at [v_min]). When the actual workload of every instance is
+    fixed (e.g. the ACEC), the whole execution — start times, voltages,
+    energy — is a deterministic recurrence:
+
+    {v
+      s_k   = max r_k (finish of previous dispatched sub-instance)
+      v_k   = max v_min (voltage_for w_hat_k (e_k - s_k))
+      t_k   = w_k * cycle_time v_k        (w_k = waterfall split)
+      E    += c_eff * v_k^2 * w_k
+    v}
+
+    [eval] computes this energy; [eval_with_gradient] additionally
+    returns its gradient with respect to [(e, w_hat)] by a hand-written
+    reverse-mode (adjoint) sweep — exact for the ideal delay model, and
+    cross-checked against numerical differentiation in the test
+    suite. *)
+
+type mode =
+  | Average  (** instances take their ACEC — the ACS objective *)
+  | Worst  (** instances take their WCEC — the WCS objective *)
+
+type trace = {
+  start_times : float array;  (** dispatch time of each sub-instance
+                                  (release time if never dispatched) *)
+  voltages : float array;  (** 0 for sub-instances never dispatched *)
+  exec_workloads : float array;  (** waterfall split of the actual work *)
+  finish_times : float array;  (** equal to start time if not dispatched *)
+  energy : float;
+}
+
+val instance_totals : mode -> Lepts_preempt.Plan.t -> float array array
+(** Actual workload of every instance under [mode]: [acec] or [wcec]
+    of the parent task (the paper assumes every instance of a task has
+    the same workload). Indexed as [.(task).(instance)]. *)
+
+val eval :
+  plan:Lepts_preempt.Plan.t ->
+  power:Lepts_power.Model.t ->
+  totals:float array array ->
+  e:float array ->
+  w_hat:float array ->
+  float
+(** Runtime energy for the given actual instance workloads. [e] and
+    [w_hat] are indexed by total-order position. Degenerate windows are
+    guarded: a dispatched sub-instance whose window [e_k - s_k] is not
+    positive is priced at a tiny positive window, so the value stays
+    finite (and enormous) on infeasible iterates. *)
+
+val trace :
+  plan:Lepts_preempt.Plan.t ->
+  power:Lepts_power.Model.t ->
+  totals:float array array ->
+  e:float array ->
+  w_hat:float array ->
+  trace
+(** Like {!eval} but returning the full execution trace. *)
+
+val eval_with_gradient :
+  plan:Lepts_preempt.Plan.t ->
+  power:Lepts_power.Model.t ->
+  totals:float array array ->
+  e:float array ->
+  w_hat:float array ->
+  float * float array * float array
+(** [(energy, de, dw_hat)]. Requires the ideal delay model; raises
+    [Invalid_argument] for the alpha model (use numerical
+    differentiation there — see {!Solver}). *)

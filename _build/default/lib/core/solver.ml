@@ -1,0 +1,400 @@
+module Plan = Lepts_preempt.Plan
+module Sub = Lepts_preempt.Sub_instance
+module Model = Lepts_power.Model
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+module Vec = Lepts_linalg.Vec
+module Projection = Lepts_optim.Projection
+module Pg = Lepts_optim.Projected_gradient
+module Numdiff = Lepts_optim.Numdiff
+
+type error = Unschedulable | Solver_stalled of string
+
+type stats = {
+  objective : float;
+  max_violation : float;
+  outer_iterations : int;
+  inner_iterations : int;
+}
+
+let pp_error ppf = function
+  | Unschedulable -> Format.fprintf ppf "task set not schedulable at maximum speed"
+  | Solver_stalled msg -> Format.fprintf ppf "NLP solver stalled: %s" msg
+
+let log_src = Logs.Src.create "lepts.core.solver" ~doc:"voltage scheduling NLP"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Worst-case rate-monotonic execution at maximum speed: process the
+   total order with a running cursor, filling each sub-instance with as
+   much of its instance's remaining WCEC as fits before its boundary.
+   This is simultaneously the canonical feasible point of the NLP and a
+   schedulability check. *)
+let initial_point ~(plan : Plan.t) ~power =
+  let m = Array.length plan.Plan.order in
+  let ts = plan.Plan.task_set in
+  let remaining =
+    Array.mapi
+      (fun i per_instance ->
+        let task = Task_set.task ts i in
+        Array.map (fun _ -> task.Task.wcec) per_instance)
+      plan.Plan.instance_subs
+  in
+  let e0 = Array.make m 0. and q0 = Array.make m 0. in
+  let cursor = ref 0. in
+  let feasible = ref true in
+  for k = 0 to m - 1 do
+    let sub = plan.Plan.order.(k) in
+    let start = Float.max sub.Sub.release !cursor in
+    let avail = Float.max 0. (sub.Sub.boundary -. start) in
+    let rem = remaining.(sub.Sub.task).(sub.Sub.instance) in
+    let need = Model.min_duration power ~cycles:(Float.max rem 1e-300) in
+    let time = if rem <= 0. then 0. else Float.min avail need in
+    let quota = if need <= 0. then 0. else rem *. time /. need in
+    q0.(k) <- quota;
+    e0.(k) <- start +. time;
+    remaining.(sub.Sub.task).(sub.Sub.instance) <- rem -. quota;
+    cursor := e0.(k)
+  done;
+  Array.iter
+    (Array.iter (fun rem -> if rem > 1e-9 then feasible := false))
+    remaining;
+  if !feasible then Ok (e0, q0) else Error Unschedulable
+
+let t_at_vmax power =
+  (* Time per megacycle at maximum speed; valid for both delay models. *)
+  Model.cycle_time power ~v:power.Model.v_max
+
+(* --- Slack parametrisation -------------------------------------------- *)
+
+(* The decision vector is y = [q_0..q_{M-1}; s_0..s_{M-1}]. *)
+
+type forward = {
+  e : float array;  (** derived end-times: the worst-case frontier *)
+  start : float array;  (** worst-case start max(r_k, F_{k-1}) *)
+  start_from_frontier : bool array;  (** branch of the start max *)
+  room : float array;  (** max(0, b_k - start_k) *)
+  g : float array;  (** capacity constraint values t q_k + s_k - room_k *)
+}
+
+let forward_pass (plan : Plan.t) ~t_max ~q ~s =
+  let m = Array.length plan.Plan.order in
+  let e = Array.make m 0. and start = Array.make m 0. in
+  let start_from_frontier = Array.make m false in
+  let room = Array.make m 0. and g = Array.make m 0. in
+  let frontier = ref 0. in
+  for k = 0 to m - 1 do
+    let sub = plan.Plan.order.(k) in
+    let from_frontier = !frontier >= sub.Sub.release in
+    let st = if from_frontier then !frontier else sub.Sub.release in
+    let qk = Float.max 0. q.(k) and sk = Float.max 0. s.(k) in
+    start.(k) <- st;
+    start_from_frontier.(k) <- from_frontier;
+    room.(k) <- Float.max 0. (sub.Sub.boundary -. st);
+    g.(k) <- (t_max *. qk) +. sk -. room.(k);
+    e.(k) <- st +. (t_max *. qk) +. sk;
+    frontier := e.(k)
+  done;
+  { e; start; start_from_frontier; room; g }
+
+(* Adjoint of the frontier recursion: given dE/de_k (from the runtime
+   objective) and dP/dg_k (from the penalty terms), accumulate
+   gradients with respect to q and s in one backward sweep. *)
+let backward_pass (plan : Plan.t) ~t_max ~fw ~de ~dg ~into_dq ~into_ds =
+  let m = Array.length plan.Plan.order in
+  let psi = ref 0. in
+  (* psi is the adjoint of the frontier F_k flowing from later
+     sub-instances. *)
+  for k = m - 1 downto 0 do
+    let total = de.(k) +. !psi in
+    (* e_k = start_k + t q_k + s_k ; g_k = t q_k + s_k - room_k *)
+    into_dq.(k) <- into_dq.(k) +. (t_max *. (total +. dg.(k)));
+    into_ds.(k) <- into_ds.(k) +. total +. dg.(k);
+    (* start_k adjoint: from e_k (weight 1) and from room_k
+       (room = b - start when positive, so dg/dstart = +dg). *)
+    let dstart = total +. (if fw.room.(k) > 0. then dg.(k) else 0.) in
+    psi := if fw.start_from_frontier.(k) then dstart else 0.
+  done
+
+let make_projection (plan : Plan.t) ~hyper =
+  let m = Array.length plan.Plan.order in
+  let ts = plan.Plan.task_set in
+  fun y ->
+    let out = Vec.copy y in
+    Array.iteri
+      (fun i per_instance ->
+        let wcec = (Task_set.task ts i).Task.wcec in
+        Array.iter
+          (fun idxs ->
+            let slice = Array.map (fun k -> y.(k)) idxs in
+            let projected = Projection.simplex ~total:wcec slice in
+            Array.iteri (fun pos k -> out.(k) <- projected.(pos)) idxs)
+          per_instance)
+      plan.Plan.instance_subs;
+    for k = m to (2 * m) - 1 do
+      out.(k) <- Lepts_util.Num_ext.clamp ~lo:0. ~hi:hyper y.(k)
+    done;
+    out
+
+(* Final feasibility repair: walk the total order once, capping each
+   quota to what fits before its boundary at maximum speed (moving any
+   overflow to the instance's next sub-instance) and lifting end-times
+   just enough to fit the worst case. The solver converges to within
+   the augmented-Lagrangian tolerance, so this moves the solution only
+   microscopically — but it makes worst-case feasibility exact. *)
+let repair ~(plan : Plan.t) ~power ~e ~q =
+  let m = Array.length plan.Plan.order in
+  let t_max = t_at_vmax power in
+  let e = Array.copy e and q = Array.copy q in
+  let next_sub_of_instance k =
+    let sub = plan.Plan.order.(k) in
+    let idxs = plan.Plan.instance_subs.(sub.Sub.task).(sub.Sub.instance) in
+    let rec find pos =
+      if pos >= Array.length idxs - 1 then None
+      else if idxs.(pos) = k then Some idxs.(pos + 1)
+      else find (pos + 1)
+    in
+    find 0
+  in
+  let cursor = ref 0. in
+  let ok = ref true in
+  for k = 0 to m - 1 do
+    let sub = plan.Plan.order.(k) in
+    q.(k) <- Float.max 0. q.(k);
+    let start = Float.max sub.Sub.release !cursor in
+    let cap = Float.max 0. ((sub.Sub.boundary -. start) /. t_max) in
+    if q.(k) > cap then begin
+      let overflow = q.(k) -. cap in
+      q.(k) <- cap;
+      match next_sub_of_instance k with
+      | Some k' -> q.(k') <- q.(k') +. overflow
+      | None ->
+        (* No later segment to absorb it. Residuals far below the
+           validation tolerance are solver noise and are dropped; the
+           runtime executor caps actual work at the quota sum anyway. *)
+        let wcec = (Task_set.task plan.Plan.task_set sub.Sub.task).Task.wcec in
+        if overflow > 1e-6 *. wcec then ok := false
+    end;
+    let min_end = start +. (t_max *. q.(k)) in
+    e.(k) <- Float.min sub.Sub.boundary (Float.max e.(k) min_end);
+    (* The cursor (worst-case busy frontier) never regresses: a
+       zero-quota sub-instance whose segment ended before the frontier
+       gets a vacuous end-time but must not relax its successors. *)
+    cursor := Float.max !cursor e.(k)
+  done;
+  if !ok then Ok (e, q) else Error (Solver_stalled "repair could not place all workload")
+
+(* Latest-feasible ("as late as possible") end-times for given quotas:
+   push every end-time right until it hits its segment boundary or the
+   worst-case fit of its successor. This is the structure the paper's
+   insight points at ("extend the end time of each task to as long as
+   that allowed by the worst-case execution scenario") and a valuable
+   second starting point for the non-convex NLP. *)
+let alap_end_times (plan : Plan.t) ~t_max ~e ~q =
+  let m = Array.length plan.Plan.order in
+  let out = Array.copy e in
+  if m > 0 then begin
+    out.(m - 1) <- plan.Plan.order.(m - 1).Sub.boundary;
+    for k = m - 2 downto 0 do
+      let b = plan.Plan.order.(k).Sub.boundary in
+      out.(k) <- Float.max e.(k) (Float.min b (out.(k + 1) -. (t_max *. q.(k + 1))))
+    done
+  end;
+  out
+
+(* Slack vector realising given end-times under the frontier
+   recursion. *)
+let slacks_for (plan : Plan.t) ~t_max ~e ~q =
+  let m = Array.length plan.Plan.order in
+  let s = Array.make m 0. in
+  let frontier = ref 0. in
+  for k = 0 to m - 1 do
+    let start = Float.max plan.Plan.order.(k).Sub.release !frontier in
+    s.(k) <- Float.max 0. (e.(k) -. start -. (t_max *. q.(k)));
+    frontier := start +. (t_max *. q.(k)) +. s.(k)
+  done;
+  s
+
+(* --- Augmented Lagrangian over the slack parametrisation --------------- *)
+
+(* [totals_list] holds one or more workload scenarios; the objective is
+   their mean runtime energy (a single ACEC or WCEC scenario for the
+   deterministic modes, a Monte-Carlo sample for the stochastic
+   extension). *)
+let solve_from ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~power ~y0 () =
+    let m = Array.length plan.Plan.order in
+    let t_max = t_at_vmax power in
+    let hyper = Plan.hyper_period plan in
+    let scenario_count = float_of_int (List.length totals_list) in
+    let unpack y = (Array.sub y 0 m, Array.sub y m m) in
+    let mean_energy ~e ~w_hat =
+      List.fold_left
+        (fun acc totals -> acc +. Objective.eval ~plan ~power ~totals ~e ~w_hat)
+        0. totals_list
+      /. scenario_count
+    in
+    let energy_of y =
+      let q, s = unpack y in
+      let fw = forward_pass plan ~t_max ~q ~s in
+      mean_energy ~e:fw.e ~w_hat:q
+    in
+    let analytic = match power.Model.delay with
+      | Model.Ideal _ -> true
+      | Model.Alpha _ -> false
+    in
+    let lambda = Array.make m 0. in
+    let mu = ref 10. in
+    let x = ref (Vec.copy y0) in
+    let project = make_projection plan ~hyper in
+    let inner_total = ref 0 in
+    let outer = ref 0 in
+    let violation = ref infinity in
+    let finished = ref false in
+    while (not !finished) && !outer < max_outer do
+      incr outer;
+      let mu_now = !mu in
+      let lag y =
+        let q, s = unpack y in
+        let fw = forward_pass plan ~t_max ~q ~s in
+        let energy = mean_energy ~e:fw.e ~w_hat:q in
+        let penalty = ref 0. in
+        for k = 0 to m - 1 do
+          let t = lambda.(k) +. (mu_now *. fw.g.(k)) in
+          if t > 0. then
+            penalty :=
+              !penalty +. (((t *. t) -. (lambda.(k) *. lambda.(k))) /. (2. *. mu_now))
+          else penalty := !penalty -. (lambda.(k) *. lambda.(k) /. (2. *. mu_now))
+        done;
+        energy +. !penalty
+      in
+      let lag_grad_analytic y =
+        let q, s = unpack y in
+        let fw = forward_pass plan ~t_max ~q ~s in
+        (* Mean of the per-scenario objective adjoints. *)
+        let de = Array.make m 0. and dq_direct = Array.make m 0. in
+        List.iter
+          (fun totals ->
+            let _, de_i, dq_i =
+              Objective.eval_with_gradient ~plan ~power ~totals ~e:fw.e ~w_hat:q
+            in
+            for k = 0 to m - 1 do
+              de.(k) <- de.(k) +. (de_i.(k) /. scenario_count);
+              dq_direct.(k) <- dq_direct.(k) +. (dq_i.(k) /. scenario_count)
+            done)
+          totals_list;
+        let dg = Array.make m 0. in
+        for k = 0 to m - 1 do
+          let t = lambda.(k) +. (mu_now *. fw.g.(k)) in
+          if t > 0. then dg.(k) <- t
+        done;
+        let out_dq = dq_direct and out_ds = Array.make m 0. in
+        backward_pass plan ~t_max ~fw ~de ~dg ~into_dq:out_dq ~into_ds:out_ds;
+        Array.append out_dq out_ds
+      in
+      let lag_grad =
+        if analytic then lag_grad_analytic else fun y -> Numdiff.gradient ~f:lag y
+      in
+      let r =
+        Pg.minimize ~max_iter:max_inner ~tol:1e-10 ~f:lag ~grad:lag_grad ~project
+          ~x0:!x ()
+      in
+      inner_total := !inner_total + r.Pg.iterations;
+      x := r.Pg.x;
+      let q, s = unpack !x in
+      let fw = forward_pass plan ~t_max ~q ~s in
+      let previous_violation = !violation in
+      violation := 0.;
+      for k = 0 to m - 1 do
+        violation := Float.max !violation fw.g.(k);
+        lambda.(k) <- Float.max 0. (lambda.(k) +. (mu_now *. fw.g.(k)))
+      done;
+      Log.debug (fun f ->
+          f "outer %d: energy=%g violation=%g mu=%g inner=%d" !outer (energy_of !x)
+            !violation mu_now r.Pg.iterations);
+      if !violation <= 1e-9 *. hyper then finished := true
+      else if !violation > 0.5 *. previous_violation then mu := !mu *. 5.
+    done;
+    let q, s = unpack !x in
+    let fw = forward_pass plan ~t_max ~q ~s in
+    (match repair ~plan ~power ~e:fw.e ~q with
+    | Error _ as err -> err
+    | Ok (e, q) ->
+      let schedule = Static_schedule.create ~plan ~power ~end_times:e ~quotas:q in
+      let stats =
+        { objective =
+            List.fold_left
+              (fun acc totals ->
+                acc
+                +. Objective.eval ~plan ~power ~totals ~e:schedule.Static_schedule.end_times
+                     ~w_hat:schedule.Static_schedule.quotas)
+              0. totals_list
+            /. scenario_count;
+          max_violation = !violation;
+          outer_iterations = !outer;
+          inner_iterations = !inner_total }
+      in
+      Ok (schedule, stats))
+
+(* The NLP is non-convex and piecewise smooth, so a single descent run
+   can stall. Each solve therefore starts from several structurally
+   distinct feasible points — the greedy (as-soon-as-possible)
+   worst-case schedule, its ALAP push-right, and any caller-provided
+   warm starts (e.g. the WCS solution when solving ACS) — and keeps the
+   best result. *)
+let solve_multi_start ~max_outer ~max_inner ~warm_starts ~totals_list
+    ~(plan : Plan.t) ~power () =
+  match initial_point ~plan ~power with
+  | Error _ as err -> err
+  | Ok (e0, q0) ->
+    let m = Array.length plan.Plan.order in
+    let t_max = t_at_vmax power in
+    let point_of_eq (e, q) = Array.append q (slacks_for plan ~t_max ~e ~q) in
+    let alap = alap_end_times plan ~t_max ~e:e0 ~q:q0 in
+    let candidates =
+      Array.append q0 (Array.make m 0.)
+      :: point_of_eq (alap, q0)
+      :: List.map point_of_eq warm_starts
+    in
+    let best = ref None in
+    List.iter
+      (fun y0 ->
+        match solve_from ~max_outer ~max_inner ~totals_list ~plan ~power ~y0 () with
+        | Error _ -> ()
+        | Ok (schedule, stats) -> (
+          match !best with
+          | Some (_, best_stats) when best_stats.objective <= stats.objective -> ()
+          | _ -> best := Some (schedule, stats)))
+      candidates;
+    (match !best with
+    | Some result -> Ok result
+    | None -> Error (Solver_stalled "no start point produced a feasible schedule"))
+
+let solve ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = []) ~mode
+    ~(plan : Plan.t) ~power () =
+  let totals_list = [ Objective.instance_totals mode plan ] in
+  solve_multi_start ~max_outer ~max_inner ~warm_starts ~totals_list ~plan ~power ()
+
+let solve_stochastic ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = [])
+    ?(scenarios = 16) ?(seed = 1) ~(plan : Plan.t) ~power () =
+  if scenarios <= 0 then invalid_arg "Solver.solve_stochastic: scenarios";
+  let rng = Lepts_prng.Xoshiro256.create ~seed in
+  let sample () =
+    Array.mapi
+      (fun i per_instance ->
+        let task = Task_set.task plan.Plan.task_set i in
+        let sigma = Task.sigma task in
+        Array.map
+          (fun _ ->
+            Lepts_prng.Dist.truncated_normal rng ~mu:task.Task.acec ~sigma
+              ~lo:task.Task.bcec ~hi:task.Task.wcec)
+          per_instance)
+      plan.Plan.instance_subs
+  in
+  let totals_list = List.init scenarios (fun _ -> sample ()) in
+  solve_multi_start ~max_outer ~max_inner ~warm_starts ~totals_list ~plan ~power ()
+
+let solve_acs ?max_outer ?max_inner ?warm_starts ~plan ~power () =
+  solve ?max_outer ?max_inner ?warm_starts ~mode:Objective.Average ~plan ~power ()
+
+let solve_wcs ?max_outer ?max_inner ?warm_starts ~plan ~power () =
+  solve ?max_outer ?max_inner ?warm_starts ~mode:Objective.Worst ~plan ~power ()

@@ -1,0 +1,115 @@
+(** Offline voltage scheduling by non-linear programming.
+
+    Solves the paper's NLP over the fully preemptive plan. Rather than
+    optimising end-times directly under chain constraints, the solver
+    uses an equivalent {e slack parametrisation} that keeps every
+    iterate structurally consistent:
+
+    - variables: per-sub-instance worst-case quotas [q_k] (projected
+      onto one [sum = WCEC] simplex per instance) and non-negative
+      slacks [s_k];
+    - the worst-case frontier is derived by the forward recursion
+      [F_k = max(r_k, F_(k-1)) + t_max * q_k + s_k], and the static
+      end-time of sub-instance [k] is [e_k = F_k] — so the paper's
+      release, ordering and worst-case-fit constraints hold by
+      construction;
+    - the only remaining constraints are the segment capacities
+      [t_max * q_k + s_k <= max(0, b_k - max(r_k, F_(k-1)))], handled
+      by an augmented-Lagrangian outer loop with exact O(M) forward /
+      adjoint evaluation;
+    - objective: runtime energy under greedy reclamation when every
+      instance takes its ACEC ({!Objective.Average}, giving {b ACS}) or
+      its WCEC ({!Objective.Worst}, giving the baseline {b WCS}).
+
+    The initial point is the worst-case rate-monotonic execution at
+    maximum speed (all slacks zero), which is feasible whenever the
+    task set is RM-schedulable; the solver then trades that slack for
+    runtime energy. *)
+
+type error =
+  | Unschedulable  (** the task set misses a deadline even at v_max *)
+  | Solver_stalled of string  (** the NLP did not reach feasibility *)
+
+type stats = {
+  objective : float;  (** energy at the solution, in model units *)
+  max_violation : float;  (** residual capacity violation before repair *)
+  outer_iterations : int;
+  inner_iterations : int;
+}
+
+val initial_point :
+  plan:Lepts_preempt.Plan.t ->
+  power:Lepts_power.Model.t ->
+  (float array * float array, error) result
+(** [(e0, quotas0)]: the worst-case RM schedule at maximum speed.
+    Exposed for tests and for warm-starting experiments. *)
+
+val repair :
+  plan:Lepts_preempt.Plan.t ->
+  power:Lepts_power.Model.t ->
+  e:float array ->
+  q:float array ->
+  (float array * float array, error) result
+(** Exact worst-case feasibility repair: one forward sweep capping each
+    quota to its segment capacity (overflow moves to the instance's
+    next segment) and lifting end-times to fit the worst case. Used as
+    the final step of every solve and by {!Literal_nlp}; moves
+    near-feasible solutions only microscopically. *)
+
+val solve :
+  ?max_outer:int ->
+  ?max_inner:int ->
+  ?warm_starts:(float array * float array) list ->
+  mode:Objective.mode ->
+  plan:Lepts_preempt.Plan.t ->
+  power:Lepts_power.Model.t ->
+  unit ->
+  (Static_schedule.t * stats, error) result
+(** Solve for the given objective mode. The NLP is non-convex, so the
+    solver runs from several structurally distinct feasible starts —
+    greedy as-soon-as-possible, its ALAP push-right, and any
+    [warm_starts] given as [(end_times, quotas)] pairs (e.g. the WCS
+    solution when solving ACS) — and returns the best. Uses the
+    analytic adjoint gradient for the ideal delay model and falls back
+    to central differences for the alpha model. *)
+
+val solve_acs :
+  ?max_outer:int ->
+  ?max_inner:int ->
+  ?warm_starts:(float array * float array) list ->
+  plan:Lepts_preempt.Plan.t ->
+  power:Lepts_power.Model.t ->
+  unit ->
+  (Static_schedule.t * stats, error) result
+(** [solve ~mode:Average] — the paper's proposed scheduler. *)
+
+val solve_wcs :
+  ?max_outer:int ->
+  ?max_inner:int ->
+  ?warm_starts:(float array * float array) list ->
+  plan:Lepts_preempt.Plan.t ->
+  power:Lepts_power.Model.t ->
+  unit ->
+  (Static_schedule.t * stats, error) result
+(** [solve ~mode:Worst] — the baseline that only considers WCEC. *)
+
+val solve_stochastic :
+  ?max_outer:int ->
+  ?max_inner:int ->
+  ?warm_starts:(float array * float array) list ->
+  ?scenarios:int ->
+  ?seed:int ->
+  plan:Lepts_preempt.Plan.t ->
+  power:Lepts_power.Model.t ->
+  unit ->
+  (Static_schedule.t * stats, error) result
+(** Probability-weighted extension (the paper's §3.2 remark: "the
+    probability weighted workload can be used in the objective function
+    if the probability density function is known"): instead of the
+    single ACEC point, minimise the {e mean} runtime energy over
+    [scenarios] (default 16) Monte-Carlo draws of the per-instance
+    workloads from the truncated-normal distribution the evaluation
+    uses. Deterministic given [seed]. [stats.objective] is the mean
+    scenario energy. *)
+
+val pp_error : Format.formatter -> error -> unit

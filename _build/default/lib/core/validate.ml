@@ -1,0 +1,64 @@
+module Plan = Lepts_preempt.Plan
+module Sub = Lepts_preempt.Sub_instance
+module Model = Lepts_power.Model
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+
+type violation = { where : string; what : string }
+
+let pp_violation ppf v = Format.fprintf ppf "%s: %s" v.where v.what
+
+let check ?(tol = 1e-6) (schedule : Static_schedule.t) =
+  let plan = schedule.Static_schedule.plan in
+  let power = schedule.Static_schedule.power in
+  let e = schedule.Static_schedule.end_times in
+  let q = schedule.Static_schedule.quotas in
+  let ts = plan.Plan.task_set in
+  let violations = ref [] in
+  let report where fmt =
+    Format.kasprintf (fun what -> violations := { where; what } :: !violations) fmt
+  in
+  (* Quota sums per instance. *)
+  Array.iteri
+    (fun i per_instance ->
+      let wcec = (Task_set.task ts i).Task.wcec in
+      Array.iteri
+        (fun j idxs ->
+          let total = Array.fold_left (fun acc k -> acc +. q.(k)) 0. idxs in
+          if not (Lepts_util.Num_ext.approx_equal ~eps:tol total wcec) then
+            report
+              (Printf.sprintf "T%d.%d" (i + 1) (j + 1))
+              "quotas sum to %g, WCEC is %g" total wcec)
+        per_instance)
+    plan.Plan.instance_subs;
+  (* Worst-case execution: every dispatched sub-instance stretches its
+     full quota to its end-time. *)
+  let cursor = ref 0. in
+  Array.iter
+    (fun (sub : Sub.t) ->
+      let k = sub.Sub.index in
+      let label = Sub.label sub in
+      let scale = Float.max 1. sub.Sub.deadline in
+      if e.(k) > sub.Sub.boundary +. (tol *. scale) then
+        report label "end-time %g exceeds segment boundary %g" e.(k) sub.Sub.boundary;
+      if e.(k) > sub.Sub.deadline +. (tol *. scale) then
+        report label "end-time %g exceeds deadline %g" e.(k) sub.Sub.deadline;
+      if q.(k) > 0. then begin
+        let start = Float.max sub.Sub.release !cursor in
+        let window = e.(k) -. start in
+        if window <= 0. then
+          report label "worst-case window is %g (start %g, end %g)" window start e.(k)
+        else begin
+          let v = Model.voltage_for power ~cycles:q.(k) ~duration:window in
+          if v > power.Model.v_max *. (1. +. tol) then
+            report label "worst-case voltage %.4g exceeds v_max %.4g" v
+              power.Model.v_max
+        end;
+        (* Below v_min the processor runs at v_min and finishes early;
+           the worst-case finish is still bounded by the end-time. *)
+        cursor := Float.max !cursor (Float.min e.(k) (start +. window))
+      end)
+    plan.Plan.order;
+  match List.rev !violations with [] -> Ok () | vs -> Error vs
+
+let is_feasible ?tol schedule = Result.is_ok (check ?tol schedule)

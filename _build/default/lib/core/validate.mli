@@ -1,0 +1,26 @@
+(** Independent feasibility checking of a static schedule.
+
+    The solver's own constraints are one encoding of feasibility; this
+    module re-derives it from first principles by simulating the
+    worst-case execution (every instance takes its WCEC, the online
+    policy stretches each quota to its end-time) and checking:
+
+    - every instance's quotas sum to its WCEC;
+    - end-times stay within their segment boundaries and deadlines;
+    - the worst-case voltage of every dispatched sub-instance is within
+      [[v_min, v_max]] (below [v_min] is allowed — the processor simply
+      runs at [v_min] and idles);
+    - the worst-case finish of each instance meets its deadline. *)
+
+type violation = {
+  where : string;  (** sub-instance label or instance id *)
+  what : string;  (** human-readable description *)
+}
+
+val check : ?tol:float -> Static_schedule.t -> (unit, violation list) result
+(** [check schedule] is [Ok ()] when the schedule is worst-case
+    feasible within relative tolerance [tol] (default [1e-6]). *)
+
+val is_feasible : ?tol:float -> Static_schedule.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,53 @@
+let check quotas total =
+  if total < 0. then invalid_arg "Waterfall: negative total";
+  Array.iter (fun q -> if q < 0. then invalid_arg "Waterfall: negative quota") quotas
+
+let distribute ~quotas ~total =
+  check quotas total;
+  let remaining = ref total in
+  Array.map
+    (fun q ->
+      let w = Float.min q !remaining in
+      remaining := !remaining -. w;
+      w)
+    quotas
+
+let partial_index ~quotas ~total =
+  let dist = distribute ~quotas ~total in
+  let rec find k =
+    if k >= Array.length dist then None
+    else if dist.(k) > 0. && dist.(k) < quotas.(k) then Some k
+    else find (k + 1)
+  in
+  find 0
+
+(* Derivative structure: sub-instances before the partial one satisfy
+   w_k = q_k (dw_k/dq_k = 1); the partial one satisfies
+   w_p = total - sum_{l<p} q_l (dw_p/dq_l = -1 for l < p); later ones
+   are 0 with zero derivative. At kinks we take the fully-filled
+   branch. *)
+let backward ~quotas ~total ~adjoint =
+  check quotas total;
+  if Array.length adjoint <> Array.length quotas then
+    invalid_arg "Waterfall.backward: adjoint length mismatch";
+  let out = Array.make (Array.length quotas) 0. in
+  let remaining = ref total in
+  (try
+     for k = 0 to Array.length quotas - 1 do
+       let q = quotas.(k) in
+       if !remaining >= q then begin
+         (* fully filled: w_k = q_k *)
+         out.(k) <- out.(k) +. adjoint.(k);
+         remaining := !remaining -. q
+       end
+       else begin
+         if !remaining > 0. then
+           (* partial: w_k = total - sum of earlier quotas *)
+           for l = 0 to k - 1 do
+             out.(l) <- out.(l) -. adjoint.(k)
+           done;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  out

@@ -1,0 +1,124 @@
+module Model = Lepts_power.Model
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+
+type job = { release : float; deadline : float; work : float }
+type segment = { from_time : float; to_time : float; speed : float }
+
+let validate jobs =
+  List.iter
+    (fun j ->
+      if j.work <= 0. then invalid_arg "Yds.schedule: non-positive work";
+      if j.deadline <= j.release then invalid_arg "Yds.schedule: empty window")
+    jobs
+
+(* Map a collapsed-time coordinate back to original time by re-inserting
+   the previously removed critical intervals ([removed] is sorted by
+   original start; the coordinate only grows during the walk). *)
+let expand removed x =
+  List.fold_left (fun o (s, e) -> if s <= o then o +. (e -. s) else o) x removed
+
+let insert_removed removed (a, b) =
+  List.sort (fun (s1, _) (s2, _) -> Float.compare s1 s2) ((a, b) :: removed)
+
+(* One peel: the interval [a, b] over current-coordinate endpoints
+   maximising contained-work / length. *)
+let critical_interval jobs =
+  let endpoints =
+    List.sort_uniq Float.compare
+      (List.concat_map (fun j -> [ j.release; j.deadline ]) jobs)
+  in
+  let best = ref None in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if b > a then begin
+            let contained =
+              List.fold_left
+                (fun acc j ->
+                  if j.release >= a -. 1e-12 && j.deadline <= b +. 1e-12 then
+                    acc +. j.work
+                  else acc)
+                0. jobs
+            in
+            if contained > 0. then begin
+              let intensity = contained /. (b -. a) in
+              match !best with
+              | Some (_, _, i) when i >= intensity -> ()
+              | _ -> best := Some (a, b, intensity)
+            end
+          end)
+        endpoints)
+    endpoints;
+  !best
+
+(* Collapse [a, b] to the single point [a] in current coordinates. *)
+let collapse jobs (a, b) =
+  let width = b -. a in
+  let shrink t = if t >= b then t -. width else Float.min t a in
+  List.filter_map
+    (fun j ->
+      if j.release >= a -. 1e-12 && j.deadline <= b +. 1e-12 then None
+      else
+        let release = shrink j.release and deadline = shrink j.deadline in
+        Some { j with release; deadline })
+    jobs
+
+(* Subtract the (disjoint, sorted) removed intervals from [a, b],
+   yielding the pieces that actually execute at the peel's speed. *)
+let subtract_removed removed (a, b) =
+  let pieces = ref [] in
+  let cursor = ref a in
+  List.iter
+    (fun (s, e) ->
+      if e > !cursor && s < b then begin
+        if s > !cursor then pieces := (!cursor, Float.min s b) :: !pieces;
+        cursor := Float.max !cursor e
+      end)
+    removed;
+  if !cursor < b then pieces := (!cursor, b) :: !pieces;
+  List.rev !pieces
+
+let schedule jobs =
+  validate jobs;
+  let rec peel jobs removed acc =
+    match critical_interval jobs with
+    | None -> acc
+    | Some (a, b, intensity) ->
+      let orig_a = expand removed a and orig_b = expand removed b in
+      let pieces = subtract_removed removed (orig_a, orig_b) in
+      let segments =
+        List.map (fun (s, e) -> { from_time = s; to_time = e; speed = intensity }) pieces
+      in
+      (* The removed set must stay disjoint for [expand] to be correct:
+         record the pieces, not the enclosing interval. *)
+      let removed = List.fold_left insert_removed removed pieces in
+      peel (collapse jobs (a, b)) removed (segments @ acc)
+  in
+  let segments = peel jobs [] [] in
+  List.sort (fun s1 s2 -> Float.compare s1.from_time s2.from_time) segments
+
+let energy ~power jobs =
+  List.fold_left
+    (fun acc seg ->
+      let work = seg.speed *. (seg.to_time -. seg.from_time) in
+      if work <= 0. then acc
+      else
+        (* Voltage achieving this speed: cycles per time = speed. *)
+        let v = Model.voltage_for power ~cycles:work ~duration:(seg.to_time -. seg.from_time) in
+        let v = Float.max v power.Model.v_min in
+        acc +. Model.energy power ~v ~cycles:work)
+    0. (schedule jobs)
+
+let of_task_set ts =
+  let hyper = Task_set.hyper_period ts in
+  List.concat
+    (List.init (Task_set.size ts) (fun i ->
+         let task = Task_set.task ts i in
+         List.init (hyper / task.Task.period) (fun j ->
+             { release = float_of_int (j * task.Task.period);
+               deadline = float_of_int ((j + 1) * task.Task.period);
+               work = task.Task.wcec })))
+
+let lower_bound ~power ts = energy ~power (of_task_set ts)

@@ -1,0 +1,1 @@
+lib/dvs/policy.ml: Array Float Format Lepts_core Lepts_power Lepts_preempt

@@ -1,0 +1,1 @@
+lib/dvs/policy.mli: Format Lepts_core Lepts_power

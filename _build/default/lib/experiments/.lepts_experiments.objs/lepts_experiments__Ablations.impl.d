@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Lepts_core Lepts_dvs Lepts_power Lepts_preempt Lepts_prng Lepts_sim Lepts_util List Printf Unix

@@ -1,0 +1,1 @@
+lib/experiments/ablations.mli: Lepts_core Lepts_power Lepts_task Lepts_util

@@ -1,0 +1,1 @@
+lib/experiments/distribution_sweep.ml: Lepts_core Lepts_dvs Lepts_preempt Lepts_prng Lepts_sim Lepts_util List

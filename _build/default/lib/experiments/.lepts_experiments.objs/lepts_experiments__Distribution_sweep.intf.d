@@ -1,0 +1,1 @@
+lib/experiments/distribution_sweep.mli: Lepts_core Lepts_power Lepts_sim Lepts_task Lepts_util

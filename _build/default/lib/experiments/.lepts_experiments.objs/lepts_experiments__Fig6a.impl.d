@@ -1,0 +1,1 @@
+lib/experiments/fig6a.ml: Array Float Improvement Lepts_prng Lepts_util Lepts_workloads List Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig6a.mli: Lepts_power Lepts_util

@@ -1,0 +1,1 @@
+lib/experiments/fig6b.ml: Improvement Lepts_util Lepts_workloads List Printf

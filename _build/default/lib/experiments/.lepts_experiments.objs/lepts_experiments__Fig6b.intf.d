@@ -1,0 +1,1 @@
+lib/experiments/fig6b.mli: Lepts_power Lepts_util

@@ -1,0 +1,1 @@
+lib/experiments/improvement.ml: Format Lepts_core Lepts_dvs Lepts_preempt Lepts_prng Lepts_sim

@@ -1,0 +1,1 @@
+lib/experiments/improvement.mli: Format Lepts_core Lepts_power Lepts_task

@@ -1,0 +1,1 @@
+lib/experiments/motivation.ml: Array Lepts_core Lepts_dvs Lepts_power Lepts_preempt Lepts_task Lepts_util Printf String

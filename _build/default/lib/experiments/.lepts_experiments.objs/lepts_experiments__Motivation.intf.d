@@ -1,0 +1,1 @@
+lib/experiments/motivation.mli: Lepts_core Lepts_power Lepts_task Lepts_util

@@ -1,0 +1,1 @@
+lib/experiments/policies.mli: Lepts_core Lepts_dvs Lepts_power Lepts_task Lepts_util

@@ -1,0 +1,1 @@
+lib/experiments/utilization_sweep.ml: Improvement Lepts_task Lepts_util List

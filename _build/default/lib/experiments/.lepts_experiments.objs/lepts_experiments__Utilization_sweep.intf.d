@@ -1,0 +1,1 @@
+lib/experiments/utilization_sweep.mli: Lepts_power Lepts_task Lepts_util

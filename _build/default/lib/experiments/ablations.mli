@@ -1,0 +1,43 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    Each function runs one comparison on a given task set and returns a
+    printable table:
+
+    - {!formulations}: the production slack-parametrised NLP vs the
+      paper-literal constrained formulation (predicted energy and
+      solve time);
+    - {!objectives}: ACS (ACEC point) vs the stochastic
+      probability-weighted objective vs WCS, judged by simulated mean
+      energy;
+    - {!quantization}: continuous greedy reclamation vs discrete
+      voltage levels of varying granularity;
+    - {!structures}: preemptive vs non-preemptive plans on the same
+      task set (where the non-preemptive one is schedulable), plus the
+      YDS lower bound for context. *)
+
+val formulations :
+  task_set:Lepts_task.Task_set.t ->
+  power:Lepts_power.Model.t ->
+  (Lepts_util.Table.t, Lepts_core.Solver.error) result
+
+val objectives :
+  ?rounds:int ->
+  task_set:Lepts_task.Task_set.t ->
+  power:Lepts_power.Model.t ->
+  seed:int ->
+  unit ->
+  (Lepts_util.Table.t, Lepts_core.Solver.error) result
+
+val quantization :
+  ?rounds:int ->
+  ?steps:int list ->
+  task_set:Lepts_task.Task_set.t ->
+  power:Lepts_power.Model.t ->
+  seed:int ->
+  unit ->
+  (Lepts_util.Table.t, Lepts_core.Solver.error) result
+
+val structures :
+  task_set:Lepts_task.Task_set.t ->
+  power:Lepts_power.Model.t ->
+  (Lepts_util.Table.t, Lepts_core.Solver.error) result

@@ -1,0 +1,64 @@
+module Plan = Lepts_preempt.Plan
+module Solver = Lepts_core.Solver
+module Static_schedule = Lepts_core.Static_schedule
+module Policy = Lepts_dvs.Policy
+module Runner = Lepts_sim.Runner
+module Sampler = Lepts_sim.Sampler
+module Rng = Lepts_prng.Xoshiro256
+
+type point = {
+  label : string;
+  dist : Sampler.distribution;
+  wcs_energy : float;
+  acs_energy : float;
+  improvement_pct : float;
+  misses : int;
+}
+
+let distributions =
+  [ ("truncated normal (paper)", Sampler.Truncated_normal);
+    ("uniform", Sampler.Uniform);
+    ("bimodal p=0.1 (abstract)", Sampler.Bimodal { p_large = 0.1 });
+    ("bimodal p=0.3", Sampler.Bimodal { p_large = 0.3 }) ]
+
+let run ?(rounds = 400) ~task_set ~power ~seed () =
+  let plan = Plan.expand task_set in
+  match Solver.solve_wcs ~plan ~power () with
+  | Error _ as err -> err
+  | Ok (wcs, _) -> (
+    let warm = [ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ] in
+    match Solver.solve_acs ~warm_starts:warm ~plan ~power () with
+    | Error _ as err -> err
+    | Ok (acs, _) ->
+      Ok
+        (List.map
+           (fun (label, dist) ->
+             let simulate schedule =
+               Runner.simulate ~rounds ~dist ~schedule ~policy:Policy.Greedy
+                 ~rng:(Rng.create ~seed) ()
+             in
+             let sw = simulate wcs and sa = simulate acs in
+             { label; dist;
+               wcs_energy = sw.Runner.mean_energy;
+               acs_energy = sa.Runner.mean_energy;
+               improvement_pct =
+                 100. *. (sw.Runner.mean_energy -. sa.Runner.mean_energy)
+                 /. sw.Runner.mean_energy;
+               misses = sw.Runner.deadline_misses + sa.Runner.deadline_misses })
+           distributions))
+
+let to_table points =
+  let table =
+    Lepts_util.Table.create
+      ~header:[ "workload distribution"; "WCS"; "ACS"; "improvement"; "misses" ]
+  in
+  List.iter
+    (fun p ->
+      Lepts_util.Table.add_row table
+        [ p.label;
+          Lepts_util.Table.float_cell ~decimals:1 p.wcs_energy;
+          Lepts_util.Table.float_cell ~decimals:1 p.acs_energy;
+          Lepts_util.Table.percent_cell p.improvement_pct;
+          string_of_int p.misses ])
+    points;
+  table

@@ -1,0 +1,32 @@
+(** How the ACS gain depends on the {e shape} of the workload
+    distribution, not just its support.
+
+    The paper's abstract motivates ACS with "tasks that normally
+    require a small number of cycles but occasionally a large number"
+    — a bimodal distribution — while its evaluation samples a truncated
+    normal. This extension measures the improvement under truncated
+    normal, uniform and bimodal workloads on the same task set and
+    schedules: the more mass sits far below the WCEC, the more slack
+    greedy reclamation finds, and the more the end-time placement
+    matters. *)
+
+type point = {
+  label : string;
+  dist : Lepts_sim.Sampler.distribution;
+  wcs_energy : float;
+  acs_energy : float;
+  improvement_pct : float;
+  misses : int;
+}
+
+val run :
+  ?rounds:int ->
+  task_set:Lepts_task.Task_set.t ->
+  power:Lepts_power.Model.t ->
+  seed:int ->
+  unit ->
+  (point list, Lepts_core.Solver.error) result
+(** Solves WCS and ACS once, then simulates both under each
+    distribution with paired seeds (default 400 rounds each). *)
+
+val to_table : point list -> Lepts_util.Table.t

@@ -1,0 +1,86 @@
+module Rng = Lepts_prng.Xoshiro256
+module Random_gen = Lepts_workloads.Random_gen
+
+type config = {
+  task_counts : int list;
+  ratios : float list;
+  sets_per_point : int;
+  rounds : int;
+  seed : int;
+}
+
+let paper_config =
+  { task_counts = [ 2; 4; 6; 8; 10 ]; ratios = [ 0.1; 0.5; 0.9 ];
+    sets_per_point = 100; rounds = 1000; seed = 2005 }
+
+let quick_config = { paper_config with sets_per_point = 3; rounds = 200 }
+
+type point = {
+  n_tasks : int;
+  ratio : float;
+  mean_improvement_pct : float;
+  stddev_improvement_pct : float;
+  sets_measured : int;
+  total_misses : int;
+}
+
+let run_point config ~power ~n_tasks ~ratio =
+  let improvements = ref [] in
+  let misses = ref 0 in
+  for set = 0 to config.sets_per_point - 1 do
+    (* One generator stream per (n, ratio, set) triple so points are
+       independent and reproducible. *)
+    let gen_seed =
+      config.seed + (1_000_000 * n_tasks) + (10_000 * int_of_float (ratio *. 100.))
+      + set
+    in
+    let rng = Rng.create ~seed:gen_seed in
+    let gen_config = Random_gen.default_config ~n_tasks ~ratio in
+    match Random_gen.generate gen_config ~power ~rng with
+    | Error _ -> ()
+    | Ok task_set -> (
+      match
+        Improvement.measure ~rounds:config.rounds ~task_set ~power
+          ~sim_seed:(gen_seed + 7919) ()
+      with
+      | Error _ -> ()
+      | Ok r ->
+        improvements := r.Improvement.improvement_pct :: !improvements;
+        misses := !misses + r.Improvement.wcs_misses + r.Improvement.acs_misses)
+  done;
+  let arr = Array.of_list !improvements in
+  { n_tasks; ratio;
+    mean_improvement_pct = (if Array.length arr = 0 then Float.nan else Lepts_util.Stats.mean arr);
+    stddev_improvement_pct = (if Array.length arr < 2 then 0. else Lepts_util.Stats.stddev arr);
+    sets_measured = Array.length arr;
+    total_misses = !misses }
+
+let run ?(progress = fun _ -> ()) config ~power =
+  List.concat_map
+    (fun n_tasks ->
+      List.map
+        (fun ratio ->
+          let point = run_point config ~power ~n_tasks ~ratio in
+          progress
+            (Printf.sprintf "fig6a: n=%d ratio=%.1f -> %.1f%% (%d sets)" n_tasks
+               ratio point.mean_improvement_pct point.sets_measured);
+          point)
+        config.ratios)
+    config.task_counts
+
+let to_table points =
+  let table =
+    Lepts_util.Table.create
+      ~header:[ "tasks"; "BCEC/WCEC"; "improvement"; "stddev"; "sets"; "misses" ]
+  in
+  List.iter
+    (fun p ->
+      Lepts_util.Table.add_row table
+        [ string_of_int p.n_tasks;
+          Lepts_util.Table.float_cell ~decimals:1 p.ratio;
+          Lepts_util.Table.percent_cell p.mean_improvement_pct;
+          Lepts_util.Table.percent_cell p.stddev_improvement_pct;
+          string_of_int p.sets_measured;
+          string_of_int p.total_misses ])
+    points;
+  table

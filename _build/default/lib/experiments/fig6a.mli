@@ -1,0 +1,39 @@
+(** Fig. 6(a): improvement of ACS over WCS on random task sets, by task
+    count and BCEC/WCEC ratio.
+
+    The paper's full protocol: task counts 2..10, ratios 0.1 / 0.5 /
+    0.9, one hundred random task sets per count, one thousand
+    hyper-periods per simulation, 70 % worst-case utilisation. The
+    harness exposes the scale as parameters so the bench can run a
+    reduced (but same-shape) version by default. *)
+
+type config = {
+  task_counts : int list;  (** paper: [2; 4; 6; 8; 10] *)
+  ratios : float list;  (** paper: [0.1; 0.5; 0.9] *)
+  sets_per_point : int;  (** paper: 100 *)
+  rounds : int;  (** hyper-periods simulated per set; paper: 1000 *)
+  seed : int;
+}
+
+val paper_config : config
+val quick_config : config
+(** 3 sets per point, 200 rounds: minutes instead of hours, same
+    qualitative shape. *)
+
+type point = {
+  n_tasks : int;
+  ratio : float;
+  mean_improvement_pct : float;
+  stddev_improvement_pct : float;
+  sets_measured : int;  (** sets that produced a schedulable pair *)
+  total_misses : int;  (** deadline misses across all simulations;
+                           must be 0 *)
+}
+
+val run : ?progress:(string -> unit) -> config -> power:Lepts_power.Model.t -> point list
+(** Runs the sweep; [progress] (default ignore) receives one line per
+    completed point. *)
+
+val to_table : point list -> Lepts_util.Table.t
+(** Rows: one per (task count, ratio) — the series of the paper's
+    figure. *)

@@ -1,0 +1,56 @@
+type config = { ratios : float list; rounds : int; seed : int; include_gap : bool }
+
+let paper_config = { ratios = [ 0.1; 0.5; 0.9 ]; rounds = 1000; seed = 2005; include_gap = true }
+let quick_config = { paper_config with rounds = 100 }
+
+type point = {
+  application : string;
+  ratio : float;
+  improvement_pct : float;
+  misses : int;
+}
+
+let applications config =
+  ("CNC", fun ~power ~ratio -> Lepts_workloads.Cnc.task_set ~power ~ratio ())
+  ::
+  (if config.include_gap then
+     [ ("GAP", fun ~power ~ratio -> Lepts_workloads.Gap.task_set ~power ~ratio ()) ]
+   else [])
+
+let run ?(progress = fun _ -> ()) config ~power =
+  List.concat_map
+    (fun (name, build) ->
+      List.filter_map
+        (fun ratio ->
+          let task_set = build ~power ~ratio in
+          match
+            Improvement.measure ~rounds:config.rounds ~task_set ~power
+              ~sim_seed:(config.seed + int_of_float (ratio *. 1000.)) ()
+          with
+          | Error _ ->
+            progress (Printf.sprintf "fig6b: %s ratio=%.1f -> solver failed" name ratio);
+            None
+          | Ok r ->
+            progress
+              (Printf.sprintf "fig6b: %s ratio=%.1f -> %.1f%%" name ratio
+                 r.Improvement.improvement_pct);
+            Some
+              { application = name; ratio;
+                improvement_pct = r.Improvement.improvement_pct;
+                misses = r.Improvement.wcs_misses + r.Improvement.acs_misses })
+        config.ratios)
+    (applications config)
+
+let to_table points =
+  let table =
+    Lepts_util.Table.create ~header:[ "application"; "BCEC/WCEC"; "improvement"; "misses" ]
+  in
+  List.iter
+    (fun p ->
+      Lepts_util.Table.add_row table
+        [ p.application;
+          Lepts_util.Table.float_cell ~decimals:1 p.ratio;
+          Lepts_util.Table.percent_cell p.improvement_pct;
+          string_of_int p.misses ])
+    points;
+  table

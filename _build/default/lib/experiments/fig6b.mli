@@ -1,0 +1,24 @@
+(** Fig. 6(b): improvement of ACS over WCS on the real-life CNC and GAP
+    task sets, by BCEC/WCEC ratio. *)
+
+type config = {
+  ratios : float list;  (** paper: [0.1; 0.5; 0.9] *)
+  rounds : int;  (** hyper-periods per simulation; paper: 1000 *)
+  seed : int;
+  include_gap : bool;
+      (** the GAP NLP has ~1200 sub-instances and takes tens of seconds
+          per solve; benches may skip it *)
+}
+
+val paper_config : config
+val quick_config : config
+
+type point = {
+  application : string;  (** "CNC" or "GAP" *)
+  ratio : float;
+  improvement_pct : float;
+  misses : int;
+}
+
+val run : ?progress:(string -> unit) -> config -> power:Lepts_power.Model.t -> point list
+val to_table : point list -> Lepts_util.Table.t

@@ -1,0 +1,34 @@
+(** The paper's motivational example (Table 1, Figs 1–2).
+
+    Three tasks sharing a 20 ms frame, each with WCEC 20 Mcycles and
+    ACEC 10 Mcycles, on an ideal-delay processor with V in [1 V, 4 V]
+    and unit constants. The reconstruction reproduces every number
+    recoverable from the paper:
+
+    - the optimal worst-case (WCS) schedule ends tasks at 6.67 / 13.33
+      / 20 ms, all at 3 V, worst-case energy 540;
+    - greedy reclamation under it on the average workload finishes
+      tasks at 3.33 / 8.3 / 14.1 ms, energy ~159 (paper Fig. 1(b));
+    - the ACS schedule ends tasks at 10 / 15 / 20 ms, average-case
+      energy 120 — a ~24 % improvement (paper Fig. 2);
+    - the same schedule under worst-case workloads needs 4 V for tasks
+      2 and 3 and consumes 720 — a 33 % worst-case penalty (paper
+      Fig. 1(c)). *)
+
+type report = {
+  wcs_end_times : float array;
+  acs_end_times : float array;
+  wcs_avg_energy : float;  (** greedy runtime on ACEC, WCS schedule *)
+  acs_avg_energy : float;
+  wcs_worst_energy : float;
+  acs_worst_energy : float;
+  improvement_pct : float;  (** average case, ACS vs WCS *)
+  worst_penalty_pct : float;  (** worst case, ACS vs WCS *)
+  acs_worst_voltages : float array;  (** per task, worst case *)
+}
+
+val task_set : unit -> Lepts_task.Task_set.t
+val power : unit -> Lepts_power.Model.t
+
+val run : unit -> (report, Lepts_core.Solver.error) result
+val to_table : report -> Lepts_util.Table.t

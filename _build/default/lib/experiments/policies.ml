@@ -1,0 +1,53 @@
+module Plan = Lepts_preempt.Plan
+module Solver = Lepts_core.Solver
+module Static_schedule = Lepts_core.Static_schedule
+module Policy = Lepts_dvs.Policy
+module Runner = Lepts_sim.Runner
+module Rng = Lepts_prng.Xoshiro256
+
+type cell = {
+  schedule : string;
+  policy : Policy.t;
+  mean_energy : float;
+  misses : int;
+}
+
+let run ?(rounds = 500) ~task_set ~power ~seed () =
+  let plan = Plan.expand task_set in
+  match Solver.solve_wcs ~plan ~power () with
+  | Error _ as err -> err
+  | Ok (wcs, _) -> (
+    let warm = [ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ] in
+    match Solver.solve_acs ~warm_starts:warm ~plan ~power () with
+    | Error _ as err -> err
+    | Ok (acs, _) ->
+      let cells =
+        List.concat_map
+          (fun (name, schedule) ->
+            List.map
+              (fun policy ->
+                let summary =
+                  Runner.simulate ~rounds ~schedule ~policy
+                    ~rng:(Rng.create ~seed) ()
+                in
+                { schedule = name; policy;
+                  mean_energy = summary.Runner.mean_energy;
+                  misses = summary.Runner.deadline_misses })
+              Policy.all)
+          [ ("WCS", wcs); ("ACS", acs) ]
+      in
+      Ok cells)
+
+let to_table cells =
+  let table =
+    Lepts_util.Table.create ~header:[ "schedule"; "policy"; "mean energy"; "misses" ]
+  in
+  List.iter
+    (fun c ->
+      Lepts_util.Table.add_row table
+        [ c.schedule;
+          Format.asprintf "%a" Policy.pp c.policy;
+          Lepts_util.Table.float_cell ~decimals:1 c.mean_energy;
+          string_of_int c.misses ])
+    cells;
+  table

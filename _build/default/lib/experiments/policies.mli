@@ -1,0 +1,27 @@
+(** Ablation: how much of the saving comes from the online policy vs
+    the offline schedule (the paper's Fig. 1(a) vs 1(b) contrast,
+    generalised).
+
+    For a single task set, measures the mean runtime energy of each
+    (schedule, policy) pair over the same workload draws:
+
+    - schedules: WCS and ACS;
+    - policies: max-speed (no DVS), static worst-case voltages (offline
+      DVS only), greedy reclamation (offline + online DVS). *)
+
+type cell = {
+  schedule : string;  (** "WCS" | "ACS" *)
+  policy : Lepts_dvs.Policy.t;
+  mean_energy : float;
+  misses : int;
+}
+
+val run :
+  ?rounds:int ->
+  task_set:Lepts_task.Task_set.t ->
+  power:Lepts_power.Model.t ->
+  seed:int ->
+  unit ->
+  (cell list, Lepts_core.Solver.error) result
+
+val to_table : cell list -> Lepts_util.Table.t

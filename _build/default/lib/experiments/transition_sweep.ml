@@ -1,0 +1,64 @@
+module Plan = Lepts_preempt.Plan
+module Solver = Lepts_core.Solver
+module Policy = Lepts_dvs.Policy
+module Event_sim = Lepts_sim.Event_sim
+module Sampler = Lepts_sim.Sampler
+module Rng = Lepts_prng.Xoshiro256
+
+type point = {
+  time_per_volt : float;
+  mean_energy : float;
+  energy_inflation_pct : float;
+  deadline_misses : int;
+}
+
+let run ?(overheads = [ 0.; 0.001; 0.01; 0.05 ]) ?(energy_per_volt_ratio = 0.1)
+    ?(rounds = 300) ~task_set ~power ~seed () =
+  let plan = Plan.expand task_set in
+  match Solver.solve_acs ~plan ~power () with
+  | Error _ as err -> err
+  | Ok (schedule, _) ->
+    (* Same workload draws for every overhead level. *)
+    let rng = Rng.create ~seed in
+    let draws = List.init rounds (fun _ -> Sampler.instance_totals plan ~rng) in
+    let measure transition =
+      let energy = ref 0. and misses = ref 0 in
+      List.iter
+        (fun totals ->
+          let o = Event_sim.run ?transition ~schedule ~policy:Policy.Greedy ~totals () in
+          energy := !energy +. o.Lepts_sim.Outcome.energy;
+          misses := !misses + o.Lepts_sim.Outcome.deadline_misses)
+        draws;
+      (!energy /. float_of_int rounds, !misses)
+    in
+    let baseline, _ = measure None in
+    Ok
+      (List.map
+         (fun time_per_volt ->
+           let transition =
+             if time_per_volt = 0. then None
+             else
+               Some
+                 { Event_sim.time_per_volt;
+                   energy_per_volt = energy_per_volt_ratio }
+           in
+           let mean_energy, deadline_misses = measure transition in
+           { time_per_volt; mean_energy;
+             energy_inflation_pct = 100. *. (mean_energy -. baseline) /. baseline;
+             deadline_misses })
+         overheads)
+
+let to_table points =
+  let table =
+    Lepts_util.Table.create
+      ~header:[ "stall (ms/V)"; "mean energy"; "inflation"; "misses" ]
+  in
+  List.iter
+    (fun p ->
+      Lepts_util.Table.add_row table
+        [ Printf.sprintf "%.3f" p.time_per_volt;
+          Lepts_util.Table.float_cell p.mean_energy;
+          Lepts_util.Table.percent_cell p.energy_inflation_pct;
+          string_of_int p.deadline_misses ])
+    points;
+  table

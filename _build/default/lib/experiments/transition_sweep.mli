@@ -1,0 +1,32 @@
+(** Quantifying the paper's "voltage transition overhead is negligible"
+    assumption (§3, citing Mochocki et al.).
+
+    Replays the same workload draws through the event simulator with
+    increasing per-transition stall time and switching energy, and
+    reports the energy inflation and any deadline misses. For realistic
+    overheads (tens of microseconds per volt against millisecond-scale
+    executions) the effect should be well under a percent — which is
+    exactly the paper's claim; the sweep also shows where it breaks. *)
+
+type point = {
+  time_per_volt : float;  (** ms of stall per volt of change *)
+  mean_energy : float;
+  energy_inflation_pct : float;  (** vs the zero-overhead run *)
+  deadline_misses : int;
+}
+
+val run :
+  ?overheads:float list ->
+  ?energy_per_volt_ratio:float ->
+  ?rounds:int ->
+  task_set:Lepts_task.Task_set.t ->
+  power:Lepts_power.Model.t ->
+  seed:int ->
+  unit ->
+  (point list, Lepts_core.Solver.error) result
+(** [run ~task_set ~power ~seed ()] solves the ACS schedule once, then
+    simulates it under each overhead (default
+    [0.; 0.001; 0.01; 0.05] ms/V; switching energy =
+    [energy_per_volt_ratio] (default 0.1) energy units per volt). *)
+
+val to_table : point list -> Lepts_util.Table.t

@@ -1,0 +1,38 @@
+module Task_set = Lepts_task.Task_set
+
+type point = {
+  utilization : float;
+  improvement_pct : float;
+  wcs_energy : float;
+  acs_energy : float;
+}
+
+let run ?(utilizations = [ 0.3; 0.5; 0.7; 0.9 ]) ?(rounds = 400) ~task_set ~power
+    ~seed () =
+  List.filter_map
+    (fun u ->
+      let scaled = Task_set.scale_wcec_to_utilization task_set ~power ~target:u in
+      match Improvement.measure ~rounds ~task_set:scaled ~power ~sim_seed:seed () with
+      | Error _ -> None
+      | Ok r ->
+        Some
+          { utilization = u;
+            improvement_pct = r.Improvement.improvement_pct;
+            wcs_energy = r.Improvement.wcs_energy;
+            acs_energy = r.Improvement.acs_energy })
+    utilizations
+
+let to_table points =
+  let table =
+    Lepts_util.Table.create
+      ~header:[ "utilization"; "WCS energy"; "ACS energy"; "improvement" ]
+  in
+  List.iter
+    (fun p ->
+      Lepts_util.Table.add_row table
+        [ Lepts_util.Table.float_cell ~decimals:2 p.utilization;
+          Lepts_util.Table.float_cell ~decimals:1 p.wcs_energy;
+          Lepts_util.Table.float_cell ~decimals:1 p.acs_energy;
+          Lepts_util.Table.percent_cell p.improvement_pct ])
+    points;
+  table

@@ -1,0 +1,29 @@
+(** Sensitivity of the ACS gain to worst-case processor utilisation.
+
+    The paper fixes utilisation at 70 %; this extension sweeps it. Two
+    regimes bound the effect: at low utilisation even WCS has abundant
+    static slack (both schedules approach the energy floor), while near
+    100 % there is no room to move end-times at all — the interesting
+    regime is in between. *)
+
+type point = {
+  utilization : float;
+  improvement_pct : float;
+  wcs_energy : float;
+  acs_energy : float;
+}
+
+val run :
+  ?utilizations:float list ->
+  ?rounds:int ->
+  task_set:Lepts_task.Task_set.t ->
+  power:Lepts_power.Model.t ->
+  seed:int ->
+  unit ->
+  point list
+(** [run ~task_set ~power ~seed ()] rescales [task_set]'s cycle counts
+    to each utilisation (default [0.3; 0.5; 0.7; 0.9]) and measures the
+    improvement of ACS over WCS (default 400 hyper-periods).
+    Utilisations whose scaled set is unschedulable are skipped. *)
+
+val to_table : point list -> Lepts_util.Table.t

@@ -1,0 +1,97 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols x = { rows; cols; data = Array.make (rows * cols) x }
+
+let identity n =
+  let m = create ~rows:n ~cols:n 0. in
+  for i = 0 to n - 1 do
+    m.data.((i * n) + i) <- 1.
+  done;
+  m
+
+let of_rows rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then invalid_arg "Mat.of_rows: empty";
+  let cols = Array.length rows_arr.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> cols then invalid_arg "Mat.of_rows: ragged rows")
+    rows_arr;
+  { rows; cols; data = Array.concat (Array.to_list (Array.map Array.copy rows_arr)) }
+
+let dims m = (m.rows, m.cols)
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j x = m.data.((i * m.cols) + j) <- x
+
+let mul_vec m v =
+  if Array.length v <> m.cols then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (get m i j *. v.(j))
+      done;
+      !acc)
+
+let transpose m =
+  let r = create ~rows:m.cols ~cols:m.rows 0. in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      set r j i (get m i j)
+    done
+  done;
+  r
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
+  let r = create ~rows:a.rows ~cols:b.cols 0. in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          set r i j (get r i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  r
+
+(* Gaussian elimination with partial pivoting on an augmented copy. *)
+let solve a b =
+  if a.rows <> a.cols then invalid_arg "Mat.solve: matrix not square";
+  if Array.length b <> a.rows then invalid_arg "Mat.solve: rhs dimension mismatch";
+  let n = a.rows in
+  let m = { rows = n; cols = n; data = Array.copy a.data } in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for i = col + 1 to n - 1 do
+      if Float.abs (get m i col) > Float.abs (get m !pivot col) then pivot := i
+    done;
+    if Float.abs (get m !pivot col) < 1e-12 then failwith "Mat.solve: singular matrix";
+    if !pivot <> col then begin
+      for j = 0 to n - 1 do
+        let t = get m col j in
+        set m col j (get m !pivot j);
+        set m !pivot j t
+      done;
+      let t = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- t
+    end;
+    for i = col + 1 to n - 1 do
+      let f = get m i col /. get m col col in
+      if f <> 0. then begin
+        for j = col to n - 1 do
+          set m i j (get m i j -. (f *. get m col j))
+        done;
+        x.(i) <- x.(i) -. (f *. x.(col))
+      end
+    done
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get m i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get m i i
+  done;
+  x

@@ -1,0 +1,23 @@
+(** Dense row-major matrices.
+
+    Used mainly to express quadratic test problems for the optimizer
+    and for the linear systems in regression-style tests. *)
+
+type t
+
+val create : rows:int -> cols:int -> float -> t
+val identity : int -> t
+val of_rows : float array array -> t
+(** Rows are copied; every row must have the same length. *)
+
+val dims : t -> int * int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val mul_vec : t -> Vec.t -> Vec.t
+val transpose : t -> t
+val mul : t -> t -> t
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve a b] solves [a x = b] for square [a] by Gaussian elimination
+    with partial pivoting. Raises [Failure] on a (numerically) singular
+    matrix. [a] and [b] are not modified. *)

@@ -1,0 +1,1 @@
+lib/optim/augmented_lagrangian.ml: Array Float Lepts_linalg Logs Nlp Projected_gradient

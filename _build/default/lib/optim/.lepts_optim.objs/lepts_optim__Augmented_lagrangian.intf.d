@@ -1,0 +1,1 @@
+lib/optim/augmented_lagrangian.mli: Lepts_linalg Nlp

@@ -1,0 +1,1 @@
+lib/optim/lbfgs.ml: Float Lepts_linalg Line_search List

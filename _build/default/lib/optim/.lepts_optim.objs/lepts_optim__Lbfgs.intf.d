@@ -1,0 +1,1 @@
+lib/optim/lbfgs.mli: Lepts_linalg

@@ -1,0 +1,1 @@
+lib/optim/line_search.ml: Float Lepts_linalg

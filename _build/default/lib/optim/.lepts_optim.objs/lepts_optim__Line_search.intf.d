@@ -1,0 +1,1 @@
+lib/optim/line_search.mli: Lepts_linalg

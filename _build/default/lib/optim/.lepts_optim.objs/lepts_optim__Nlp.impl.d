@@ -1,0 +1,1 @@
+lib/optim/nlp.ml: Array Float Fun Lepts_linalg List Numdiff

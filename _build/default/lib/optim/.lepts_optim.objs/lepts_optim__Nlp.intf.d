@@ -1,0 +1,1 @@
+lib/optim/nlp.mli: Lepts_linalg

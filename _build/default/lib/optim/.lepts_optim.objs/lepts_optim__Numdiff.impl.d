@@ -1,0 +1,1 @@
+lib/optim/numdiff.ml: Array Float Lepts_linalg

@@ -1,0 +1,1 @@
+lib/optim/numdiff.mli: Lepts_linalg

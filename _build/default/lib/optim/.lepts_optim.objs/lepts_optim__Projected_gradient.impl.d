@@ -1,0 +1,1 @@
+lib/optim/projected_gradient.ml: Array Float Lepts_linalg

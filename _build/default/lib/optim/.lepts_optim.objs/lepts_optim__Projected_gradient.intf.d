@@ -1,0 +1,1 @@
+lib/optim/projected_gradient.mli: Lepts_linalg

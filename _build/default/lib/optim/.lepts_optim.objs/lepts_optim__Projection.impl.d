@@ -1,0 +1,1 @@
+lib/optim/projection.ml: Array Float Lepts_linalg Lepts_util

@@ -1,0 +1,1 @@
+lib/optim/projection.mli: Lepts_linalg

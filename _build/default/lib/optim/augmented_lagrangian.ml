@@ -1,0 +1,79 @@
+module Vec = Lepts_linalg.Vec
+
+type report = {
+  x : Vec.t;
+  value : float;
+  max_violation : float;
+  outer_iterations : int;
+  inner_iterations : int;
+  converged : bool;
+}
+
+let log_src = Logs.Src.create "lepts.optim.al" ~doc:"augmented Lagrangian solver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let solve ?(max_outer = 30) ?(max_inner = 1500) ?(feas_tol = 1e-7) ?(step_tol = 1e-10)
+    ?(mu0 = 10.) ?(mu_growth = 5.) (problem : Nlp.t) ~x0 =
+  let constraints = Array.of_list problem.inequalities in
+  let m = Array.length constraints in
+  if m = 0 then begin
+    let r =
+      Projected_gradient.minimize ~max_iter:max_inner ~tol:step_tol
+        ~f:problem.objective ~grad:problem.gradient ~project:problem.project ~x0 ()
+    in
+    { x = r.x; value = r.value; max_violation = 0.;
+      outer_iterations = 0; inner_iterations = r.iterations; converged = r.converged }
+  end
+  else begin
+    let lambda = Array.make m 0. in
+    let mu = ref mu0 in
+    let x = ref (problem.project (Vec.copy x0)) in
+    let inner_total = ref 0 in
+    let outer = ref 0 in
+    let violation = ref infinity in
+    let finished = ref false in
+    while (not !finished) && !outer < max_outer do
+      incr outer;
+      let mu_now = !mu in
+      let lag x =
+        let acc = ref (problem.objective x) in
+        for i = 0 to m - 1 do
+          let t = lambda.(i) +. (mu_now *. constraints.(i).value x) in
+          if t > 0. then
+            acc := !acc +. (((t *. t) -. (lambda.(i) *. lambda.(i))) /. (2. *. mu_now))
+          else acc := !acc -. (lambda.(i) *. lambda.(i) /. (2. *. mu_now))
+        done;
+        !acc
+      in
+      let lag_grad x =
+        let g = problem.gradient x in
+        for i = 0 to m - 1 do
+          let t = lambda.(i) +. (mu_now *. constraints.(i).value x) in
+          if t > 0. then constraints.(i).add_gradient ~x ~scale:t ~into:g
+        done;
+        g
+      in
+      let r =
+        Projected_gradient.minimize ~max_iter:max_inner ~tol:step_tol ~f:lag
+          ~grad:lag_grad ~project:problem.project ~x0:!x ()
+      in
+      inner_total := !inner_total + r.iterations;
+      x := r.x;
+      let previous_violation = !violation in
+      violation := 0.;
+      for i = 0 to m - 1 do
+        let gi = constraints.(i).value !x in
+        violation := Float.max !violation gi;
+        lambda.(i) <- Float.max 0. (lambda.(i) +. (mu_now *. gi))
+      done;
+      Log.debug (fun f ->
+          f "outer %d: f=%g violation=%g mu=%g" !outer (problem.objective !x)
+            !violation mu_now);
+      if !violation <= feas_tol then finished := true
+      else if !violation > 0.5 *. previous_violation then mu := !mu *. mu_growth
+    done;
+    { x = !x; value = problem.objective !x; max_violation = !violation;
+      outer_iterations = !outer; inner_iterations = !inner_total;
+      converged = !violation <= feas_tol }
+  end

@@ -1,0 +1,39 @@
+(** Augmented-Lagrangian method for inequality-constrained NLPs.
+
+    For a problem [min f(x) s.t. g_i(x) <= 0, x in S] the augmented
+    Lagrangian (Rockafellar form) is
+
+    {v
+      L(x; lambda, mu) =
+        f(x) + 1/(2 mu) * sum_i ( max(0, lambda_i + mu g_i(x))^2
+                                  - lambda_i^2 )
+    v}
+
+    Each outer iteration minimises [L] over [S] with the projected
+    spectral-gradient inner solver, then updates the multipliers
+    [lambda_i <- max (0, lambda_i + mu g_i(x))] and increases the
+    penalty [mu] when feasibility stalls. *)
+
+type report = {
+  x : Lepts_linalg.Vec.t;
+  value : float;  (** original objective at [x] *)
+  max_violation : float;  (** largest positive g_i(x) *)
+  outer_iterations : int;
+  inner_iterations : int;  (** total over all outer rounds *)
+  converged : bool;  (** feasibility and inner tolerance both met *)
+}
+
+val solve :
+  ?max_outer:int ->
+  ?max_inner:int ->
+  ?feas_tol:float ->
+  ?step_tol:float ->
+  ?mu0:float ->
+  ?mu_growth:float ->
+  Nlp.t ->
+  x0:Lepts_linalg.Vec.t ->
+  report
+(** Defaults: [max_outer = 30], [max_inner = 1500] (per outer round),
+    [feas_tol = 1e-7], [step_tol = 1e-10], [mu0 = 10.],
+    [mu_growth = 5.]. Problems with no inequality constraints collapse
+    to a single projected-gradient solve. *)

@@ -1,0 +1,71 @@
+module Vec = Lepts_linalg.Vec
+
+type report = {
+  x : Vec.t;
+  value : float;
+  gradient_norm : float;
+  iterations : int;
+  converged : bool;
+}
+
+(* Standard two-loop recursion over the [m] most recent (s, y) pairs.
+   [pairs] is ordered most recent first. *)
+let two_loop pairs g =
+  match pairs with
+  | [] -> Vec.scale (-1.) g
+  | (s_last, y_last) :: _ ->
+    let q = Vec.copy g in
+    let alphas =
+      List.map
+        (fun (s, y) ->
+          let rho = 1. /. Vec.dot y s in
+          let alpha = rho *. Vec.dot s q in
+          Vec.axpy_ip (-.alpha) y ~into:q;
+          (alpha, rho, s, y))
+        pairs
+    in
+    let gamma = Vec.dot s_last y_last /. Vec.dot y_last y_last in
+    let r = Vec.scale gamma q in
+    List.iter
+      (fun (alpha, rho, s, y) ->
+        let beta = rho *. Vec.dot y r in
+        Vec.axpy_ip (alpha -. beta) s ~into:r)
+      (List.rev alphas);
+    Vec.scale (-1.) r
+
+let minimize ?(memory = 8) ?(max_iter = 500) ?(grad_tol = 1e-8) ~f ~grad ~x0 () =
+  let x = ref (Vec.copy x0) in
+  let fx = ref (f !x) in
+  let g = ref (grad !x) in
+  let pairs = ref [] in
+  let iterations = ref 0 in
+  let converged = ref (Vec.norm_inf !g <= grad_tol) in
+  (try
+     while (not !converged) && !iterations < max_iter do
+       incr iterations;
+       let dir =
+         let d = two_loop !pairs !g in
+         if Vec.dot d !g < 0. then d else Vec.scale (-1.) !g
+       in
+       let slope = Vec.dot dir !g in
+       let init = if !pairs = [] then 1. /. Float.max 1. (Vec.norm2 !g) else 1. in
+       match Line_search.backtracking ~f ~x:!x ~fx:!fx ~dir ~slope ~init () with
+       | None -> raise Exit
+       | Some { step; value; _ } ->
+         let x_next = Vec.axpy step dir !x in
+         let g_next = grad x_next in
+         let s = Vec.sub x_next !x in
+         let y = Vec.sub g_next !g in
+         if Vec.dot s y > 1e-12 *. Vec.norm2 s *. Vec.norm2 y then begin
+           pairs := (s, y) :: !pairs;
+           if List.length !pairs > memory then
+             pairs := List.filteri (fun i _ -> i < memory) !pairs
+         end;
+         x := x_next;
+         fx := value;
+         g := g_next;
+         converged := Vec.norm_inf !g <= grad_tol
+     done
+   with Exit -> ());
+  { x = !x; value = !fx; gradient_norm = Vec.norm_inf !g;
+    iterations = !iterations; converged = !converged }

@@ -1,0 +1,27 @@
+(** Limited-memory BFGS for smooth unconstrained minimisation.
+
+    Used for the unconstrained inner problems and as a reference solver
+    in tests. For the constrained scheduling NLPs see
+    {!Projected_gradient} and {!Augmented_lagrangian}. *)
+
+type report = {
+  x : Lepts_linalg.Vec.t;  (** final iterate *)
+  value : float;  (** objective at [x] *)
+  gradient_norm : float;  (** infinity norm of the gradient at [x] *)
+  iterations : int;
+  converged : bool;  (** [true] iff the gradient tolerance was met *)
+}
+
+val minimize :
+  ?memory:int ->
+  ?max_iter:int ->
+  ?grad_tol:float ->
+  f:(Lepts_linalg.Vec.t -> float) ->
+  grad:(Lepts_linalg.Vec.t -> Lepts_linalg.Vec.t) ->
+  x0:Lepts_linalg.Vec.t ->
+  unit ->
+  report
+(** Two-loop-recursion L-BFGS with Armijo backtracking. [memory]
+    defaults to 8, [max_iter] to 500, [grad_tol] to [1e-8] (infinity
+    norm). Falls back to steepest descent whenever the L-BFGS direction
+    is not a descent direction. *)

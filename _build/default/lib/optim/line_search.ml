@@ -1,0 +1,18 @@
+module Vec = Lepts_linalg.Vec
+
+type result = { step : float; value : float; evals : int }
+
+let backtracking ?(c1 = 1e-4) ?(shrink = 0.5) ?(max_steps = 40) ~f ~x ~fx ~dir ~slope
+    ~init () =
+  if slope >= 0. then None
+  else
+    let rec go step evals =
+      if evals > max_steps then None
+      else
+        let candidate = Vec.axpy step dir x in
+        let value = f candidate in
+        if Float.is_finite value && value <= fx +. (c1 *. step *. slope) then
+          Some { step; value; evals }
+        else go (step *. shrink) (evals + 1)
+    in
+    go init 1

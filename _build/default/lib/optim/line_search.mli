@@ -1,0 +1,22 @@
+(** Backtracking line searches. *)
+
+type result = { step : float; value : float; evals : int }
+
+val backtracking :
+  ?c1:float ->
+  ?shrink:float ->
+  ?max_steps:int ->
+  f:(Lepts_linalg.Vec.t -> float) ->
+  x:Lepts_linalg.Vec.t ->
+  fx:float ->
+  dir:Lepts_linalg.Vec.t ->
+  slope:float ->
+  init:float ->
+  unit ->
+  result option
+(** Armijo backtracking: starting from step [init], shrink by [shrink]
+    (default 0.5) until
+    [f (x + step * dir) <= fx + c1 * step * slope]
+    where [slope] must be the directional derivative [grad f . dir] and
+    negative. Returns [None] if no acceptable step is found within
+    [max_steps] (default 40) halvings. *)

@@ -1,0 +1,44 @@
+module Vec = Lepts_linalg.Vec
+
+type constraint_ = {
+  name : string;
+  value : Vec.t -> float;
+  add_gradient : x:Vec.t -> scale:float -> into:Vec.t -> unit;
+}
+
+type t = {
+  dim : int;
+  objective : Vec.t -> float;
+  gradient : Vec.t -> Vec.t;
+  inequalities : constraint_ list;
+  project : Vec.t -> Vec.t;
+}
+
+let unconstrained ~dim ~objective ~gradient =
+  { dim; objective; gradient; inequalities = []; project = Fun.id }
+
+let with_numerical_gradient ~dim ~objective ?(inequalities = []) ?(project = Fun.id) () =
+  { dim; objective;
+    gradient = (fun x -> Numdiff.gradient ~f:objective x);
+    inequalities; project }
+
+let linear_constraint ~name ~coeffs ~bound =
+  let value x =
+    List.fold_left (fun acc (i, c) -> acc +. (c *. x.(i))) (-.bound) coeffs
+  in
+  let add_gradient ~x:_ ~scale ~into =
+    List.iter (fun (i, c) -> into.(i) <- into.(i) +. (scale *. c)) coeffs
+  in
+  { name; value; add_gradient }
+
+let nonlinear_constraint ~name ~value ~gradient =
+  let add_gradient ~x ~scale ~into = Vec.axpy_ip scale (gradient x) ~into in
+  { name; value; add_gradient }
+
+let constraint_gradient c x =
+  let g = Vec.zeros (Vec.dim x) in
+  c.add_gradient ~x ~scale:1. ~into:g;
+  g
+
+let max_violation t x =
+  List.fold_left (fun acc c -> Float.max acc (c.value x)) 0. t.inequalities

@@ -1,0 +1,23 @@
+module Vec = Lepts_linalg.Vec
+
+let gradient ?(h = 1e-6) ~f x =
+  let x = Vec.copy x in
+  let n = Vec.dim x in
+  Array.init n (fun i ->
+      let step = h *. Float.max 1. (Float.abs x.(i)) in
+      let xi = x.(i) in
+      x.(i) <- xi +. step;
+      let fp = f x in
+      x.(i) <- xi -. step;
+      let fm = f x in
+      x.(i) <- xi;
+      (fp -. fm) /. (2. *. step))
+
+let directional ?(h = 1e-6) ~f x ~dir =
+  let norm = Vec.norm2 dir in
+  if norm = 0. then 0.
+  else
+    let step = h /. norm in
+    let fp = f (Vec.axpy step dir x) in
+    let fm = f (Vec.axpy (-.step) dir x) in
+    (fp -. fm) /. (2. *. step)

@@ -1,0 +1,19 @@
+(** Numerical differentiation.
+
+    Used to cross-check hand-written gradients in tests and as a
+    fallback when a problem supplies no analytic gradient. *)
+
+val gradient :
+  ?h:float -> f:(Lepts_linalg.Vec.t -> float) -> Lepts_linalg.Vec.t -> Lepts_linalg.Vec.t
+(** [gradient ~f x] approximates the gradient of [f] at [x] with central
+    differences of step [h] (default [1e-6] scaled by coordinate
+    magnitude). [x] is not modified. *)
+
+val directional :
+  ?h:float ->
+  f:(Lepts_linalg.Vec.t -> float) ->
+  Lepts_linalg.Vec.t ->
+  dir:Lepts_linalg.Vec.t ->
+  float
+(** Central-difference approximation of the directional derivative of
+    [f] at [x] along [dir]. *)

@@ -1,0 +1,66 @@
+module Vec = Lepts_linalg.Vec
+
+type report = {
+  x : Vec.t;
+  value : float;
+  step_norm : float;
+  iterations : int;
+  converged : bool;
+}
+
+let minimize ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f ~grad ~project ~x0 () =
+  let x = ref (project (Vec.copy x0)) in
+  let fx = ref (f !x) in
+  let g = ref (grad !x) in
+  let recent = Array.make history !fx in
+  let recent_idx = ref 0 in
+  let push_value v =
+    recent.(!recent_idx) <- v;
+    recent_idx := (!recent_idx + 1) mod history
+  in
+  let reference () = Array.fold_left Float.max neg_infinity recent in
+  let step = ref (1. /. Float.max 1. (Vec.norm_inf !g)) in
+  let iterations = ref 0 in
+  let converged = ref false in
+  let last_step_norm = ref infinity in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    (* Backtrack the trial step until the non-monotone Armijo test
+       passes; the projected difference is the true search direction. *)
+    let rec attempt trial tries =
+      if tries > 60 then None
+      else
+        let x_trial = project (Vec.axpy (-.trial) !g !x) in
+        let d = Vec.sub x_trial !x in
+        let dnorm = Vec.norm2 d in
+        if dnorm = 0. then Some (x_trial, !fx, d, true)
+        else
+          let fx_trial = f x_trial in
+          let slope = Vec.dot !g d in
+          if Float.is_finite fx_trial
+             && fx_trial <= reference () +. (1e-4 *. slope)
+          then Some (x_trial, fx_trial, d, false)
+          else attempt (trial /. 2.) (tries + 1)
+    in
+    match attempt !step 0 with
+    | None -> converged := true (* no progress possible at this scale *)
+    | Some (_, _, _, true) ->
+      last_step_norm := 0.;
+      converged := true
+    | Some (x_next, fx_next, d, false) ->
+      let g_next = grad x_next in
+      (* Barzilai–Borwein step length for the next iteration. *)
+      let y = Vec.sub g_next !g in
+      let sy = Vec.dot d y and ss = Vec.dot d d in
+      step := (if sy > 1e-16 then ss /. sy else Float.min (2. *. !step) 1e6);
+      if (not (Float.is_finite !step)) || !step <= 0. then step := 1.;
+      x := x_next;
+      fx := fx_next;
+      g := g_next;
+      push_value fx_next;
+      last_step_norm := Vec.norm2 d;
+      let scale = Float.max 1. (Vec.norm2 !x) in
+      if !last_step_norm <= tol *. scale then converged := true
+  done;
+  { x = !x; value = !fx; step_norm = !last_step_norm;
+    iterations = !iterations; converged = !converged }

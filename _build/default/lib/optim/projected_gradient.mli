@@ -1,0 +1,33 @@
+(** Projected gradient descent with spectral (Barzilai–Borwein) steps
+    and a non-monotone Armijo safeguard.
+
+    Minimises a (piecewise-) smooth function over a closed convex set
+    given by its Euclidean projection operator. This is the inner
+    solver of {!Augmented_lagrangian}: the scheduling feasible sets
+    (boxes and per-instance workload simplexes) project cheaply. *)
+
+type report = {
+  x : Lepts_linalg.Vec.t;
+  value : float;
+  step_norm : float;  (** norm of the last projected-gradient step *)
+  iterations : int;
+  converged : bool;
+}
+
+val minimize :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?history:int ->
+  f:(Lepts_linalg.Vec.t -> float) ->
+  grad:(Lepts_linalg.Vec.t -> Lepts_linalg.Vec.t) ->
+  project:(Lepts_linalg.Vec.t -> Lepts_linalg.Vec.t) ->
+  x0:Lepts_linalg.Vec.t ->
+  unit ->
+  report
+(** [minimize ~f ~grad ~project ~x0 ()] iterates
+    [x <- project (x - step * grad x)] with BB step lengths, accepting a
+    step when it improves on the maximum of the last [history] (default
+    10) objective values (Grippo–Lampariello–Lucidi non-monotone rule).
+    Converged when the projected step drops below [tol] (default
+    [1e-9]) relative to the iterate norm. [x0] is projected first, so
+    it need not be feasible. *)

@@ -1,0 +1,46 @@
+module Vec = Lepts_linalg.Vec
+
+let box ~lo ~hi x =
+  if Vec.dim lo <> Vec.dim x || Vec.dim hi <> Vec.dim x then
+    invalid_arg "Projection.box: dimension mismatch";
+  Array.mapi
+    (fun i v ->
+      assert (lo.(i) <= hi.(i));
+      Lepts_util.Num_ext.clamp ~lo:lo.(i) ~hi:hi.(i) v)
+    x
+
+(* Sort-based simplex projection: find the threshold tau such that
+   sum max(0, x_i - tau) = total, then shift-and-clip. *)
+let simplex ~total x =
+  if total < 0. then invalid_arg "Projection.simplex: negative total";
+  let n = Vec.dim x in
+  if n = 0 then invalid_arg "Projection.simplex: empty vector";
+  let sorted = Array.copy x in
+  Array.sort (fun a b -> Float.compare b a) sorted;
+  let cumulative = ref 0. and tau = ref ((sorted.(0) -. total)) and k = ref 1 in
+  (for i = 0 to n - 1 do
+     cumulative := !cumulative +. sorted.(i);
+     let candidate = (!cumulative -. total) /. float_of_int (i + 1) in
+     if sorted.(i) > candidate then begin
+       tau := candidate;
+       k := i + 1
+     end
+   done);
+  ignore !k;
+  Array.map (fun v -> Float.max 0. (v -. !tau)) x
+
+let blocks projs ~offsets x =
+  if Array.length projs <> Array.length offsets then
+    invalid_arg "Projection.blocks: arity mismatch";
+  let out = Vec.copy x in
+  Array.iteri
+    (fun kidx (off, len) ->
+      if off < 0 || len < 0 || off + len > Vec.dim x then
+        invalid_arg "Projection.blocks: slice out of range";
+      let slice = Array.sub x off len in
+      let projected = projs.(kidx) slice in
+      if Array.length projected <> len then
+        invalid_arg "Projection.blocks: projection changed slice length";
+      Array.blit projected 0 out off len)
+    offsets;
+  out

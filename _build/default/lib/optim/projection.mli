@@ -1,0 +1,21 @@
+(** Euclidean projections onto the feasible sets used by the scheduler
+    NLPs. *)
+
+val box : lo:Lepts_linalg.Vec.t -> hi:Lepts_linalg.Vec.t -> Lepts_linalg.Vec.t -> Lepts_linalg.Vec.t
+(** Componentwise clamp onto [{x : lo <= x <= hi}]. Requires
+    [lo.(i) <= hi.(i)] for all [i]. *)
+
+val simplex : total:float -> Lepts_linalg.Vec.t -> Lepts_linalg.Vec.t
+(** Projection onto the scaled simplex [{x : x >= 0, sum x = total}]
+    (Held, Wolfe & Crowder; the standard sort-based O(n log n)
+    algorithm). Requires [total >= 0.] and a non-empty vector. *)
+
+val blocks :
+  (Lepts_linalg.Vec.t -> Lepts_linalg.Vec.t) array ->
+  offsets:(int * int) array ->
+  Lepts_linalg.Vec.t ->
+  Lepts_linalg.Vec.t
+(** [blocks projs ~offsets x] applies [projs.(k)] to the slice
+    [x.[off, off+len)] given by [offsets.(k) = (off, len)]. Slices must
+    be disjoint; coordinates not covered by any slice pass through
+    unchanged. *)

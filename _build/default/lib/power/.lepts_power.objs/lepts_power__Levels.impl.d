@@ -1,0 +1,1 @@
+lib/power/levels.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/power/model.ml: Float Lepts_util

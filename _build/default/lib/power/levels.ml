@@ -1,0 +1,41 @@
+type t = { levels : float array }
+
+let create vs =
+  if vs = [] then invalid_arg "Power.Levels.create: empty level list";
+  List.iter
+    (fun v -> if v <= 0. then invalid_arg "Power.Levels.create: non-positive level")
+    vs;
+  let sorted = List.sort_uniq Float.compare vs in
+  { levels = Array.of_list sorted }
+
+let of_range ~v_min ~v_max ~steps =
+  if steps < 2 then invalid_arg "Power.Levels.of_range: need at least 2 steps";
+  if v_min <= 0. || v_min >= v_max then invalid_arg "Power.Levels.of_range: bad range";
+  let h = (v_max -. v_min) /. float_of_int (steps - 1) in
+  create (List.init steps (fun i -> v_min +. (h *. float_of_int i)))
+
+let levels t = Array.copy t.levels
+
+(* Binary search for the first index with level >= v. *)
+let lower_bound t v =
+  let lo = ref 0 and hi = ref (Array.length t.levels) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.levels.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let round_up t v =
+  let i = lower_bound t v in
+  if i >= Array.length t.levels then None else Some t.levels.(i)
+
+let round_down t v =
+  let i = lower_bound t v in
+  if i < Array.length t.levels && t.levels.(i) = v then Some v
+  else if i = 0 then None
+  else Some t.levels.(i - 1)
+
+let quantize_for_deadline t v =
+  match round_up t v with
+  | Some level -> level
+  | None -> t.levels.(Array.length t.levels - 1)

@@ -1,0 +1,34 @@
+(** Discrete voltage levels (extension over the paper, which assumes a
+    continuous range).
+
+    Real DVS processors expose a finite set of (voltage, frequency)
+    operating points; a continuous schedule is realised by rounding
+    each requested voltage {e up} to the next available level, which
+    preserves every deadline guarantee. *)
+
+type t
+
+val create : float list -> t
+(** [create vs] builds a level set from the given voltages. Duplicates
+    are removed; raises [Invalid_argument] if the list is empty or
+    contains a non-positive voltage. *)
+
+val of_range : v_min:float -> v_max:float -> steps:int -> t
+(** [steps] equally spaced levels covering [[v_min, v_max]]
+    inclusive. Requires [steps >= 2]. *)
+
+val levels : t -> float array
+(** The levels in increasing order. *)
+
+val round_up : t -> float -> float option
+(** Smallest level [>= v], or [None] if [v] exceeds the top level. *)
+
+val round_down : t -> float -> float option
+(** Largest level [<= v], or [None] if [v] is below the bottom level. *)
+
+val quantize_for_deadline : t -> float -> float
+(** [quantize_for_deadline t v] is the level used to realise a
+    continuous request [v]: the smallest level [>= v], or the top
+    level when [v] is above it (the caller must have established
+    worst-case feasibility at [v <= v_max] separately). Requests below
+    the bottom level get the bottom level. *)

@@ -1,0 +1,1 @@
+lib/preempt/plan.ml: Array Float Format Int Lepts_task List Set Sub_instance

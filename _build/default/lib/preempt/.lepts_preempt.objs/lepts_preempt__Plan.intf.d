@@ -1,0 +1,1 @@
+lib/preempt/plan.mli: Format Lepts_task Sub_instance

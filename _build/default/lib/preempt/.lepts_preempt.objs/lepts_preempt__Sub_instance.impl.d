@@ -1,0 +1,1 @@
+lib/preempt/sub_instance.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/preempt/sub_instance.mli: Format

@@ -1,0 +1,14 @@
+type t = {
+  index : int;
+  task : int;
+  instance : int;
+  segment : int;
+  release : float;
+  boundary : float;
+  deadline : float;
+}
+
+let label t = Printf.sprintf "T%d.%d.%d" (t.task + 1) (t.instance + 1) (t.segment + 1)
+
+let pp ppf t =
+  Format.fprintf ppf "%s[%g,%g)@@%g" (label t) t.release t.boundary t.deadline

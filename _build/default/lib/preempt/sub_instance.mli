@@ -1,0 +1,27 @@
+(** A sub-instance of a task instance in the fully preemptive schedule.
+
+    The fully preemptive schedule (paper Figs 3–4) splits every task
+    instance at each release of a higher-priority task strictly inside
+    its [[release, deadline)] window, because with voltage scaling the
+    instance {e may} be executing at any point of its window and would
+    be preempted there. Each resulting segment is a sub-instance
+    [T_{i,j,k}]; the static schedule assigns it an end-time and a
+    worst-case workload quota. *)
+
+type t = {
+  index : int;  (** position in the total order (0-based) *)
+  task : int;  (** priority level of the parent task (0 = highest) *)
+  instance : int;  (** instance number of the parent task (0-based) *)
+  segment : int;  (** sub-instance number within the instance (0-based) *)
+  release : float;  (** segment start: earliest time it may execute *)
+  boundary : float;  (** segment end: a release of a higher-priority
+                         task (or the parent deadline); the static
+                         end-time must not exceed it *)
+  deadline : float;  (** absolute deadline of the parent instance *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val label : t -> string
+(** ["T3.1.2"]-style identifier (1-based, matching the paper's
+    notation). *)

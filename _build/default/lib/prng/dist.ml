@@ -1,0 +1,25 @@
+let normal rng ~mu ~sigma =
+  if sigma < 0. then invalid_arg "Dist.normal: negative sigma";
+  if sigma = 0. then mu
+  else
+    (* Box–Muller; u1 is kept away from 0 so that log is finite. *)
+    let u1 = Float.max (Xoshiro256.float rng) 0x1.0p-60 in
+    let u2 = Xoshiro256.float rng in
+    let r = sqrt (-2. *. log u1) in
+    mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
+
+let truncated_normal rng ~mu ~sigma ~lo ~hi =
+  if lo > hi then invalid_arg "Dist.truncated_normal: lo > hi";
+  if sigma = 0. then Lepts_util.Num_ext.clamp ~lo ~hi mu
+  else
+    let rec draw attempts =
+      if attempts = 0 then Lepts_util.Num_ext.clamp ~lo ~hi (normal rng ~mu ~sigma)
+      else
+        let x = normal rng ~mu ~sigma in
+        if x >= lo && x <= hi then x else draw (attempts - 1)
+    in
+    draw 1000
+
+let uniform_choice rng xs =
+  if Array.length xs = 0 then invalid_arg "Dist.uniform_choice: empty array";
+  xs.(Xoshiro256.int rng ~bound:(Array.length xs))

@@ -1,0 +1,20 @@
+(** Random variates used by the workload generators.
+
+    The paper draws actual execution cycles from a normal distribution
+    with mean ACEC, truncated to the interval [[BCEC, WCEC]]. *)
+
+val normal : Xoshiro256.t -> mu:float -> sigma:float -> float
+(** One draw from N(mu, sigma^2) via the Box–Muller transform.
+    [sigma] must be non-negative; [sigma = 0.] returns [mu]. *)
+
+val truncated_normal :
+  Xoshiro256.t -> mu:float -> sigma:float -> lo:float -> hi:float -> float
+(** Draw from N(mu, sigma^2) conditioned on the interval [[lo, hi]],
+    by rejection. Requires [lo <= hi]. When [sigma = 0.] the result is
+    [mu] clamped to the interval. To stay O(1) even for extreme
+    parameters, after 1000 rejected draws the sample falls back to
+    clamping, which is indistinguishable in our parameter regimes
+    (the interval always contains [mu]). *)
+
+val uniform_choice : Xoshiro256.t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)

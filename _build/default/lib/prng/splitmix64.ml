@@ -1,0 +1,16 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* Constants from the reference implementation (Vigna). *)
+let gamma = 0x9E3779B97F4A7C15L
+let mul1 = 0xBF58476D1CE4E5B9L
+let mul2 = 0x94D049BB133111EBL
+
+let next t =
+  t.state <- Int64.add t.state gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) mul1 in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) mul2 in
+  Int64.logxor z (Int64.shift_right_logical z 31)

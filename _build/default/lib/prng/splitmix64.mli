@@ -1,0 +1,17 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+
+    A tiny, fast, well-distributed 64-bit generator. Its main role here
+    is seeding {!Xoshiro256}, but it is a perfectly good generator on
+    its own for non-cryptographic simulation work. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] initialises the state from any 64-bit seed (including
+    0). *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)

@@ -1,0 +1,1 @@
+lib/sim/event_sim.ml: Array Float Lepts_core Lepts_dvs Lepts_power Lepts_preempt Lepts_task List Outcome Trace

@@ -1,0 +1,1 @@
+lib/sim/event_sim.mli: Lepts_core Lepts_dvs Outcome Trace

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Event_sim Format Lepts_core Lepts_util Outcome Sampler

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Format Lepts_core Lepts_dvs Lepts_prng Sampler

@@ -1,0 +1,1 @@
+lib/sim/sampler.ml: Array Lepts_preempt Lepts_prng Lepts_task

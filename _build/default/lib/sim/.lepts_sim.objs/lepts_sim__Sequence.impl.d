@@ -1,0 +1,1 @@
+lib/sim/sequence.ml: Array Float Lepts_core Lepts_preempt Lepts_task Outcome

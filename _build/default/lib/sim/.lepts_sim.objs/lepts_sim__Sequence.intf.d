@@ -1,0 +1,1 @@
+lib/sim/sequence.mli: Lepts_core Outcome

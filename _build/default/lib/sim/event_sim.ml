@@ -1,0 +1,176 @@
+module Plan = Lepts_preempt.Plan
+module Sub = Lepts_preempt.Sub_instance
+module Model = Lepts_power.Model
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+module Static_schedule = Lepts_core.Static_schedule
+module Policy = Lepts_dvs.Policy
+
+let tiny = 1e-9
+
+type instance_state = {
+  task : int;
+  instance : int;
+  release : float;
+  deadline : float;
+  subs : int array;  (** order indices of this instance's sub-instances *)
+  mutable remaining : float;  (** actual cycles still to execute *)
+  mutable sub_pos : int;  (** current position in [subs] *)
+  mutable quota_remaining : float;  (** unused quota of the current sub *)
+  mutable finish : float;  (** nan until completed *)
+}
+
+let build_instances (schedule : Static_schedule.t) ~totals =
+  let plan = schedule.Static_schedule.plan in
+  let ts = plan.Plan.task_set in
+  let states = ref [] in
+  Array.iteri
+    (fun i per_instance ->
+      let period = float_of_int (Task_set.task ts i).Task.period in
+      Array.iteri
+        (fun j subs ->
+          let quota_sum =
+            Array.fold_left
+              (fun acc k -> acc +. schedule.Static_schedule.quotas.(k))
+              0. subs
+          in
+          let first_quota =
+            if Array.length subs = 0 then 0.
+            else schedule.Static_schedule.quotas.(subs.(0))
+          in
+          let release = float_of_int j *. period in
+          (* Cap at the quota sum: the budgeted worst case. An instance
+             with no actual work completes at its release. *)
+          let remaining = Float.min totals.(i).(j) quota_sum in
+          states :=
+            { task = i; instance = j; release;
+              deadline = float_of_int (j + 1) *. period;
+              subs;
+              remaining = (if remaining <= tiny then 0. else remaining);
+              sub_pos = 0;
+              quota_remaining = first_quota;
+              finish = (if remaining <= tiny then release else Float.nan) }
+            :: !states)
+        per_instance)
+    plan.Plan.instance_subs;
+  Array.of_list (List.rev !states)
+
+(* Advance to the first sub-instance with unused quota; [None] means
+   every quota is exhausted but actual work remains (possible only
+   within the repair tolerance — the residue then runs at maximum
+   speed). *)
+let current_sub (schedule : Static_schedule.t) st =
+  while st.quota_remaining <= tiny && st.sub_pos < Array.length st.subs - 1 do
+    st.sub_pos <- st.sub_pos + 1;
+    st.quota_remaining <- schedule.Static_schedule.quotas.(st.subs.(st.sub_pos))
+  done;
+  if st.quota_remaining > tiny then Some st.subs.(st.sub_pos) else None
+
+(* Budget-enforced readiness (the paper's model): an instance may only
+   execute its current sub-instance once that sub-instance's segment
+   has been released — a task whose quota is exhausted suspends until
+   its next segment, leaving the planned room to lower-priority
+   tasks. *)
+let ready_time (schedule : Static_schedule.t) st =
+  if st.remaining <= tiny then infinity
+  else
+    match current_sub schedule st with
+    | Some k -> schedule.Static_schedule.plan.Plan.order.(k).Sub.release
+    | None -> st.release
+
+type transition = { time_per_volt : float; energy_per_volt : float }
+
+let run_traced ?transition ~(schedule : Static_schedule.t) ~policy ~totals () =
+  let spans = ref [] in
+  let last_voltage = ref Float.nan in
+  let plan = schedule.Static_schedule.plan in
+  let power = schedule.Static_schedule.power in
+  let static_v = Policy.worst_case_voltages schedule in
+  let states = build_instances schedule ~totals in
+  let energy = ref 0. in
+  let now = ref 0. in
+  let guard = ref (10_000 + (100 * Array.length states * Array.length plan.Plan.order)) in
+  let running = ref true in
+  let pick_ready () =
+    Array.fold_left
+      (fun best st ->
+        if st.remaining > tiny && ready_time schedule st <= !now +. tiny then
+          match best with
+          | None -> Some st
+          | Some b ->
+            if st.task < b.task || (st.task = b.task && st.instance < b.instance)
+            then Some st
+            else best
+        else best)
+      None states
+  in
+  let next_event ~pred =
+    Array.fold_left
+      (fun acc st ->
+        let r = ready_time schedule st in
+        if pred st && r > !now +. tiny then Float.min acc r else acc)
+      infinity states
+  in
+  while !running && !guard > 0 do
+    decr guard;
+    match pick_ready () with
+    | None ->
+      let next = next_event ~pred:(fun _ -> true) in
+      if Float.is_finite next then now := next else running := false
+    | Some st ->
+      let v, cycles_target =
+        match current_sub schedule st with
+        | Some k ->
+          ( Policy.dispatch_voltage policy ~schedule ~static_v ~sub:k ~now:!now
+              ~quota_remaining:st.quota_remaining,
+            Float.min st.remaining st.quota_remaining )
+        | None -> (power.Model.v_max, st.remaining)
+      in
+      (* Voltage-transition overhead: stall and pay for the swing. *)
+      (match transition with
+      | Some { time_per_volt; energy_per_volt }
+        when (not (Float.is_nan !last_voltage)) && Float.abs (v -. !last_voltage) > 1e-9
+        ->
+        let dv = Float.abs (v -. !last_voltage) in
+        energy := !energy +. (energy_per_volt *. dv);
+        now := !now +. (time_per_volt *. dv)
+      | Some _ | None -> ());
+      last_voltage := v;
+      let cycle_time = Model.cycle_time power ~v in
+      let time_needed = cycles_target *. cycle_time in
+      (* A strictly higher-priority instance becoming ready preempts. *)
+      let preempt_at = next_event ~pred:(fun other -> other.task < st.task) in
+      let run_until = Float.min (!now +. time_needed) preempt_at in
+      let executed =
+        if run_until >= !now +. time_needed then cycles_target
+        else (run_until -. !now) /. cycle_time
+      in
+      energy := !energy +. Model.energy power ~v ~cycles:executed;
+      if run_until > !now then
+        spans :=
+          { Trace.task = st.task; instance = st.instance; from_time = !now;
+            to_time = run_until; voltage = v }
+          :: !spans;
+      st.remaining <- st.remaining -. executed;
+      st.quota_remaining <- st.quota_remaining -. executed;
+      now := run_until;
+      if st.remaining <= tiny then begin
+        st.remaining <- 0.;
+        st.finish <- !now
+      end
+  done;
+  let finish_times =
+    Array.map (Array.map (fun _ -> Float.nan)) plan.Plan.instance_subs
+  in
+  let misses = ref 0 in
+  Array.iter
+    (fun st ->
+      finish_times.(st.task).(st.instance) <- st.finish;
+      if Float.is_nan st.finish || st.finish > st.deadline +. (1e-6 *. st.deadline)
+      then incr misses)
+    states;
+  ( { Outcome.energy = !energy; deadline_misses = !misses; finish_times },
+    { Trace.spans = List.rev !spans; horizon = Plan.hyper_period plan } )
+
+let run ?transition ~schedule ~policy ~totals () =
+  fst (run_traced ?transition ~schedule ~policy ~totals ())

@@ -1,0 +1,10 @@
+type t = {
+  energy : float;
+  deadline_misses : int;
+  finish_times : float array array;
+}
+
+let completed t = t.deadline_misses = 0
+
+let pp ppf t =
+  Format.fprintf ppf "energy=%g misses=%d" t.energy t.deadline_misses

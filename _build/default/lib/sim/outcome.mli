@@ -1,0 +1,15 @@
+(** Result of simulating one hyper-period. *)
+
+type t = {
+  energy : float;  (** total energy consumed by task execution *)
+  deadline_misses : int;  (** instances that completed after their
+                              deadline (or not at all) *)
+  finish_times : float array array;
+      (** completion time per instance, indexed [.(task).(instance)];
+          [nan] for instances that never completed *)
+}
+
+val completed : t -> bool
+(** [true] iff no deadline was missed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type summary = {
+  rounds : int;
+  mean_energy : float;
+  stddev_energy : float;
+  min_energy : float;
+  max_energy : float;
+  deadline_misses : int;
+}
+
+let simulate ?(rounds = 1000) ?dist ~schedule ~policy ~rng () =
+  if rounds <= 0 then invalid_arg "Runner.simulate: rounds must be positive";
+  let plan = schedule.Lepts_core.Static_schedule.plan in
+  let energies = Array.make rounds 0. in
+  let misses = ref 0 in
+  for r = 0 to rounds - 1 do
+    let totals = Sampler.instance_totals ?dist plan ~rng in
+    let outcome = Event_sim.run ~schedule ~policy ~totals () in
+    energies.(r) <- outcome.Outcome.energy;
+    misses := !misses + outcome.Outcome.deadline_misses
+  done;
+  let min_energy, max_energy = Lepts_util.Stats.min_max energies in
+  { rounds;
+    mean_energy = Lepts_util.Stats.mean energies;
+    stddev_energy = Lepts_util.Stats.stddev energies;
+    min_energy; max_energy;
+    deadline_misses = !misses }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "rounds=%d mean=%.4g sd=%.3g min=%.4g max=%.4g misses=%d"
+    s.rounds s.mean_energy s.stddev_energy s.min_energy s.max_energy s.deadline_misses

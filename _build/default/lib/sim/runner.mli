@@ -1,0 +1,29 @@
+(** Multi-hyper-period simulation driver.
+
+    Frame-based systems restart identically every hyper-period (all
+    instances complete within it), so rounds are independent draws of
+    the per-instance workloads. *)
+
+type summary = {
+  rounds : int;
+  mean_energy : float;  (** per hyper-period *)
+  stddev_energy : float;
+  min_energy : float;
+  max_energy : float;
+  deadline_misses : int;  (** summed over all rounds *)
+}
+
+val simulate :
+  ?rounds:int ->
+  ?dist:Sampler.distribution ->
+  schedule:Lepts_core.Static_schedule.t ->
+  policy:Lepts_dvs.Policy.t ->
+  rng:Lepts_prng.Xoshiro256.t ->
+  unit ->
+  summary
+(** [simulate ~schedule ~policy ~rng ()] runs [rounds] (default 1000,
+    the paper's setting) hyper-periods through {!Event_sim} with fresh
+    workload draws from [dist] (default the paper's truncated
+    normal). *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,38 @@
+module Plan = Lepts_preempt.Plan
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+
+type distribution = Truncated_normal | Uniform | Bimodal of { p_large : float }
+
+let draw dist rng (task : Task.t) =
+  let lo = task.Task.bcec and hi = task.Task.wcec in
+  match dist with
+  | Truncated_normal ->
+    Lepts_prng.Dist.truncated_normal rng ~mu:task.Task.acec ~sigma:(Task.sigma task)
+      ~lo ~hi
+  | Uniform -> Lepts_prng.Xoshiro256.uniform rng ~lo ~hi
+  | Bimodal { p_large } ->
+    let span = hi -. lo in
+    if Lepts_prng.Xoshiro256.float rng < p_large then
+      Lepts_prng.Xoshiro256.uniform rng ~lo:(hi -. (0.1 *. span)) ~hi
+    else Lepts_prng.Xoshiro256.uniform rng ~lo ~hi:(lo +. (0.25 *. span))
+
+let instance_totals ?(dist = Truncated_normal) (plan : Plan.t) ~rng =
+  Array.mapi
+    (fun i per_instance ->
+      let task = Task_set.task plan.Plan.task_set i in
+      Array.map (fun _ -> draw dist rng task) per_instance)
+    plan.Plan.instance_subs
+
+let fixed (plan : Plan.t) ~value =
+  Array.mapi
+    (fun i per_instance ->
+      let task = Task_set.task plan.Plan.task_set i in
+      let x =
+        match value with
+        | `Acec -> task.Task.acec
+        | `Wcec -> task.Task.wcec
+        | `Bcec -> task.Task.bcec
+      in
+      Array.map (fun _ -> x) per_instance)
+    plan.Plan.instance_subs

@@ -1,0 +1,31 @@
+(** Actual-workload sampling for simulation.
+
+    Following the paper's §4, the execution cycles of each task
+    instance vary between BCEC and WCEC as a normal distribution with
+    mean ACEC; we use sigma = (WCEC - BCEC) / 6 so the truncation
+    interval spans ±3 sigma (see {!Lepts_task.Task.sigma}). *)
+
+type distribution =
+  | Truncated_normal
+      (** the paper's §4 protocol: N(ACEC, sigma) truncated to
+          [[BCEC, WCEC]] *)
+  | Uniform  (** uniform on [[BCEC, WCEC]] *)
+  | Bimodal of { p_large : float }
+      (** the paper's {e motivation} ("tasks that normally require a
+          small number of cycles but occasionally a large number"):
+          with probability [p_large] draw near the WCEC (uniform on the
+          top decile of [[BCEC, WCEC]]), otherwise near the BCEC
+          (uniform on the bottom quartile) *)
+
+val instance_totals :
+  ?dist:distribution ->
+  Lepts_preempt.Plan.t ->
+  rng:Lepts_prng.Xoshiro256.t ->
+  float array array
+(** One fresh draw of actual cycles for every instance in the
+    hyper-period, indexed [.(task).(instance)]. [dist] defaults to
+    [Truncated_normal]. *)
+
+val fixed : Lepts_preempt.Plan.t -> value:[ `Acec | `Wcec | `Bcec ] -> float array array
+(** Deterministic workloads: every instance takes exactly the given
+    per-task statistic. Used for sanity experiments and tests. *)

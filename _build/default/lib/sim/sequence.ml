@@ -1,0 +1,37 @@
+module Plan = Lepts_preempt.Plan
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+module Static_schedule = Lepts_core.Static_schedule
+module Objective = Lepts_core.Objective
+
+let run ~(schedule : Static_schedule.t) ~totals =
+  let plan = schedule.Static_schedule.plan in
+  let trace =
+    Objective.trace ~plan ~power:schedule.Static_schedule.power ~totals
+      ~e:schedule.Static_schedule.end_times ~w_hat:schedule.Static_schedule.quotas
+  in
+  let ts = plan.Plan.task_set in
+  let misses = ref 0 in
+  let finish_times =
+    Array.mapi
+      (fun i per_instance ->
+        let period = float_of_int (Task_set.task ts i).Task.period in
+        Array.mapi
+          (fun j subs ->
+            let release = float_of_int j *. period in
+            let deadline = float_of_int (j + 1) *. period in
+            (* Finish = last sub-instance that actually executed. *)
+            let finish =
+              Array.fold_left
+                (fun acc k ->
+                  if trace.Objective.exec_workloads.(k) > 0. then
+                    Float.max acc trace.Objective.finish_times.(k)
+                  else acc)
+                release subs
+            in
+            if finish > deadline +. (1e-6 *. deadline) then incr misses;
+            finish)
+          per_instance)
+      plan.Plan.instance_subs
+  in
+  { Outcome.energy = trace.Objective.energy; deadline_misses = !misses; finish_times }

@@ -1,0 +1,16 @@
+(** Order-faithful executor: runs the hyper-period assuming the
+    fully-preemptive total order is followed exactly (each sub-instance
+    waits for its segment release).
+
+    This is the closed-form model the NLP objective optimises — on the
+    ACEC workload its energy equals
+    [Static_schedule.predicted_energy ~mode:Average] to machine
+    precision, which the test suite exploits. The event-driven
+    {!Event_sim} is the ground truth used by the experiments. *)
+
+val run :
+  schedule:Lepts_core.Static_schedule.t ->
+  totals:float array array ->
+  Outcome.t
+(** Greedy-reclamation execution in total order (only the greedy
+    policy is meaningful here; use {!Event_sim} for others). *)

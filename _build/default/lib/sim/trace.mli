@@ -1,0 +1,36 @@
+(** Execution traces: what ran when, and at which voltage.
+
+    Produced by {!Event_sim.run_traced}; useful for debugging schedules
+    and for the examples' visualisations. *)
+
+type span = {
+  task : int;  (** priority level *)
+  instance : int;
+  from_time : float;
+  to_time : float;
+  voltage : float;
+}
+
+type t = { spans : span list;  (** in increasing start order *) horizon : float }
+
+val busy_time : t -> float
+(** Total processor-busy time. *)
+
+val energy : t -> c_eff:float -> float
+(** Energy recomputed from the spans (cross-check against the
+    simulator's accounting): [sum c_eff * v^2 * cycles] where cycles
+    follow from span length and voltage under the ideal model is not
+    assumed — this uses [v^2 * (span length) * v / c0]... — instead the
+    simulator's own per-span cycle count is not stored, so this is
+    provided for the {e ideal} model only via [cycles = v * dt / c0]
+    with [c0 = 1]. Use the simulator outcome for authoritative
+    energy. *)
+
+val utilization : t -> float
+(** [busy_time / horizon]. *)
+
+val pp_gantt : ?width:int -> n_tasks:int -> Format.formatter -> t -> unit
+(** ASCII Gantt chart, one row per task, [width] columns (default 72)
+    spanning the horizon. Cells show a digit proportional to the span's
+    voltage ('1'..'9' after normalising to the maximum voltage seen),
+    '.' for idle. *)

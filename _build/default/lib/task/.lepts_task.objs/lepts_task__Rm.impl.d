@@ -1,0 +1,1 @@
+lib/task/rm.ml: Float Lepts_power Lepts_util Option Task Task_set

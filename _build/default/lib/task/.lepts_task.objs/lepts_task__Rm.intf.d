@@ -1,0 +1,1 @@
+lib/task/rm.mli: Lepts_power Task_set

@@ -1,0 +1,1 @@
+lib/task/task_set.ml: Array Format Lepts_power Lepts_util Printf Set String Task

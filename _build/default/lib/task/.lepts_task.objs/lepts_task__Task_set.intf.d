@@ -1,0 +1,1 @@
+lib/task/task_set.mli: Format Lepts_power Task

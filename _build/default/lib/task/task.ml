@@ -1,0 +1,23 @@
+type t = { name : string; period : int; wcec : float; acec : float; bcec : float }
+
+let create ~name ~period ~wcec ~acec ~bcec =
+  if period <= 0 then invalid_arg "Task.create: period must be positive";
+  if wcec <= 0. then invalid_arg "Task.create: wcec must be positive";
+  if bcec < 0. then invalid_arg "Task.create: bcec must be non-negative";
+  if not (bcec <= acec && acec <= wcec) then
+    invalid_arg "Task.create: need bcec <= acec <= wcec";
+  { name; period; wcec; acec; bcec }
+
+let with_ratio ~name ~period ~wcec ~ratio =
+  if ratio < 0. || ratio > 1. then invalid_arg "Task.with_ratio: ratio out of [0, 1]";
+  let bcec = ratio *. wcec in
+  create ~name ~period ~wcec ~acec:((bcec +. wcec) /. 2.) ~bcec
+
+let sigma t = (t.wcec -. t.bcec) /. 6.
+
+let pp ppf t =
+  Format.fprintf ppf "%s(T=%d, W=%g, A=%g, B=%g)" t.name t.period t.wcec t.acec t.bcec
+
+let equal a b =
+  String.equal a.name b.name && a.period = b.period && a.wcec = b.wcec
+  && a.acec = b.acec && a.bcec = b.bcec

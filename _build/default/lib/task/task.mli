@@ -1,0 +1,34 @@
+(** A periodic hard real-time task.
+
+    Periods are integer "ticks" so that hyper-periods are exact LCMs;
+    one tick is one millisecond throughout the library. Workloads are
+    in megacycles. The relative deadline equals the period (implicit
+    deadlines, as in the paper). *)
+
+type t = private {
+  name : string;
+  period : int;  (** period = relative deadline, in ticks (ms) *)
+  wcec : float;  (** worst-case execution cycles (Mcycles) *)
+  acec : float;  (** average-case execution cycles *)
+  bcec : float;  (** best-case execution cycles *)
+}
+
+val create : name:string -> period:int -> wcec:float -> acec:float -> bcec:float -> t
+(** Validates [period > 0], [0 <= bcec <= acec <= wcec] and
+    [wcec > 0]; raises [Invalid_argument] otherwise. *)
+
+val with_ratio : name:string -> period:int -> wcec:float -> ratio:float -> t
+(** [with_ratio ~wcec ~ratio] builds a task with
+    [bcec = ratio * wcec] and [acec = (bcec + wcec) / 2] — the
+    protocol used for the paper's experiments where only the
+    BCEC/WCEC ratio is swept. Requires [0 <= ratio <= 1]. *)
+
+val sigma : t -> float
+(** Standard deviation of the actual-cycle distribution:
+    [(wcec - bcec) / 6], so that the [[bcec, wcec]] interval spans
+    ±3 sigma around a mean between the two (matching the "normal
+    distribution with mean ACEC" protocol of the paper's §4). *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

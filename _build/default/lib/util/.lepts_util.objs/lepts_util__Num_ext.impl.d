@@ -1,0 +1,1 @@
+lib/util/num_ext.ml: Array Float List

@@ -1,0 +1,40 @@
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+let lcm a b =
+  let a = abs a and b = abs b in
+  if a = 0 || b = 0 then 0
+  else
+    let g = gcd a b in
+    let q = a / g in
+    if q > max_int / b then invalid_arg "Num_ext.lcm: overflow" else q * b
+
+let lcm_list = List.fold_left lcm 1
+
+let clamp ~lo ~hi x =
+  assert (lo <= hi);
+  if x < lo then lo else if x > hi then hi else x
+
+let approx_equal ?(eps = 1e-9) a b =
+  let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= (eps *. scale)
+
+let is_finite x = Float.is_finite x
+
+(* Kahan summation: the compensation term recovers the low-order bits
+   lost when adding a small element to a large running total. *)
+let sum xs =
+  let total = ref 0. and comp = ref 0. in
+  for i = 0 to Array.length xs - 1 do
+    let y = xs.(i) -. !comp in
+    let t = !total +. y in
+    comp := (t -. !total) -. y;
+    total := t
+  done;
+  !total
+
+let fmin a b = if Float.is_nan a || Float.is_nan b then Float.nan else Float.min a b
+let fmax a b = if Float.is_nan a || Float.is_nan b then Float.nan else Float.max a b
+
+let divide num ~by = if by = 0. then raise Division_by_zero else num /. by

@@ -1,0 +1,36 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.add_row: cell count does not match header";
+  t.rows <- cells :: t.rows
+
+let column_widths t =
+  let widths = List.map String.length t.header in
+  List.fold_left
+    (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+    widths (List.rev t.rows)
+
+let pad_left width s = String.make (max 0 (width - String.length s)) ' ' ^ s
+
+let render t =
+  let widths = column_widths t in
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    let padded = List.map2 pad_left widths cells in
+    Buffer.add_string buf (String.concat " | " padded);
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.header;
+  let rule = List.map (fun w -> String.make w '-') widths in
+  Buffer.add_string buf (String.concat "-+-" rule);
+  Buffer.add_char buf '\n';
+  List.iter emit_row (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let float_cell ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let percent_cell ?(decimals = 1) x = Printf.sprintf "%.*f %%" decimals x

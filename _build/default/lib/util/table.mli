@@ -1,0 +1,32 @@
+(** Plain-text table rendering for experiment reports.
+
+    Tables are rendered with a header row, a separator, and
+    right-aligned numeric-looking cells, e.g.
+
+    {v
+    tasks | ratio | improvement
+    ------+-------+------------
+        2 |  0.10 |      31.2 %
+    v} *)
+
+type t
+
+val create : header:string list -> t
+(** [create ~header] starts a table with the given column names. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row. Raises [Invalid_argument] if the
+    number of cells differs from the header width. *)
+
+val render : t -> string
+(** Render the table, including a trailing newline. *)
+
+val print : t -> unit
+(** [print t] writes {!render} to [stdout]. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Format a float with a fixed number of decimals (default 2). *)
+
+val percent_cell : ?decimals:int -> float -> string
+(** Format a fraction [x] as a percentage string ["12.3 %"] where the
+    input is already expressed in percent units. *)

@@ -1,0 +1,1 @@
+lib/workloads/cnc.ml: Array Float Lepts_power Lepts_task

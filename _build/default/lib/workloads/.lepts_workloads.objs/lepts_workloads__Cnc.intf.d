@@ -1,0 +1,1 @@
+lib/workloads/cnc.mli: Lepts_power Lepts_task

@@ -1,0 +1,1 @@
+lib/workloads/gap.ml: Array Lepts_power Lepts_task

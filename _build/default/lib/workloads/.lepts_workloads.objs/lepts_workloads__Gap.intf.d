@@ -1,0 +1,1 @@
+lib/workloads/gap.mli: Lepts_power Lepts_task

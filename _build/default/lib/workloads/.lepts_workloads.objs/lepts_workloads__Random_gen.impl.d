@@ -1,0 +1,1 @@
+lib/workloads/random_gen.ml: Array Float Lepts_power Lepts_preempt Lepts_prng Lepts_task List Printf

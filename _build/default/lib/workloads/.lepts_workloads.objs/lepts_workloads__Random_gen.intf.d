@@ -1,0 +1,1 @@
+lib/workloads/random_gen.mli: Lepts_power Lepts_prng Lepts_task

@@ -1,0 +1,34 @@
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+module Model = Lepts_power.Model
+
+let names =
+  [| "console_key_in"; "console_key_out"; "x_axis_control"; "y_axis_control";
+     "interpolator"; "position_update"; "status_display"; "command_parser" |]
+
+(* Kim et al. (RTSS'96), Table: four 2.4 ms servo/console tasks, the
+   570 us interpolation pipeline at 2.4/4.8 ms, and the slow 9.6 ms
+   command path. *)
+let periods_ms = [| 2.4; 2.4; 2.4; 2.4; 2.4; 4.8; 4.8; 9.6 |]
+let wcet_ms = [| 0.035; 0.04; 0.165; 0.165; 0.57; 0.57; 0.57; 0.894 |]
+
+(* Periods land on integer ticks after a x10 time scaling. *)
+let tick_scale = 10.
+
+let task_set ~power ~ratio ?(utilization = 0.7) () =
+  let t_cycle = Model.cycle_time power ~v:power.Model.v_max in
+  let tasks =
+    Array.to_list
+      (Array.mapi
+         (fun i name ->
+           let period =
+             let p = periods_ms.(i) *. tick_scale in
+             let rounded = int_of_float (Float.round p) in
+             assert (Float.abs (p -. float_of_int rounded) < 1e-9);
+             rounded
+           in
+           let wcec = wcet_ms.(i) *. tick_scale /. t_cycle in
+           Task.with_ratio ~name ~period ~wcec ~ratio)
+         names)
+  in
+  Task_set.scale_wcec_to_utilization (Task_set.create tasks) ~power ~target:utilization

@@ -1,0 +1,31 @@
+(** The CNC (computerised numerical control) controller task set.
+
+    Reconstructed from Kim, Ryu, Hong, Saksena, Choi & Shin, "Visual
+    assessment of a real-time system design: a case study on a CNC
+    controller" (RTSS 1996) — the real-life application the paper
+    evaluates in Fig. 6(b). Eight periodic tasks; worst-case execution
+    times are taken as measured at maximum processor speed.
+
+    One tick in this library is 1 ms; the CNC periods (2.4 / 4.8 /
+    9.6 ms) are therefore expressed on a 0.1 ms grid by scaling every
+    period and WCET by 10 — voltage schedules and energy ratios are
+    invariant under a common time scaling. *)
+
+val names : string array
+val periods_ms : float array
+(** Published periods, milliseconds. *)
+
+val wcet_ms : float array
+(** Published worst-case execution times at maximum speed,
+    milliseconds. *)
+
+val task_set :
+  power:Lepts_power.Model.t ->
+  ratio:float ->
+  ?utilization:float ->
+  unit ->
+  Lepts_task.Task_set.t
+(** Build the task set for a BCEC/WCEC [ratio]. WCECs are derived from
+    the published WCETs via the power model's maximum speed and then
+    scaled to the target [utilization] (default 0.7, the paper's
+    setting for comparability across ratios). *)

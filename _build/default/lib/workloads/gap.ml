@@ -1,0 +1,32 @@
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+module Model = Lepts_power.Model
+
+let names =
+  [| "timer_interrupt"; "radar_tracking_filter"; "rwr_contact_mgmt";
+     "data_bus_poll"; "weapon_aiming"; "radar_target_update"; "nav_update";
+     "display_graphic"; "display_hook_update"; "tracking_target_update";
+     "weapon_release"; "nav_steering_cmds"; "display_stores_update";
+     "display_keyset"; "display_status_update"; "bet_e_status_update";
+     "nav_status" |]
+
+(* Locke, Vogel & Mesler (RTSS 1991), with the 59 ms navigation period
+   rounded to 60 ms and the 1000 ms housekeeping periods to 200 ms to
+   bound the hyper-period (see DESIGN.md). *)
+let periods_ms =
+  [| 25; 25; 25; 40; 50; 50; 60; 80; 80; 100; 200; 200; 200; 200; 200; 200; 200 |]
+
+let wcet_ms =
+  [| 1.; 2.; 5.; 1.; 3.; 5.; 8.; 9.; 2.; 5.; 3.; 3.; 1.; 1.; 3.; 1.; 1. |]
+
+let task_set ~power ~ratio ?(utilization = 0.7) () =
+  let t_cycle = Model.cycle_time power ~v:power.Model.v_max in
+  let tasks =
+    Array.to_list
+      (Array.mapi
+         (fun i name ->
+           let wcec = wcet_ms.(i) /. t_cycle in
+           Task.with_ratio ~name ~period:periods_ms.(i) ~wcec ~ratio)
+         names)
+  in
+  Task_set.scale_wcec_to_utilization (Task_set.create tasks) ~power ~target:utilization

@@ -1,0 +1,26 @@
+(** The GAP (generic avionics platform) task set.
+
+    Reconstructed from Locke, Vogel & Mesler, "Building a predictable
+    avionics platform in Ada: a case study" (RTSS 1991) — the second
+    real-life application of the paper's Fig. 6(b). Seventeen periodic
+    tasks of an avionics mission computer.
+
+    Two departures from the published table, both documented in
+    DESIGN.md: the 59 ms navigation update period is rounded to 60 ms
+    and the 1000 ms housekeeping periods to 200 ms, so the hyper-period
+    (and with it the fully preemptive expansion) stays within the
+    paper's own one-thousand-sub-instance cap; energy ratios are
+    insensitive to these roundings because utilisation is rescaled to
+    the experiment's target anyway. *)
+
+val names : string array
+val periods_ms : int array
+val wcet_ms : float array
+
+val task_set :
+  power:Lepts_power.Model.t ->
+  ratio:float ->
+  ?utilization:float ->
+  unit ->
+  Lepts_task.Task_set.t
+(** Same conventions as {!Cnc.task_set}. *)

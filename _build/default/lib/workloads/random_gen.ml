@@ -1,0 +1,77 @@
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+module Model = Lepts_power.Model
+module Rng = Lepts_prng.Xoshiro256
+
+type config = {
+  n_tasks : int;
+  ratio : float;
+  utilization : float;
+  period_grid : int array;
+  max_sub_instances : int;
+  max_attempts : int;
+}
+
+let divisors_of_600 =
+  List.filter (fun d -> 600 mod d = 0 && d >= 10) (List.init 600 (fun i -> i + 1))
+
+let default_config ~n_tasks ~ratio =
+  { n_tasks; ratio; utilization = 0.7;
+    period_grid = Array.of_list divisors_of_600;
+    max_sub_instances = 1000; max_attempts = 500 }
+
+let uunifast ~rng ~n ~total =
+  if n <= 0 then invalid_arg "Random_gen.uunifast: n must be positive";
+  if total < 0. then invalid_arg "Random_gen.uunifast: negative total";
+  let u = Array.make n 0. in
+  let sum = ref total in
+  for i = 0 to n - 2 do
+    let next = !sum *. (Rng.float rng ** (1. /. float_of_int (n - 1 - i))) in
+    u.(i) <- !sum -. next;
+    sum := next
+  done;
+  u.(n - 1) <- !sum;
+  u
+
+let attempt config ~power ~rng =
+  let periods =
+    Array.init config.n_tasks (fun _ ->
+        Lepts_prng.Dist.uniform_choice rng config.period_grid)
+  in
+  let utils = uunifast ~rng ~n:config.n_tasks ~total:config.utilization in
+  let t_cycle = Model.cycle_time power ~v:power.Model.v_max in
+  let tasks =
+    Array.to_list
+      (Array.mapi
+         (fun i period ->
+           (* Guard against degenerate zero-utilisation draws. *)
+           let u = Float.max utils.(i) 1e-4 in
+           let wcec = u *. float_of_int period /. t_cycle in
+           Task.with_ratio
+             ~name:(Printf.sprintf "task%d" (i + 1))
+             ~period ~wcec ~ratio:config.ratio)
+         periods)
+  in
+  let ts = Task_set.create tasks in
+  let ts = Task_set.scale_wcec_to_utilization ts ~power ~target:config.utilization in
+  if not (Lepts_task.Rm.schedulable ts ~power) then Error `Unschedulable
+  else if Lepts_preempt.Plan.sub_instance_count ts > config.max_sub_instances then
+    Error `Too_many_sub_instances
+  else Ok ts
+
+let generate config ~power ~rng =
+  if config.n_tasks <= 0 then invalid_arg "Random_gen.generate: n_tasks";
+  if config.ratio < 0. || config.ratio > 1. then
+    invalid_arg "Random_gen.generate: ratio out of [0, 1]";
+  let rec go attempts_left =
+    if attempts_left = 0 then
+      Error
+        (Printf.sprintf
+           "no schedulable task set with <= %d sub-instances in %d attempts"
+           config.max_sub_instances config.max_attempts)
+    else
+      match attempt config ~power ~rng with
+      | Ok ts -> Ok ts
+      | Error (`Unschedulable | `Too_many_sub_instances) -> go (attempts_left - 1)
+  in
+  go config.max_attempts

@@ -1,0 +1,42 @@
+(** Random task-set generation following the paper's §4 protocol.
+
+    For a given task count: periods are drawn uniformly from a grid
+    inside [[10, t_max]]; per-task utilisations are drawn with UUniFast
+    and converted to WCECs, then rescaled so that the worst-case
+    utilisation at maximum speed is the target (70 %); BCEC is
+    [ratio * WCEC] and ACEC the midpoint, matching the BCEC/WCEC sweep
+    of Fig. 6. Task sets that are not RM-schedulable at maximum speed,
+    or whose fully preemptive expansion exceeds the sub-instance cap
+    (the paper's "maximum one thousand sub-instances"), are
+    resampled. *)
+
+type config = {
+  n_tasks : int;
+  ratio : float;  (** BCEC / WCEC *)
+  utilization : float;  (** target worst-case utilisation at v_max *)
+  period_grid : int array;
+      (** candidate periods; defaults to the divisors of 600 that are
+          >= 10, bounding every hyper-period by 600 ticks (the paper
+          draws "between 10 and t_max" — the grid keeps hyper-periods
+          finite, a detail the paper leaves unstated) *)
+  max_sub_instances : int;
+  max_attempts : int;
+}
+
+val default_config : n_tasks:int -> ratio:float -> config
+(** [utilization = 0.7], divisors-of-600 grid, [max_sub_instances =
+    1000], [max_attempts = 500]. *)
+
+val uunifast :
+  rng:Lepts_prng.Xoshiro256.t -> n:int -> total:float -> float array
+(** The UUniFast algorithm (Bini & Buttazzo): [n] non-negative
+    utilisations summing to [total], uniformly distributed over the
+    simplex. Exposed for tests. *)
+
+val generate :
+  config ->
+  power:Lepts_power.Model.t ->
+  rng:Lepts_prng.Xoshiro256.t ->
+  (Lepts_task.Task_set.t, string) result
+(** One schedulable task set, or [Error] after [max_attempts]
+    rejections (pathological configurations only). *)

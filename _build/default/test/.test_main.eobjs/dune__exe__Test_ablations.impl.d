@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest Float Lepts_core Lepts_experiments Lepts_power Lepts_task Lepts_util List String

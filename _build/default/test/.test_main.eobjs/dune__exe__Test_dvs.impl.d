@@ -1,0 +1,1 @@
+test/test_dvs.ml: Alcotest Array Format Lepts_core Lepts_dvs Lepts_power Lepts_preempt Lepts_task List Static_schedule

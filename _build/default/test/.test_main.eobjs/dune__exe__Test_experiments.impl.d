@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Float Format Lepts_core Lepts_dvs Lepts_experiments Lepts_power Lepts_util List String

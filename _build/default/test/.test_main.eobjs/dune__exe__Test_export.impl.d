@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Array Export Lepts_core Lepts_dvs Lepts_power Lepts_preempt Lepts_task List Static_schedule String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float Format Lepts_core Lepts_dvs Lepts_power Lepts_preempt Lepts_prng Lepts_sim Lepts_task Literal_nlp Objective Result Solver Static_schedule Validate

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Lepts_linalg Lepts_prng Mat Vec

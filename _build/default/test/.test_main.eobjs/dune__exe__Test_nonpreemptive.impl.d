@@ -1,0 +1,1 @@
+test/test_nonpreemptive.ml: Alcotest Array Lepts_core Lepts_power Lepts_preempt Lepts_sim Lepts_task List Result Solver Static_schedule Validate

@@ -1,0 +1,1 @@
+test/test_objective.ml: Alcotest Array Float Lepts_core Lepts_optim Lepts_power Lepts_preempt Lepts_prng Lepts_task Objective Solver

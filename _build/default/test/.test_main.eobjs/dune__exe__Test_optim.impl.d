@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Array Augmented_lagrangian Float Fun Lbfgs Lepts_linalg Lepts_optim Lepts_prng Line_search Nlp Numdiff Projected_gradient Projection

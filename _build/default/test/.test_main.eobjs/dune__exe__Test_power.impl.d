@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Float Lepts_power Lepts_prng Levels List Model

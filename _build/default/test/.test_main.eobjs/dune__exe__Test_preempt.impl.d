@@ -1,0 +1,1 @@
+test/test_preempt.ml: Alcotest Array Format Fun Lepts_preempt Lepts_task List Plan String Sub_instance

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Dist Float Int64 Lepts_prng Lepts_util List Splitmix64 Xoshiro256

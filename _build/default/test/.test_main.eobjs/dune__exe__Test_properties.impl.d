@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Export Float Lazy Lepts_core Lepts_dvs Lepts_power Lepts_preempt Lepts_prng Lepts_sim Lepts_task Lepts_workloads List Objective Solver Static_schedule Validate

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Lepts_core Lepts_dvs Lepts_power Lepts_preempt Lepts_prng Lepts_sim Lepts_task List Objective Result Solver Static_schedule

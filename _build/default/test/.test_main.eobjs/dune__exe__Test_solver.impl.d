@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Lepts_core Lepts_power Lepts_preempt Lepts_prng Lepts_task Lepts_workloads List Objective Result Solver Static_schedule Validate

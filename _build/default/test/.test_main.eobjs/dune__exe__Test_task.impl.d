@@ -1,0 +1,1 @@
+test/test_task.ml: Alcotest Lepts_power Lepts_prng Lepts_task List Printf Rm Task Task_set

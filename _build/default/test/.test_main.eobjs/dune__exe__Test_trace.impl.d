@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Format Lepts_core Lepts_dvs Lepts_power Lepts_preempt Lepts_sim Lepts_task List Result Solver Static_schedule String

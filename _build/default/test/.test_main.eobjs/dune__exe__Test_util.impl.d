@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Lepts_util List Num_ext Stats String Table

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Format Lepts_core Lepts_power Lepts_preempt Lepts_task List Static_schedule String Validate

@@ -1,0 +1,1 @@
+test/test_waterfall.ml: Alcotest Array Float Lepts_core List QCheck2 QCheck_alcotest Waterfall

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float Lepts_power Lepts_preempt Lepts_prng Lepts_task Lepts_workloads Result

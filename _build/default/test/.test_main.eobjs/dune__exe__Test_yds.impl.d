@@ -1,0 +1,1 @@
+test/test_yds.ml: Alcotest Float Format Lepts_core Lepts_power Lepts_preempt Lepts_prng Lepts_task List Result Solver Yds

@@ -1,0 +1,113 @@
+module Model = Lepts_power.Model
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+module Experiments = Lepts_experiments
+
+let power = Model.ideal ~v_min:0.5 ~v_max:4. ()
+
+(* A small fast task set so the whole ablation battery stays quick. *)
+let ts () =
+  Task_set.scale_wcec_to_utilization
+    (Task_set.create
+       [ Task.with_ratio ~name:"a" ~period:4 ~wcec:4. ~ratio:0.1;
+         Task.with_ratio ~name:"b" ~period:8 ~wcec:6. ~ratio:0.1 ])
+    ~power ~target:0.7
+
+let render = Lepts_util.Table.render
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let test_formulations () =
+  match Experiments.Ablations.formulations ~task_set:(ts ()) ~power with
+  | Error e -> Alcotest.failf "formulations: %a" Lepts_core.Solver.pp_error e
+  | Ok table ->
+    let s = render table in
+    Alcotest.(check bool) "mentions both" true
+      (contains ~affix:"literal" s && contains ~affix:"slack" s)
+
+let test_objectives () =
+  match Experiments.Ablations.objectives ~rounds:60 ~task_set:(ts ()) ~power ~seed:3 () with
+  | Error e -> Alcotest.failf "objectives: %a" Lepts_core.Solver.pp_error e
+  | Ok table ->
+    let s = render table in
+    Alcotest.(check bool) "three rows" true
+      (contains ~affix:"WCS" s
+      && contains ~affix:"ACS" s
+      && contains ~affix:"stochastic" s)
+
+let test_quantization () =
+  match
+    Experiments.Ablations.quantization ~rounds:60 ~steps:[ 4; 8 ] ~task_set:(ts ())
+      ~power ~seed:3 ()
+  with
+  | Error e -> Alcotest.failf "quantization: %a" Lepts_core.Solver.pp_error e
+  | Ok table ->
+    let s = render table in
+    Alcotest.(check bool) "continuous + 2 levels" true
+      (contains ~affix:"continuous" s
+      && contains ~affix:"4" s)
+
+let test_structures () =
+  match Experiments.Ablations.structures ~task_set:(ts ()) ~power with
+  | Error e -> Alcotest.failf "structures: %a" Lepts_core.Solver.pp_error e
+  | Ok table ->
+    let s = render table in
+    Alcotest.(check bool) "has rows" true
+      (contains ~affix:"preemptive" s
+      && contains ~affix:"YDS" s)
+
+let test_utilization_sweep () =
+  let points =
+    Experiments.Utilization_sweep.run ~utilizations:[ 0.4; 0.7 ] ~rounds:60
+      ~task_set:(ts ()) ~power ~seed:5 ()
+  in
+  Alcotest.(check int) "both points measured" 2 (List.length points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "finite" true
+        (Float.is_finite p.Experiments.Utilization_sweep.improvement_pct))
+    points;
+  let s = render (Experiments.Utilization_sweep.to_table points) in
+  Alcotest.(check bool) "renders" true (String.length s > 50)
+
+let suite =
+  [ ("formulations table", `Slow, test_formulations);
+    ("objectives table", `Slow, test_objectives);
+    ("quantization table", `Slow, test_quantization);
+    ("structures table", `Slow, test_structures);
+    ("utilization sweep", `Slow, test_utilization_sweep) ]
+
+let test_transition_sweep () =
+  match
+    Experiments.Transition_sweep.run ~overheads:[ 0.; 0.02 ] ~rounds:40
+      ~task_set:(ts ()) ~power ~seed:7 ()
+  with
+  | Error e -> Alcotest.failf "transition sweep: %a" Lepts_core.Solver.pp_error e
+  | Ok points -> (
+    match points with
+    | [ zero; withov ] ->
+      Alcotest.(check (float 1e-9)) "baseline inflation 0" 0.
+        zero.Experiments.Transition_sweep.energy_inflation_pct;
+      Alcotest.(check bool) "overhead inflates energy" true
+        (withov.Experiments.Transition_sweep.energy_inflation_pct > 0.)
+    | _ -> Alcotest.fail "expected two points")
+
+let suite = suite @ [ ("transition overhead sweep", `Slow, test_transition_sweep) ]
+
+let test_distribution_sweep () =
+  match
+    Experiments.Distribution_sweep.run ~rounds:60 ~task_set:(ts ()) ~power ~seed:9 ()
+  with
+  | Error e -> Alcotest.failf "distribution sweep: %a" Lepts_core.Solver.pp_error e
+  | Ok points ->
+    Alcotest.(check int) "four distributions" 4 (List.length points);
+    List.iter
+      (fun p ->
+        Alcotest.(check int) "no misses under any distribution" 0
+          p.Experiments.Distribution_sweep.misses)
+      points
+
+let suite = suite @ [ ("distribution sweep", `Slow, test_distribution_sweep) ]

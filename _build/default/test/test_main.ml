@@ -1,0 +1,26 @@
+(* Aggregated test runner: `dune runtest` executes every suite. *)
+
+let () =
+  Alcotest.run "lepts"
+    [ ("util", Test_util.suite);
+      ("prng", Test_prng.suite);
+      ("linalg", Test_linalg.suite);
+      ("optim", Test_optim.suite);
+      ("power", Test_power.suite);
+      ("task", Test_task.suite);
+      ("preempt", Test_preempt.suite);
+      ("waterfall", Test_waterfall.suite);
+      ("objective", Test_objective.suite);
+      ("solver", Test_solver.suite);
+      ("validate", Test_validate.suite);
+      ("dvs", Test_dvs.suite);
+      ("sim", Test_sim.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+      ("extensions", Test_extensions.suite);
+      ("yds", Test_yds.suite);
+      ("trace", Test_trace.suite);
+      ("nonpreemptive", Test_nonpreemptive.suite);
+      ("export", Test_export.suite);
+      ("properties", Test_properties.suite);
+      ("ablations", Test_ablations.suite) ]

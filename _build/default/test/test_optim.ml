@@ -1,0 +1,280 @@
+open Lepts_optim
+module Vec = Lepts_linalg.Vec
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* Classic test functions. *)
+let sphere x = Vec.dot x x
+let sphere_grad x = Vec.scale 2. x
+
+let rosenbrock x =
+  let a = 1. -. x.(0) and b = x.(1) -. (x.(0) *. x.(0)) in
+  (a *. a) +. (100. *. b *. b)
+
+let rosenbrock_grad x =
+  let b = x.(1) -. (x.(0) *. x.(0)) in
+  [| (-2. *. (1. -. x.(0))) -. (400. *. x.(0) *. b); 200. *. b |]
+
+let quadratic_bowl c x = Vec.dot (Vec.sub x c) (Vec.sub x c)
+
+(* --- Numdiff ------------------------------------------------------------ *)
+
+let test_numdiff_quadratic () =
+  let x = [| 1.; -2.; 3. |] in
+  let g = Numdiff.gradient ~f:sphere x in
+  Array.iteri
+    (fun i gi -> check_float 1e-5 "d sphere" (2. *. x.(i)) gi)
+    g
+
+let test_numdiff_rosenbrock () =
+  let x = [| 0.3; -0.7 |] in
+  let num = Numdiff.gradient ~f:rosenbrock x in
+  let ana = rosenbrock_grad x in
+  Array.iteri (fun i gi -> check_float 1e-4 "d rosenbrock" ana.(i) gi) num
+
+let test_numdiff_does_not_mutate () =
+  let x = [| 1.; 2. |] in
+  let copy = Array.copy x in
+  ignore (Numdiff.gradient ~f:sphere x);
+  Alcotest.(check bool) "input intact" true (x = copy)
+
+let test_directional () =
+  let x = [| 1.; 1. |] in
+  let d = Numdiff.directional ~f:sphere x ~dir:[| 1.; 0. |] in
+  check_float 1e-5 "directional" 2. d;
+  check_float 0. "zero direction" 0. (Numdiff.directional ~f:sphere x ~dir:[| 0.; 0. |])
+
+(* --- Line search -------------------------------------------------------- *)
+
+let test_backtracking_accepts () =
+  let x = [| 4. |] in
+  let fx = sphere x in
+  let dir = [| -8. |] in
+  match Line_search.backtracking ~f:sphere ~x ~fx ~dir ~slope:(Vec.dot dir (sphere_grad x)) ~init:1. () with
+  | None -> Alcotest.fail "no step found"
+  | Some r ->
+    Alcotest.(check bool) "decreased" true (r.Line_search.value < fx)
+
+let test_backtracking_rejects_ascent () =
+  let x = [| 4. |] in
+  match Line_search.backtracking ~f:sphere ~x ~fx:(sphere x) ~dir:[| 8. |] ~slope:64. ~init:1. () with
+  | None -> ()
+  | Some _ -> Alcotest.fail "accepted an ascent direction"
+
+(* --- L-BFGS ------------------------------------------------------------- *)
+
+let test_lbfgs_sphere () =
+  let r = Lbfgs.minimize ~f:sphere ~grad:sphere_grad ~x0:[| 5.; -3.; 2. |] () in
+  Alcotest.(check bool) "converged" true r.Lbfgs.converged;
+  check_float 1e-10 "minimum value" 0. r.Lbfgs.value
+
+let test_lbfgs_shifted_quadratic () =
+  let c = [| 1.; 2.; 3.; 4. |] in
+  let f = quadratic_bowl c in
+  let grad x = Vec.scale 2. (Vec.sub x c) in
+  let r = Lbfgs.minimize ~f ~grad ~x0:(Vec.zeros 4) () in
+  Alcotest.(check bool) "found center" true (Vec.dist2 r.Lbfgs.x c < 1e-6)
+
+let test_lbfgs_rosenbrock () =
+  let r =
+    Lbfgs.minimize ~max_iter:2000 ~f:rosenbrock ~grad:rosenbrock_grad
+      ~x0:[| -1.2; 1. |] ()
+  in
+  Alcotest.(check bool) "reaches (1,1)" true (Vec.dist2 r.Lbfgs.x [| 1.; 1. |] < 1e-4)
+
+let test_lbfgs_already_optimal () =
+  let r = Lbfgs.minimize ~f:sphere ~grad:sphere_grad ~x0:(Vec.zeros 3) () in
+  Alcotest.(check int) "no iterations" 0 r.Lbfgs.iterations;
+  Alcotest.(check bool) "converged" true r.Lbfgs.converged
+
+let test_lbfgs_illconditioned () =
+  (* Diagonal quadratic with condition number 1e4. *)
+  let d = [| 1.; 100. |] in
+  let f x = (d.(0) *. x.(0) *. x.(0)) +. (d.(1) *. x.(1) *. x.(1)) in
+  let grad x = [| 2. *. d.(0) *. x.(0); 2. *. d.(1) *. x.(1) |] in
+  let r = Lbfgs.minimize ~max_iter:1000 ~f ~grad ~x0:[| 1.; 1. |] () in
+  check_float 1e-8 "ill-conditioned minimum" 0. r.Lbfgs.value
+
+(* --- Projections -------------------------------------------------------- *)
+
+let test_box_projection () =
+  let p = Projection.box ~lo:[| 0.; 0. |] ~hi:[| 1.; 2. |] [| -1.; 5. |] in
+  Alcotest.(check (float 0.)) "clamped low" 0. p.(0);
+  Alcotest.(check (float 0.)) "clamped high" 2. p.(1)
+
+let simplex_sum x = Array.fold_left ( +. ) 0. x
+
+let test_simplex_projection_basic () =
+  let p = Projection.simplex ~total:1. [| 0.5; 0.5 |] in
+  check_float 1e-12 "already feasible" 0.5 p.(0);
+  let p = Projection.simplex ~total:1. [| 2.; 0. |] in
+  check_float 1e-12 "vertex" 1. p.(0);
+  check_float 1e-12 "vertex zero" 0. p.(1)
+
+let test_simplex_projection_negative () =
+  let p = Projection.simplex ~total:6. [| -1.; 5.; 10. |] in
+  check_float 1e-9 "sums to total" 6. (simplex_sum p);
+  Array.iter (fun v -> Alcotest.(check bool) "non-negative" true (v >= 0.)) p
+
+let test_simplex_projection_property () =
+  (* Projection optimality: for all feasible z, <x - p, z - p> <= 0. *)
+  let rng = Lepts_prng.Xoshiro256.create ~seed:71 in
+  for _ = 1 to 200 do
+    let n = 1 + Lepts_prng.Xoshiro256.int rng ~bound:6 in
+    let total = Lepts_prng.Xoshiro256.uniform rng ~lo:0.1 ~hi:10. in
+    let x = Array.init n (fun _ -> Lepts_prng.Xoshiro256.uniform rng ~lo:(-5.) ~hi:5.) in
+    let p = Projection.simplex ~total x in
+    check_float 1e-8 "sum" total (simplex_sum p);
+    Array.iter (fun v -> if v < -1e-12 then Alcotest.failf "negative %g" v) p;
+    (* random feasible point via normalized exponentials *)
+    let z = Array.init n (fun _ -> -.log (Float.max 1e-9 (Lepts_prng.Xoshiro256.float rng))) in
+    let zs = simplex_sum z in
+    let z = Array.map (fun v -> total *. v /. zs) z in
+    let inner = Vec.dot (Vec.sub x p) (Vec.sub z p) in
+    if inner > 1e-7 then Alcotest.failf "not a projection: %g" inner
+  done
+
+let test_blocks_projection () =
+  let proj = Projection.blocks
+      [| Projection.simplex ~total:1.; (fun s -> Array.map (Float.max 0.) s) |]
+      ~offsets:[| (0, 2); (2, 2) |] in
+  let p = proj [| 3.; 0.; -1.; 4. |] in
+  check_float 1e-9 "simplex block" 1. (p.(0) +. p.(1));
+  Alcotest.(check (float 0.)) "box block" 0. p.(2);
+  Alcotest.(check (float 0.)) "untouched" 4. p.(3)
+
+(* --- Projected gradient -------------------------------------------------- *)
+
+let test_pg_unconstrained () =
+  let r =
+    Projected_gradient.minimize ~f:sphere ~grad:sphere_grad ~project:Fun.id
+      ~x0:[| 4.; -2. |] ()
+  in
+  check_float 1e-8 "min" 0. r.Projected_gradient.value
+
+let test_pg_box_active () =
+  (* min (x-3)^2 over [0, 1]: solution at the bound x = 1. *)
+  let f x = (x.(0) -. 3.) ** 2. in
+  let grad x = [| 2. *. (x.(0) -. 3.) |] in
+  let project = Projection.box ~lo:[| 0. |] ~hi:[| 1. |] in
+  let r = Projected_gradient.minimize ~f ~grad ~project ~x0:[| 0. |] () in
+  check_float 1e-8 "active bound" 1. r.Projected_gradient.x.(0)
+
+let test_pg_simplex () =
+  (* min sum (x_i - c_i)^2 over the simplex: projection of c. *)
+  let c = [| 0.9; 0.4; -0.3 |] in
+  let f x = Vec.dot (Vec.sub x c) (Vec.sub x c) in
+  let grad x = Vec.scale 2. (Vec.sub x c) in
+  let project = Projection.simplex ~total:1. in
+  let r = Projected_gradient.minimize ~f ~grad ~project ~x0:[| 0.4; 0.3; 0.3 |] () in
+  let expected = Projection.simplex ~total:1. c in
+  Alcotest.(check bool) "matches direct projection" true
+    (Vec.dist2 r.Projected_gradient.x expected < 1e-6)
+
+let test_pg_infeasible_start () =
+  let f x = Vec.dot x x in
+  let grad x = Vec.scale 2. x in
+  let project = Projection.box ~lo:[| 1.; 1. |] ~hi:[| 2.; 2. |] in
+  let r = Projected_gradient.minimize ~f ~grad ~project ~x0:[| -10.; 10. |] () in
+  Alcotest.(check bool) "lands at corner" true
+    (Vec.dist2 r.Projected_gradient.x [| 1.; 1. |] < 1e-7)
+
+(* --- NLP / augmented Lagrangian ------------------------------------------ *)
+
+let test_linear_constraint () =
+  let c = Nlp.linear_constraint ~name:"test" ~coeffs:[ (0, 2.); (2, -1.) ] ~bound:3. in
+  check_float 1e-12 "value" (-1.) (c.Nlp.value [| 1.; 9.; 0. |]);
+  let g = Nlp.constraint_gradient c [| 0.; 0.; 0. |] in
+  Alcotest.(check bool) "gradient" true (g = [| 2.; 0.; -1. |])
+
+let test_al_equality_via_projection () =
+  (* min (x0-2)^2 + (x1-2)^2 s.t. x on simplex(1): symmetric -> (0.5, 0.5). *)
+  let f x = ((x.(0) -. 2.) ** 2.) +. ((x.(1) -. 2.) ** 2.) in
+  let grad x = [| 2. *. (x.(0) -. 2.); 2. *. (x.(1) -. 2.) |] in
+  let problem =
+    { Nlp.dim = 2; objective = f; gradient = grad; inequalities = [];
+      project = Projection.simplex ~total:1. }
+  in
+  let r = Augmented_lagrangian.solve problem ~x0:[| 1.; 0. |] in
+  Alcotest.(check bool) "symmetric solution" true
+    (Vec.dist2 r.Augmented_lagrangian.x [| 0.5; 0.5 |] < 1e-6)
+
+let test_al_inequality_active () =
+  (* min x^2 + y^2  s.t. x + y >= 1  (as 1 - x - y <= 0): optimum (0.5, 0.5). *)
+  let f x = Vec.dot x x in
+  let grad x = Vec.scale 2. x in
+  let c =
+    Nlp.linear_constraint ~name:"sum>=1" ~coeffs:[ (0, -1.); (1, -1.) ] ~bound:(-1.)
+  in
+  let problem =
+    { Nlp.dim = 2; objective = f; gradient = grad; inequalities = [ c ];
+      project = Fun.id }
+  in
+  let r = Augmented_lagrangian.solve problem ~x0:[| 0.; 0. |] in
+  Alcotest.(check bool) "converged" true r.Augmented_lagrangian.converged;
+  Alcotest.(check bool) "KKT point" true
+    (Vec.dist2 r.Augmented_lagrangian.x [| 0.5; 0.5 |] < 1e-4)
+
+let test_al_inequality_inactive () =
+  (* Same objective, constraint x + y <= 10 is inactive: optimum origin. *)
+  let f x = Vec.dot x x in
+  let grad x = Vec.scale 2. x in
+  let c = Nlp.linear_constraint ~name:"loose" ~coeffs:[ (0, 1.); (1, 1.) ] ~bound:10. in
+  let problem =
+    { Nlp.dim = 2; objective = f; gradient = grad; inequalities = [ c ];
+      project = Fun.id }
+  in
+  let r = Augmented_lagrangian.solve problem ~x0:[| 3.; 4. |] in
+  check_float 1e-6 "origin" 0. r.Augmented_lagrangian.value
+
+let test_al_multiple_constraints () =
+  (* min (x-3)^2 s.t. x <= 1 and -x <= 0 -> x = 1. *)
+  let f x = (x.(0) -. 3.) ** 2. in
+  let grad x = [| 2. *. (x.(0) -. 3.) |] in
+  let problem =
+    { Nlp.dim = 1; objective = f; gradient = grad;
+      inequalities =
+        [ Nlp.linear_constraint ~name:"ub" ~coeffs:[ (0, 1.) ] ~bound:1.;
+          Nlp.linear_constraint ~name:"lb" ~coeffs:[ (0, -1.) ] ~bound:0. ];
+      project = Fun.id }
+  in
+  let r = Augmented_lagrangian.solve problem ~x0:[| 0.5 |] in
+  check_float 1e-4 "bound" 1. r.Augmented_lagrangian.x.(0)
+
+let test_nlp_max_violation () =
+  (* Feasible region: 2 <= x <= 5. *)
+  let c1 = Nlp.linear_constraint ~name:"lb" ~coeffs:[ (0, -1.) ] ~bound:(-2.) in
+  let c2 = Nlp.linear_constraint ~name:"ub" ~coeffs:[ (0, 1.) ] ~bound:5. in
+  let p = Nlp.with_numerical_gradient ~dim:1 ~objective:(fun _ -> 0.)
+      ~inequalities:[ c1; c2 ] () in
+  check_float 1e-12 "violated by 1" 1. (Nlp.max_violation p [| 1. |]);
+  check_float 1e-12 "feasible" 0. (Nlp.max_violation p [| 2.5 |]);
+  check_float 1e-12 "upper violated" 2. (Nlp.max_violation p [| 7. |])
+
+let suite =
+  [ ("numdiff quadratic", `Quick, test_numdiff_quadratic);
+    ("numdiff rosenbrock", `Quick, test_numdiff_rosenbrock);
+    ("numdiff purity", `Quick, test_numdiff_does_not_mutate);
+    ("directional derivative", `Quick, test_directional);
+    ("backtracking accepts descent", `Quick, test_backtracking_accepts);
+    ("backtracking rejects ascent", `Quick, test_backtracking_rejects_ascent);
+    ("lbfgs sphere", `Quick, test_lbfgs_sphere);
+    ("lbfgs shifted quadratic", `Quick, test_lbfgs_shifted_quadratic);
+    ("lbfgs rosenbrock", `Quick, test_lbfgs_rosenbrock);
+    ("lbfgs at optimum", `Quick, test_lbfgs_already_optimal);
+    ("lbfgs ill-conditioned", `Quick, test_lbfgs_illconditioned);
+    ("box projection", `Quick, test_box_projection);
+    ("simplex projection basic", `Quick, test_simplex_projection_basic);
+    ("simplex projection negatives", `Quick, test_simplex_projection_negative);
+    ("simplex projection optimality", `Quick, test_simplex_projection_property);
+    ("block projection", `Quick, test_blocks_projection);
+    ("pg unconstrained", `Quick, test_pg_unconstrained);
+    ("pg active box", `Quick, test_pg_box_active);
+    ("pg simplex", `Quick, test_pg_simplex);
+    ("pg infeasible start", `Quick, test_pg_infeasible_start);
+    ("linear constraint", `Quick, test_linear_constraint);
+    ("al projection equality", `Quick, test_al_equality_via_projection);
+    ("al active inequality", `Quick, test_al_inequality_active);
+    ("al inactive inequality", `Quick, test_al_inequality_inactive);
+    ("al multiple constraints", `Quick, test_al_multiple_constraints);
+    ("nlp max violation", `Quick, test_nlp_max_violation) ]

@@ -1,0 +1,178 @@
+open Lepts_preempt
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+
+let mk ~name ~period = Task.create ~name ~period ~wcec:1. ~acec:0.5 ~bcec:0.
+
+let three_task_plan () =
+  (* The shape of the paper's Figs 3-4: periods 3 / 6 / 9 with
+     hyper-period 18. *)
+  Plan.expand
+    (Task_set.create [ mk ~name:"t1" ~period:3; mk ~name:"t2" ~period:6; mk ~name:"t3" ~period:9 ])
+
+let test_single_task () =
+  let plan = Plan.expand (Task_set.create [ mk ~name:"only" ~period:5 ]) in
+  Alcotest.(check int) "one sub-instance" 1 (Plan.size plan);
+  let s = plan.Plan.order.(0) in
+  Alcotest.(check (float 0.)) "release" 0. s.Sub_instance.release;
+  Alcotest.(check (float 0.)) "boundary = deadline" 5. s.Sub_instance.boundary;
+  Alcotest.(check (float 0.)) "deadline" 5. s.Sub_instance.deadline
+
+let test_equal_periods_no_split () =
+  (* Equal periods: no preemption, one sub-instance each, priority by
+     input order (the motivational example's structure). *)
+  let plan =
+    Plan.expand
+      (Task_set.create [ mk ~name:"a" ~period:20; mk ~name:"b" ~period:20; mk ~name:"c" ~period:20 ])
+  in
+  Alcotest.(check int) "three subs" 3 (Plan.size plan);
+  Array.iter
+    (fun (s : Sub_instance.t) ->
+      Alcotest.(check int) "unsplit" 0 s.Sub_instance.segment;
+      Alcotest.(check (float 0.)) "boundary" 20. s.Sub_instance.boundary)
+    plan.Plan.order
+
+let test_split_counts () =
+  (* T1 (P=3) never split; T2 (P=6) split at 3 within each window;
+     T3 (P=9) split at its windows' interior T1/T2 releases. *)
+  let plan = three_task_plan () in
+  Alcotest.(check int) "hyper period" 18 (int_of_float (Plan.hyper_period plan));
+  let count ~task =
+    Array.fold_left
+      (fun acc (s : Sub_instance.t) -> if s.Sub_instance.task = task then acc + 1 else acc)
+      0 plan.Plan.order
+  in
+  Alcotest.(check int) "t1: 6 instances x 1" 6 (count ~task:0);
+  Alcotest.(check int) "t2: 3 instances x 2" 6 (count ~task:1);
+  (* T3 windows [0,9): cuts {3,6}; [9,18): cuts {12,15} (12 from both
+     T1 and T2), so 3 segments each. *)
+  Alcotest.(check int) "t3: 2 instances x 3" 6 (count ~task:2);
+  Alcotest.(check int) "sub_instance_count agrees" (Plan.size plan)
+    (Plan.sub_instance_count
+       (Task_set.create [ mk ~name:"t1" ~period:3; mk ~name:"t2" ~period:6; mk ~name:"t3" ~period:9 ]))
+
+let test_segments_partition_window () =
+  (* Segments of one instance tile [release, deadline) without gaps. *)
+  let plan = three_task_plan () in
+  Array.iteri
+    (fun i per_instance ->
+      Array.iteri
+        (fun j idxs ->
+          let subs = Array.map (fun k -> plan.Plan.order.(k)) idxs in
+          let period = (Lepts_task.Task_set.task plan.Plan.task_set i).Task.period in
+          Alcotest.(check (float 0.)) "starts at release"
+            (float_of_int (j * period))
+            subs.(0).Sub_instance.release;
+          Alcotest.(check (float 0.)) "ends at deadline"
+            (float_of_int ((j + 1) * period))
+            subs.(Array.length subs - 1).Sub_instance.boundary;
+          for k = 0 to Array.length subs - 2 do
+            Alcotest.(check (float 0.)) "contiguous" subs.(k).Sub_instance.boundary
+              subs.(k + 1).Sub_instance.release
+          done)
+        per_instance)
+    plan.Plan.instance_subs
+
+let test_boundaries_are_hp_releases () =
+  let plan = three_task_plan () in
+  Array.iter
+    (fun (s : Sub_instance.t) ->
+      if s.Sub_instance.boundary < s.Sub_instance.deadline then begin
+        (* An interior boundary must be a release of some higher-priority task. *)
+        let b = int_of_float s.Sub_instance.boundary in
+        let is_release =
+          List.exists
+            (fun h ->
+              let period = (Lepts_task.Task_set.task plan.Plan.task_set h).Task.period in
+              b mod period = 0)
+            (List.init s.Sub_instance.task Fun.id)
+        in
+        Alcotest.(check bool) "interior boundary is an HP release" true is_release
+      end)
+    plan.Plan.order
+
+let test_total_order_sorted () =
+  let plan = three_task_plan () in
+  let order = plan.Plan.order in
+  for k = 1 to Array.length order - 1 do
+    let a = order.(k - 1) and b = order.(k) in
+    let ok =
+      a.Sub_instance.release < b.Sub_instance.release
+      || (a.Sub_instance.release = b.Sub_instance.release
+          && a.Sub_instance.task <= b.Sub_instance.task)
+    in
+    Alcotest.(check bool) "sorted by (release, priority)" true ok;
+    Alcotest.(check int) "indices sequential" k b.Sub_instance.index
+  done
+
+let test_instance_subs_ascending () =
+  let plan = three_task_plan () in
+  Array.iter
+    (Array.iter (fun idxs ->
+         for p = 1 to Array.length idxs - 1 do
+           Alcotest.(check bool) "segment order = total order" true
+             (idxs.(p - 1) < idxs.(p))
+         done))
+    plan.Plan.instance_subs
+
+let test_no_hp_release_inside_segment () =
+  (* The defining property: no higher-priority release strictly inside
+     any segment. *)
+  let ts =
+    Task_set.create
+      [ mk ~name:"a" ~period:4; mk ~name:"b" ~period:6; mk ~name:"c" ~period:12;
+        mk ~name:"d" ~period:24 ]
+  in
+  let plan = Plan.expand ts in
+  Array.iter
+    (fun (s : Sub_instance.t) ->
+      for h = 0 to s.Sub_instance.task - 1 do
+        let period = (Lepts_task.Task_set.task plan.Plan.task_set h).Task.period in
+        let r = ref 0. in
+        while !r < s.Sub_instance.boundary do
+          if !r > s.Sub_instance.release +. 1e-9
+             && !r < s.Sub_instance.boundary -. 1e-9
+          then
+            Alcotest.failf "release %g of task %d inside segment %s" !r h
+              (Sub_instance.label s);
+          r := !r +. float_of_int period
+        done
+      done)
+    plan.Plan.order
+
+let test_label () =
+  let plan = three_task_plan () in
+  Alcotest.(check string) "first label" "T1.1.1" (Sub_instance.label plan.Plan.order.(0))
+
+let test_coprime_periods () =
+  (* Coprime periods stress the expansion: hyper-period 35. *)
+  let ts = Task_set.create [ mk ~name:"a" ~period:5; mk ~name:"b" ~period:7 ] in
+  let plan = Plan.expand ts in
+  Alcotest.(check (float 0.)) "hyper" 35. (Plan.hyper_period plan);
+  (* b has 5 instances; window 7 contains 1-2 interior multiples of 5. *)
+  let b_subs =
+    Array.to_list plan.Plan.order
+    |> List.filter (fun (s : Sub_instance.t) -> s.Sub_instance.task = 1)
+  in
+  (* Windows [0,7) [7,14) [14,21) [21,28) [28,35) contain 1,1,2,1,1
+     interior multiples of 5 -> 2+2+3+2+2 = 11 segments. *)
+  Alcotest.(check int) "b sub count" 11 (List.length b_subs)
+
+let test_pp_timeline_runs () =
+  let plan = three_task_plan () in
+  let s = Format.asprintf "%a" Plan.pp_timeline plan in
+  Alcotest.(check bool) "mentions hyper-period" true
+    (String.length s > 0 && String.sub s 0 12 = "hyper-period")
+
+let suite =
+  [ ("single task", `Quick, test_single_task);
+    ("equal periods unsplit", `Quick, test_equal_periods_no_split);
+    ("split counts (Figs 3-4)", `Quick, test_split_counts);
+    ("segments partition windows", `Quick, test_segments_partition_window);
+    ("boundaries are HP releases", `Quick, test_boundaries_are_hp_releases);
+    ("total order sorted", `Quick, test_total_order_sorted);
+    ("instance subs ascending", `Quick, test_instance_subs_ascending);
+    ("no HP release inside segments", `Quick, test_no_hp_release_inside_segment);
+    ("labels", `Quick, test_label);
+    ("coprime periods", `Quick, test_coprime_periods);
+    ("timeline printer", `Quick, test_pp_timeline_runs) ]

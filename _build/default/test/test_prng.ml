@@ -1,0 +1,179 @@
+open Lepts_prng
+
+let test_splitmix_deterministic () =
+  let a = Splitmix64.create 42L and b = Splitmix64.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix64.next a) (Splitmix64.next b)
+  done
+
+let test_splitmix_reference () =
+  (* Reference outputs for seed 1234567 from the public-domain C
+     implementation (Vigna). *)
+  let sm = Splitmix64.create 1234567L in
+  let expected = [ 0x599ed017fb08fc85L; 0x2c73f08458540fa5L; 0x883ebce5a3f27c77L ] in
+  List.iter
+    (fun e -> Alcotest.(check int64) "reference" e (Splitmix64.next sm))
+    expected
+
+let test_splitmix_copy () =
+  let a = Splitmix64.create 5L in
+  ignore (Splitmix64.next a);
+  let b = Splitmix64.copy a in
+  Alcotest.(check int64) "copy diverges identically" (Splitmix64.next a)
+    (Splitmix64.next b)
+
+let test_xoshiro_deterministic () =
+  let a = Xoshiro256.create ~seed:7 and b = Xoshiro256.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Xoshiro256.next_int64 a)
+      (Xoshiro256.next_int64 b)
+  done
+
+let test_xoshiro_seeds_differ () =
+  let a = Xoshiro256.create ~seed:1 and b = Xoshiro256.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Xoshiro256.next_int64 a) (Xoshiro256.next_int64 b) then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let test_float_range () =
+  let rng = Xoshiro256.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let x = Xoshiro256.float rng in
+    if x < 0. || x >= 1. then Alcotest.failf "float out of [0,1): %f" x
+  done
+
+let test_float_mean () =
+  let rng = Xoshiro256.create ~seed:11 in
+  let n = 100_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Xoshiro256.float rng
+  done;
+  let mean = !acc /. float_of_int n in
+  if Float.abs (mean -. 0.5) > 0.01 then Alcotest.failf "biased mean %f" mean
+
+let test_uniform_bounds () =
+  let rng = Xoshiro256.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Xoshiro256.uniform rng ~lo:(-3.) ~hi:7. in
+    if x < -3. || x >= 7. then Alcotest.failf "uniform out of range: %f" x
+  done
+
+let test_int_bounds () =
+  let rng = Xoshiro256.create ~seed:9 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let i = Xoshiro256.int rng ~bound:10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c -> if c < 800 || c > 1200 then Alcotest.failf "bucket %d skewed: %d" i c)
+    counts
+
+let test_int_invalid () =
+  let rng = Xoshiro256.create ~seed:1 in
+  Alcotest.check_raises "bound zero"
+    (Invalid_argument "Xoshiro256.int: bound must be positive") (fun () ->
+      ignore (Xoshiro256.int rng ~bound:0))
+
+let test_int_bound_one () =
+  let rng = Xoshiro256.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "always 0" 0 (Xoshiro256.int rng ~bound:1)
+  done
+
+let test_split_independent () =
+  let parent = Xoshiro256.create ~seed:21 in
+  let child = Xoshiro256.split parent in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Xoshiro256.next_int64 parent) (Xoshiro256.next_int64 child) then
+      incr same
+  done;
+  Alcotest.(check int) "split streams differ" 0 !same
+
+let test_copy_snapshot () =
+  let a = Xoshiro256.create ~seed:8 in
+  ignore (Xoshiro256.next_int64 a);
+  let b = Xoshiro256.copy a in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "snapshot equal" (Xoshiro256.next_int64 a)
+      (Xoshiro256.next_int64 b)
+  done
+
+let test_normal_moments () =
+  let rng = Xoshiro256.create ~seed:13 in
+  let n = 100_000 in
+  let xs = Array.init n (fun _ -> Dist.normal rng ~mu:5. ~sigma:2.) in
+  let mean = Lepts_util.Stats.mean xs in
+  let sd = Lepts_util.Stats.stddev xs in
+  if Float.abs (mean -. 5.) > 0.05 then Alcotest.failf "normal mean %f" mean;
+  if Float.abs (sd -. 2.) > 0.05 then Alcotest.failf "normal sd %f" sd
+
+let test_normal_zero_sigma () =
+  let rng = Xoshiro256.create ~seed:13 in
+  Alcotest.(check (float 0.)) "degenerate" 3.5 (Dist.normal rng ~mu:3.5 ~sigma:0.)
+
+let test_normal_negative_sigma () =
+  let rng = Xoshiro256.create ~seed:13 in
+  Alcotest.check_raises "negative sigma"
+    (Invalid_argument "Dist.normal: negative sigma") (fun () ->
+      ignore (Dist.normal rng ~mu:0. ~sigma:(-1.)))
+
+let test_truncated_normal_bounds () =
+  let rng = Xoshiro256.create ~seed:17 in
+  for _ = 1 to 10_000 do
+    let x = Dist.truncated_normal rng ~mu:10. ~sigma:5. ~lo:2. ~hi:20. in
+    if x < 2. || x > 20. then Alcotest.failf "out of bounds: %f" x
+  done
+
+let test_truncated_normal_mean () =
+  (* Symmetric truncation keeps the mean. *)
+  let rng = Xoshiro256.create ~seed:19 in
+  let n = 50_000 in
+  let xs =
+    Array.init n (fun _ -> Dist.truncated_normal rng ~mu:10. ~sigma:2. ~lo:4. ~hi:16.)
+  in
+  let mean = Lepts_util.Stats.mean xs in
+  if Float.abs (mean -. 10.) > 0.05 then Alcotest.failf "truncated mean %f" mean
+
+let test_truncated_normal_degenerate () =
+  let rng = Xoshiro256.create ~seed:23 in
+  Alcotest.(check (float 0.)) "zero sigma clamps" 8.
+    (Dist.truncated_normal rng ~mu:100. ~sigma:0. ~lo:0. ~hi:8.);
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Dist.truncated_normal: lo > hi")
+    (fun () -> ignore (Dist.truncated_normal rng ~mu:0. ~sigma:1. ~lo:1. ~hi:0.))
+
+let test_uniform_choice () =
+  let rng = Xoshiro256.create ~seed:29 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let x = Dist.uniform_choice rng arr in
+    if not (Array.exists (( = ) x) arr) then Alcotest.failf "foreign element %d" x
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Dist.uniform_choice: empty array")
+    (fun () -> ignore (Dist.uniform_choice rng [||]))
+
+let suite =
+  [ ("splitmix deterministic", `Quick, test_splitmix_deterministic);
+    ("splitmix reference vectors", `Quick, test_splitmix_reference);
+    ("splitmix copy", `Quick, test_splitmix_copy);
+    ("xoshiro deterministic", `Quick, test_xoshiro_deterministic);
+    ("xoshiro seeds differ", `Quick, test_xoshiro_seeds_differ);
+    ("float in [0,1)", `Quick, test_float_range);
+    ("float mean", `Quick, test_float_mean);
+    ("uniform bounds", `Quick, test_uniform_bounds);
+    ("int bounds uniform", `Quick, test_int_bounds);
+    ("int invalid bound", `Quick, test_int_invalid);
+    ("int bound one", `Quick, test_int_bound_one);
+    ("split independence", `Quick, test_split_independent);
+    ("copy snapshot", `Quick, test_copy_snapshot);
+    ("normal moments", `Quick, test_normal_moments);
+    ("normal zero sigma", `Quick, test_normal_zero_sigma);
+    ("normal negative sigma", `Quick, test_normal_negative_sigma);
+    ("truncated normal bounds", `Quick, test_truncated_normal_bounds);
+    ("truncated normal mean", `Quick, test_truncated_normal_mean);
+    ("truncated normal degenerate", `Quick, test_truncated_normal_degenerate);
+    ("uniform choice", `Quick, test_uniform_choice) ]

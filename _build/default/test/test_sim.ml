@@ -1,0 +1,222 @@
+open Lepts_core
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+module Plan = Lepts_preempt.Plan
+module Model = Lepts_power.Model
+module Policy = Lepts_dvs.Policy
+module Sampler = Lepts_sim.Sampler
+module Event_sim = Lepts_sim.Event_sim
+module Sequence = Lepts_sim.Sequence
+module Outcome = Lepts_sim.Outcome
+module Runner = Lepts_sim.Runner
+
+let power = Model.ideal ~v_min:0.5 ~v_max:4. ()
+
+let preemptive_pair () =
+  let ts =
+    Task_set.scale_wcec_to_utilization
+      (Task_set.create
+         [ Task.with_ratio ~name:"a" ~period:4 ~wcec:4. ~ratio:0.1;
+           Task.with_ratio ~name:"b" ~period:6 ~wcec:5. ~ratio:0.1;
+           Task.with_ratio ~name:"c" ~period:12 ~wcec:8. ~ratio:0.1 ])
+      ~power ~target:0.7
+  in
+  let plan = Plan.expand ts in
+  let wcs, _ = Result.get_ok (Solver.solve_wcs ~plan ~power ()) in
+  let acs, _ =
+    Result.get_ok
+      (Solver.solve_acs
+         ~warm_starts:[ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ]
+         ~plan ~power ())
+  in
+  (plan, wcs, acs)
+
+let test_sampler_bounds () =
+  let plan, _, _ = preemptive_pair () in
+  let rng = Lepts_prng.Xoshiro256.create ~seed:3 in
+  for _ = 1 to 50 do
+    let totals = Sampler.instance_totals plan ~rng in
+    Array.iteri
+      (fun i per ->
+        let task = Task_set.task plan.Plan.task_set i in
+        Array.iter
+          (fun w ->
+            if w < task.Task.bcec -. 1e-9 || w > task.Task.wcec +. 1e-9 then
+              Alcotest.failf "sample %g outside [%g, %g]" w task.Task.bcec task.Task.wcec)
+          per)
+      totals
+  done
+
+let test_sampler_fixed () =
+  let plan, _, _ = preemptive_pair () in
+  let totals = Sampler.fixed plan ~value:`Wcec in
+  Array.iteri
+    (fun i per ->
+      let task = Task_set.task plan.Plan.task_set i in
+      Array.iter (fun w -> Alcotest.(check (float 0.)) "wcec" task.Task.wcec w) per)
+    totals
+
+let test_event_sim_worst_case_no_misses () =
+  let plan, wcs, acs = preemptive_pair () in
+  let totals = Sampler.fixed plan ~value:`Wcec in
+  List.iter
+    (fun s ->
+      let o = Event_sim.run ~schedule:s ~policy:Policy.Greedy ~totals () in
+      Alcotest.(check int) "no misses under WCEC" 0 o.Outcome.deadline_misses)
+    [ wcs; acs ]
+
+let test_event_sim_matches_sequence () =
+  (* Under budget-enforced RM the event-driven run coincides with the
+     closed-form executor on any fixed workloads. *)
+  let plan, wcs, acs = preemptive_pair () in
+  let rng = Lepts_prng.Xoshiro256.create ~seed:5 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun value ->
+          let totals = Sampler.fixed plan ~value in
+          let ev = Event_sim.run ~schedule:s ~policy:Policy.Greedy ~totals () in
+          let sq = Sequence.run ~schedule:s ~totals in
+          Alcotest.(check (float 1e-6)) "energies equal" sq.Outcome.energy
+            ev.Outcome.energy;
+          Alcotest.(check int) "misses equal" sq.Outcome.deadline_misses
+            ev.Outcome.deadline_misses)
+        [ `Bcec; `Acec; `Wcec ];
+      (* And on sampled workloads. *)
+      for _ = 1 to 10 do
+        let totals = Sampler.instance_totals plan ~rng in
+        let ev = Event_sim.run ~schedule:s ~policy:Policy.Greedy ~totals () in
+        let sq = Sequence.run ~schedule:s ~totals in
+        Alcotest.(check (float 1e-6)) "sampled energies equal" sq.Outcome.energy
+          ev.Outcome.energy
+      done)
+    [ wcs; acs ]
+
+let test_event_sim_matches_predicted_on_acec () =
+  let _, wcs, acs = preemptive_pair () in
+  List.iter
+    (fun s ->
+      let totals = Sampler.fixed s.Static_schedule.plan ~value:`Acec in
+      let ev = Event_sim.run ~schedule:s ~policy:Policy.Greedy ~totals () in
+      Alcotest.(check (float 1e-6)) "closed form = simulation"
+        (Static_schedule.predicted_energy s ~mode:Objective.Average)
+        ev.Outcome.energy)
+    [ wcs; acs ]
+
+let test_policy_ordering () =
+  (* Greedy <= static <= max-speed on any workload draw. *)
+  let plan, _, acs = preemptive_pair () in
+  let rng = Lepts_prng.Xoshiro256.create ~seed:11 in
+  for _ = 1 to 20 do
+    let totals = Sampler.instance_totals plan ~rng in
+    let energy policy =
+      (Event_sim.run ~schedule:acs ~policy ~totals ()).Outcome.energy
+    in
+    let g = energy Policy.Greedy
+    and st = energy Policy.Static_voltage
+    and mx = energy Policy.Max_speed in
+    Alcotest.(check bool) "greedy <= static" true (g <= st +. 1e-9);
+    Alcotest.(check bool) "static <= max-speed" true (st <= mx +. 1e-9)
+  done
+
+let test_max_speed_energy_exact () =
+  (* At v_max, energy is just c_eff * v_max^2 * total executed cycles. *)
+  let plan, _, acs = preemptive_pair () in
+  let totals = Sampler.fixed plan ~value:`Wcec in
+  let o = Event_sim.run ~schedule:acs ~policy:Policy.Max_speed ~totals () in
+  let total_cycles =
+    Array.fold_left
+      (fun acc per -> Array.fold_left ( +. ) acc per)
+      0. totals
+  in
+  Alcotest.(check (float 1e-6)) "E = w vmax^2" (total_cycles *. 16.) o.Outcome.energy
+
+let test_zero_workload_instances () =
+  let plan, _, acs = preemptive_pair () in
+  let totals = Array.map (Array.map (fun _ -> 0.)) plan.Plan.instance_subs in
+  let totals = Array.map (Array.map float_of_int) (Array.map (Array.map int_of_float) totals) in
+  let o = Event_sim.run ~schedule:acs ~policy:Policy.Greedy ~totals () in
+  Alcotest.(check (float 0.)) "no energy" 0. o.Outcome.energy;
+  Alcotest.(check int) "no misses" 0 o.Outcome.deadline_misses
+
+let test_finish_times_recorded () =
+  let plan, _, acs = preemptive_pair () in
+  let totals = Sampler.fixed plan ~value:`Acec in
+  let o = Event_sim.run ~schedule:acs ~policy:Policy.Greedy ~totals () in
+  Array.iteri
+    (fun i per ->
+      let period = (Task_set.task plan.Plan.task_set i).Task.period in
+      Array.iteri
+        (fun j f ->
+          if Float.is_nan f then Alcotest.fail "missing finish time";
+          let release = float_of_int (j * period) in
+          let deadline = float_of_int ((j + 1) * period) in
+          Alcotest.(check bool) "within window" true (f >= release && f <= deadline))
+        per)
+    o.Outcome.finish_times
+
+let test_runner_statistics () =
+  let _, _, acs = preemptive_pair () in
+  let rng = Lepts_prng.Xoshiro256.create ~seed:9 in
+  let s = Runner.simulate ~rounds:50 ~schedule:acs ~policy:Policy.Greedy ~rng () in
+  Alcotest.(check int) "rounds" 50 s.Runner.rounds;
+  Alcotest.(check int) "no misses" 0 s.Runner.deadline_misses;
+  Alcotest.(check bool) "min <= mean <= max" true
+    (s.Runner.min_energy <= s.Runner.mean_energy
+     && s.Runner.mean_energy <= s.Runner.max_energy);
+  Alcotest.(check bool) "positive spread" true (s.Runner.stddev_energy > 0.)
+
+let test_runner_deterministic () =
+  let _, _, acs = preemptive_pair () in
+  let run seed =
+    Runner.simulate ~rounds:20 ~schedule:acs ~policy:Policy.Greedy
+      ~rng:(Lepts_prng.Xoshiro256.create ~seed) ()
+  in
+  let a = run 4 and b = run 4 in
+  Alcotest.(check (float 0.)) "same seed, same mean" a.Runner.mean_energy
+    b.Runner.mean_energy;
+  let c = run 5 in
+  Alcotest.(check bool) "different seed differs" true
+    (Float.abs (a.Runner.mean_energy -. c.Runner.mean_energy) > 1e-12)
+
+let test_runner_invalid_rounds () =
+  let _, _, acs = preemptive_pair () in
+  Alcotest.check_raises "rounds positive"
+    (Invalid_argument "Runner.simulate: rounds must be positive") (fun () ->
+      ignore
+        (Runner.simulate ~rounds:0 ~schedule:acs ~policy:Policy.Greedy
+           ~rng:(Lepts_prng.Xoshiro256.create ~seed:1) ()))
+
+let test_budget_enforcement_prevents_miss () =
+  (* The regression that motivated budget-enforced readiness: an ACS
+     schedule whose higher-priority task would otherwise run its next
+     segment's quota early and push a lower-priority task past its
+     worst-case window. Under WCEC workloads there must be no miss. *)
+  let ts =
+    Task_set.scale_wcec_to_utilization
+      (Task_set.create
+         [ Task.with_ratio ~name:"t1" ~period:4 ~wcec:4. ~ratio:0.1;
+           Task.with_ratio ~name:"t2" ~period:6 ~wcec:5. ~ratio:0.1;
+           Task.with_ratio ~name:"t3" ~period:12 ~wcec:8. ~ratio:0.1 ])
+      ~power ~target:0.7
+  in
+  let plan = Plan.expand ts in
+  let acs, _ = Result.get_ok (Solver.solve_acs ~plan ~power ()) in
+  let totals = Sampler.fixed plan ~value:`Wcec in
+  let o = Event_sim.run ~schedule:acs ~policy:Policy.Greedy ~totals () in
+  Alcotest.(check int) "worst case meets deadlines" 0 o.Outcome.deadline_misses
+
+let suite =
+  [ ("sampler respects bounds", `Quick, test_sampler_bounds);
+    ("sampler fixed values", `Quick, test_sampler_fixed);
+    ("worst case meets deadlines", `Quick, test_event_sim_worst_case_no_misses);
+    ("event sim = sequence executor", `Quick, test_event_sim_matches_sequence);
+    ("event sim = closed form on ACEC", `Quick, test_event_sim_matches_predicted_on_acec);
+    ("policy energy ordering", `Quick, test_policy_ordering);
+    ("max-speed energy exact", `Quick, test_max_speed_energy_exact);
+    ("zero workloads", `Quick, test_zero_workload_instances);
+    ("finish times recorded", `Quick, test_finish_times_recorded);
+    ("runner statistics", `Quick, test_runner_statistics);
+    ("runner determinism", `Quick, test_runner_deterministic);
+    ("runner invalid rounds", `Quick, test_runner_invalid_rounds);
+    ("budget enforcement regression", `Quick, test_budget_enforcement_prevents_miss) ]

@@ -1,0 +1,88 @@
+open Lepts_core
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+module Plan = Lepts_preempt.Plan
+module Model = Lepts_power.Model
+module Policy = Lepts_dvs.Policy
+module Event_sim = Lepts_sim.Event_sim
+module Trace = Lepts_sim.Trace
+module Sampler = Lepts_sim.Sampler
+
+let power = Model.ideal ~v_min:0.5 ~v_max:4. ()
+
+let fixture () =
+  let ts =
+    Task_set.scale_wcec_to_utilization
+      (Task_set.create
+         [ Task.with_ratio ~name:"a" ~period:4 ~wcec:4. ~ratio:0.1;
+           Task.with_ratio ~name:"b" ~period:6 ~wcec:5. ~ratio:0.1;
+           Task.with_ratio ~name:"c" ~period:12 ~wcec:8. ~ratio:0.1 ])
+      ~power ~target:0.7
+  in
+  let plan = Plan.expand ts in
+  let acs, _ = Result.get_ok (Solver.solve_acs ~plan ~power ()) in
+  acs
+
+let test_spans_disjoint_and_ordered () =
+  let acs = fixture () in
+  let totals = Sampler.fixed acs.Static_schedule.plan ~value:`Acec in
+  let _, trace = Event_sim.run_traced ~schedule:acs ~policy:Policy.Greedy ~totals () in
+  Alcotest.(check bool) "nonempty" true (List.length trace.Trace.spans > 0);
+  let rec check = function
+    | (a : Trace.span) :: (b :: _ as rest) ->
+      Alcotest.(check bool) "ordered, disjoint" true
+        (a.Trace.to_time <= b.Trace.from_time +. 1e-9);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check trace.Trace.spans;
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check bool) "positive length" true (s.Trace.to_time > s.Trace.from_time);
+      Alcotest.(check bool) "within horizon" true
+        (s.Trace.from_time >= 0. && s.Trace.to_time <= trace.Trace.horizon +. 1e-9);
+      Alcotest.(check bool) "voltage in range" true
+        (s.Trace.voltage >= power.Model.v_min -. 1e-9
+         && s.Trace.voltage <= power.Model.v_max +. 1e-9))
+    trace.Trace.spans
+
+let test_trace_energy_crosscheck () =
+  (* With the ideal model at c0 = 1, cycles = v * dt, so the trace can
+     recompute the simulator's energy exactly. *)
+  let acs = fixture () in
+  let totals = Sampler.fixed acs.Static_schedule.plan ~value:`Acec in
+  let outcome, trace = Event_sim.run_traced ~schedule:acs ~policy:Policy.Greedy ~totals () in
+  Alcotest.(check (float 1e-6)) "energy recomputable" outcome.Lepts_sim.Outcome.energy
+    (Trace.energy trace ~c_eff:1.)
+
+let test_busy_time_bounds () =
+  let acs = fixture () in
+  let totals = Sampler.fixed acs.Static_schedule.plan ~value:`Wcec in
+  let _, trace = Event_sim.run_traced ~schedule:acs ~policy:Policy.Greedy ~totals () in
+  let u = Trace.utilization trace in
+  Alcotest.(check bool) "utilization in (0, 1]" true (u > 0. && u <= 1. +. 1e-9)
+
+let test_gantt_rendering () =
+  let acs = fixture () in
+  let totals = Sampler.fixed acs.Static_schedule.plan ~value:`Acec in
+  let _, trace = Event_sim.run_traced ~schedule:acs ~policy:Policy.Greedy ~totals () in
+  let out = Format.asprintf "%a" (Trace.pp_gantt ~width:48 ~n_tasks:3) trace in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check bool) "one row per task + axis" true (List.length lines >= 4);
+  Alcotest.(check bool) "busy cells present" true
+    (String.exists (fun c -> c >= '1' && c <= '9') out);
+  Alcotest.(check bool) "idle cells present" true (String.contains out '.')
+
+let test_empty_trace () =
+  let t = { Trace.spans = []; horizon = 0. } in
+  Alcotest.(check (float 0.)) "no busy time" 0. (Trace.busy_time t);
+  Alcotest.(check (float 0.)) "utilization 0" 0. (Trace.utilization t);
+  let out = Format.asprintf "%a" (Trace.pp_gantt ?width:None ~n_tasks:2) t in
+  Alcotest.(check bool) "renders placeholder" true (String.length out > 0)
+
+let suite =
+  [ ("spans disjoint and ordered", `Quick, test_spans_disjoint_and_ordered);
+    ("trace energy cross-check", `Quick, test_trace_energy_crosscheck);
+    ("busy-time bounds", `Quick, test_busy_time_bounds);
+    ("gantt rendering", `Quick, test_gantt_rendering);
+    ("empty trace", `Quick, test_empty_trace) ]

@@ -1,0 +1,125 @@
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+module Model = Lepts_power.Model
+module Random_gen = Lepts_workloads.Random_gen
+module Cnc = Lepts_workloads.Cnc
+module Gap = Lepts_workloads.Gap
+
+let power = Model.ideal ~v_min:0.5 ~v_max:4. ()
+
+let test_uunifast_sum () =
+  let rng = Lepts_prng.Xoshiro256.create ~seed:1 in
+  for _ = 1 to 100 do
+    let n = 1 + Lepts_prng.Xoshiro256.int rng ~bound:10 in
+    let u = Random_gen.uunifast ~rng ~n ~total:0.7 in
+    let sum = Array.fold_left ( +. ) 0. u in
+    Alcotest.(check (float 1e-9)) "sums to total" 0.7 sum;
+    Array.iter (fun x -> if x < 0. then Alcotest.failf "negative utilisation %g" x) u
+  done
+
+let test_uunifast_marginals () =
+  (* E[u_i] = total / n for every i (exchangeability). *)
+  let rng = Lepts_prng.Xoshiro256.create ~seed:2 in
+  let n = 4 and total = 1.0 and rounds = 20_000 in
+  let sums = Array.make n 0. in
+  for _ = 1 to rounds do
+    let u = Random_gen.uunifast ~rng ~n ~total in
+    Array.iteri (fun i x -> sums.(i) <- sums.(i) +. x) u
+  done;
+  Array.iter
+    (fun s ->
+      let mean = s /. float_of_int rounds in
+      if Float.abs (mean -. (total /. float_of_int n)) > 0.01 then
+        Alcotest.failf "biased marginal %g" mean)
+    sums
+
+let test_generate_properties () =
+  let rng = Lepts_prng.Xoshiro256.create ~seed:7 in
+  for n = 2 to 6 do
+    let config = Random_gen.default_config ~n_tasks:n ~ratio:0.5 in
+    match Random_gen.generate config ~power ~rng with
+    | Error msg -> Alcotest.failf "generation failed: %s" msg
+    | Ok ts ->
+      Alcotest.(check int) "task count" n (Task_set.size ts);
+      Alcotest.(check (float 1e-6)) "utilization" 0.7 (Task_set.utilization ts ~power);
+      Alcotest.(check bool) "schedulable" true (Lepts_task.Rm.schedulable ts ~power);
+      Alcotest.(check bool) "sub-instance cap" true
+        (Lepts_preempt.Plan.sub_instance_count ts <= 1000);
+      Array.iter
+        (fun (t : Task.t) ->
+          Alcotest.(check (float 1e-9)) "ratio respected" (0.5 *. t.Task.wcec) t.Task.bcec;
+          Alcotest.(check (float 1e-9)) "acec midpoint"
+            ((t.Task.bcec +. t.Task.wcec) /. 2.) t.Task.acec)
+        (Task_set.tasks ts)
+  done
+
+let test_generate_deterministic () =
+  let gen seed =
+    let rng = Lepts_prng.Xoshiro256.create ~seed in
+    Result.get_ok (Random_gen.generate (Random_gen.default_config ~n_tasks:4 ~ratio:0.1) ~power ~rng)
+  in
+  let a = gen 42 and b = gen 42 in
+  Alcotest.(check bool) "same seed, same set" true
+    (Array.for_all2 Task.equal (Task_set.tasks a) (Task_set.tasks b))
+
+let test_generate_invalid () =
+  let rng = Lepts_prng.Xoshiro256.create ~seed:1 in
+  Alcotest.check_raises "bad n" (Invalid_argument "Random_gen.generate: n_tasks")
+    (fun () ->
+      ignore (Random_gen.generate (Random_gen.default_config ~n_tasks:0 ~ratio:0.1) ~power ~rng));
+  Alcotest.check_raises "bad ratio"
+    (Invalid_argument "Random_gen.generate: ratio out of [0, 1]") (fun () ->
+      ignore
+        (Random_gen.generate
+           { (Random_gen.default_config ~n_tasks:2 ~ratio:0.1) with ratio = 2. }
+           ~power ~rng))
+
+let test_cnc_shape () =
+  let ts = Cnc.task_set ~power ~ratio:0.1 () in
+  Alcotest.(check int) "8 tasks" 8 (Task_set.size ts);
+  Alcotest.(check (float 1e-6)) "70% utilization" 0.7 (Task_set.utilization ts ~power);
+  Alcotest.(check bool) "schedulable" true (Lepts_task.Rm.schedulable ts ~power);
+  Alcotest.(check int) "hyper-period 96 ticks" 96 (Task_set.hyper_period ts)
+
+let test_cnc_period_structure () =
+  let ts = Cnc.task_set ~power ~ratio:0.5 () in
+  let periods =
+    Array.to_list (Array.map (fun (t : Task.t) -> t.Task.period) (Task_set.tasks ts))
+  in
+  (* Priority order: five 2.4 ms tasks, two 4.8 ms, one 9.6 ms. *)
+  Alcotest.(check (list int)) "periods" [ 24; 24; 24; 24; 24; 48; 48; 96 ] periods
+
+let test_gap_shape () =
+  let ts = Gap.task_set ~power ~ratio:0.1 () in
+  Alcotest.(check int) "17 tasks" 17 (Task_set.size ts);
+  Alcotest.(check (float 1e-6)) "70% utilization" 0.7 (Task_set.utilization ts ~power);
+  Alcotest.(check bool) "schedulable" true (Lepts_task.Rm.schedulable ts ~power);
+  Alcotest.(check int) "hyper-period 1200 ms" 1200 (Task_set.hyper_period ts)
+
+let test_published_tables_consistent () =
+  Alcotest.(check int) "cnc arrays" (Array.length Cnc.names) (Array.length Cnc.periods_ms);
+  Alcotest.(check int) "cnc wcet" (Array.length Cnc.names) (Array.length Cnc.wcet_ms);
+  Alcotest.(check int) "gap arrays" (Array.length Gap.names) (Array.length Gap.periods_ms);
+  Alcotest.(check int) "gap wcet" (Array.length Gap.names) (Array.length Gap.wcet_ms)
+
+let test_ratio_sweep_changes_only_variability () =
+  (* WCECs are identical across ratios; only BCEC/ACEC move. *)
+  let a = Cnc.task_set ~power ~ratio:0.1 () in
+  let b = Cnc.task_set ~power ~ratio:0.9 () in
+  Array.iter2
+    (fun (ta : Task.t) (tb : Task.t) ->
+      Alcotest.(check (float 1e-9)) "same wcec" ta.Task.wcec tb.Task.wcec;
+      Alcotest.(check bool) "more variability at 0.1" true (ta.Task.bcec < tb.Task.bcec))
+    (Task_set.tasks a) (Task_set.tasks b)
+
+let suite =
+  [ ("uunifast sums", `Quick, test_uunifast_sum);
+    ("uunifast marginals", `Quick, test_uunifast_marginals);
+    ("generator properties", `Quick, test_generate_properties);
+    ("generator determinism", `Quick, test_generate_deterministic);
+    ("generator validation", `Quick, test_generate_invalid);
+    ("CNC shape", `Quick, test_cnc_shape);
+    ("CNC period structure", `Quick, test_cnc_period_structure);
+    ("GAP shape", `Quick, test_gap_shape);
+    ("published tables consistent", `Quick, test_published_tables_consistent);
+    ("ratio sweeps only variability", `Quick, test_ratio_sweep_changes_only_variability) ]

@@ -1,0 +1,145 @@
+open Lepts_core
+module Model = Lepts_power.Model
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+
+let power = Model.ideal ~v_min:0.1 ~v_max:10. ()
+
+let seg = Alcotest.testable
+    (fun ppf (s : Yds.segment) ->
+      Format.fprintf ppf "[%g,%g)@%g" s.Yds.from_time s.to_time s.speed)
+    (fun a b ->
+      Float.abs (a.Yds.from_time -. b.Yds.from_time) < 1e-9
+      && Float.abs (a.Yds.to_time -. b.Yds.to_time) < 1e-9
+      && Float.abs (a.Yds.speed -. b.Yds.speed) < 1e-9)
+
+let test_single_job () =
+  let segs = Yds.schedule [ { Yds.release = 2.; deadline = 10.; work = 4. } ] in
+  Alcotest.(check (list seg)) "uniform over window"
+    [ { Yds.from_time = 2.; to_time = 10.; speed = 0.5 } ]
+    segs
+
+let test_disjoint_jobs () =
+  let segs =
+    Yds.schedule
+      [ { Yds.release = 0.; deadline = 2.; work = 4. };
+        { Yds.release = 5.; deadline = 10.; work = 5. } ]
+  in
+  Alcotest.(check (list seg)) "two plateaus"
+    [ { Yds.from_time = 0.; to_time = 2.; speed = 2. };
+      { Yds.from_time = 5.; to_time = 10.; speed = 1. } ]
+    segs
+
+let test_nested_jobs () =
+  (* Classic example: outer job [0,10] w=10, inner [2,4] w=6. Critical
+     interval [2,4] at speed 3; the outer job spreads over the
+     remaining 8 time units at 1.25. *)
+  let segs =
+    Yds.schedule
+      [ { Yds.release = 0.; deadline = 10.; work = 10. };
+        { Yds.release = 2.; deadline = 4.; work = 6. } ]
+  in
+  Alcotest.(check (list seg)) "peel then spread"
+    [ { Yds.from_time = 0.; to_time = 2.; speed = 1.25 };
+      { Yds.from_time = 2.; to_time = 4.; speed = 3. };
+      { Yds.from_time = 4.; to_time = 10.; speed = 1.25 } ]
+    segs
+
+let test_identical_jobs_merge () =
+  let segs =
+    Yds.schedule
+      [ { Yds.release = 0.; deadline = 4.; work = 2. };
+        { Yds.release = 0.; deadline = 4.; work = 6. } ]
+  in
+  Alcotest.(check (list seg)) "merged" [ { Yds.from_time = 0.; to_time = 4.; speed = 2. } ] segs
+
+let test_validation () =
+  Alcotest.check_raises "bad work" (Invalid_argument "Yds.schedule: non-positive work")
+    (fun () -> ignore (Yds.schedule [ { Yds.release = 0.; deadline = 1.; work = 0. } ]));
+  Alcotest.check_raises "bad window" (Invalid_argument "Yds.schedule: empty window")
+    (fun () -> ignore (Yds.schedule [ { Yds.release = 1.; deadline = 1.; work = 1. } ]))
+
+let total_work segs =
+  List.fold_left
+    (fun acc (s : Yds.segment) -> acc +. (s.Yds.speed *. (s.to_time -. s.from_time)))
+    0. segs
+
+let test_work_conservation_random () =
+  let rng = Lepts_prng.Xoshiro256.create ~seed:31 in
+  for _ = 1 to 30 do
+    let n = 1 + Lepts_prng.Xoshiro256.int rng ~bound:8 in
+    let jobs =
+      List.init n (fun _ ->
+          let release = Lepts_prng.Xoshiro256.uniform rng ~lo:0. ~hi:50. in
+          let len = Lepts_prng.Xoshiro256.uniform rng ~lo:1. ~hi:30. in
+          let work = Lepts_prng.Xoshiro256.uniform rng ~lo:0.5 ~hi:20. in
+          { Yds.release; deadline = release +. len; work })
+    in
+    let segs = Yds.schedule jobs in
+    let want = List.fold_left (fun acc j -> acc +. j.Yds.work) 0. jobs in
+    if Float.abs (total_work segs -. want) > 1e-6 then
+      Alcotest.failf "work not conserved: %g vs %g" (total_work segs) want;
+    (* Segments are disjoint and ordered. *)
+    let rec check_order = function
+      | (a : Yds.segment) :: (b :: _ as rest) ->
+        if a.to_time > b.Yds.from_time +. 1e-9 then Alcotest.fail "overlap";
+        check_order rest
+      | [ _ ] | [] -> ()
+    in
+    check_order segs
+  done
+
+let test_peeled_intensities_decrease () =
+  (* Intensities are non-increasing across peels, so the highest speed
+     segment is the first critical interval: here [2,4]. *)
+  let segs =
+    Yds.schedule
+      [ { Yds.release = 0.; deadline = 10.; work = 5. };
+        { Yds.release = 2.; deadline = 4.; work = 8. } ]
+  in
+  let top = List.fold_left (fun m (s : Yds.segment) -> Float.max m s.Yds.speed) 0. segs in
+  Alcotest.(check (float 1e-9)) "peak speed" 4. top
+
+let test_lower_bound_vs_wcs () =
+  (* The YDS energy (EDF, job-level optimal) must lower-bound the WCS
+     worst-case energy (RM, segment-constrained). *)
+  let power = Model.ideal ~v_min:0.5 ~v_max:4. () in
+  let ts =
+    Task_set.scale_wcec_to_utilization
+      (Task_set.create
+         [ Task.with_ratio ~name:"a" ~period:4 ~wcec:4. ~ratio:0.5;
+           Task.with_ratio ~name:"b" ~period:6 ~wcec:5. ~ratio:0.5;
+           Task.with_ratio ~name:"c" ~period:12 ~wcec:8. ~ratio:0.5 ])
+      ~power ~target:0.7
+  in
+  let bound = Yds.lower_bound ~power ts in
+  let plan = Lepts_preempt.Plan.expand ts in
+  let wcs, stats = Result.get_ok (Solver.solve_wcs ~plan ~power ()) in
+  ignore wcs;
+  Alcotest.(check bool) "YDS <= WCS worst energy" true
+    (bound <= stats.Solver.objective +. 1e-6);
+  Alcotest.(check bool) "bound positive" true (bound > 0.)
+
+let test_motivation_bound_tight () =
+  (* Equal-period tasks: YDS = uniform speed = the WCS optimum, so the
+     bound is tight (540). *)
+  let power = Model.ideal ~v_min:1. ~v_max:4. () in
+  let ts =
+    Task_set.create
+      [ Task.create ~name:"t1" ~period:20 ~wcec:20. ~acec:10. ~bcec:0.;
+        Task.create ~name:"t2" ~period:20 ~wcec:20. ~acec:10. ~bcec:0.;
+        Task.create ~name:"t3" ~period:20 ~wcec:20. ~acec:10. ~bcec:0. ]
+  in
+  Alcotest.(check (float 0.5)) "tight on uniform case" 540.
+    (Yds.lower_bound ~power ts)
+
+let suite =
+  [ ("single job", `Quick, test_single_job);
+    ("disjoint jobs", `Quick, test_disjoint_jobs);
+    ("nested jobs (classic)", `Quick, test_nested_jobs);
+    ("identical windows merge", `Quick, test_identical_jobs_merge);
+    ("validation", `Quick, test_validation);
+    ("work conservation (random)", `Quick, test_work_conservation_random);
+    ("peak speed is first peel", `Quick, test_peeled_intensities_decrease);
+    ("lower-bounds WCS", `Quick, test_lower_bound_vs_wcs);
+    ("tight on the motivational example", `Quick, test_motivation_bound_tight) ]
