@@ -228,6 +228,100 @@ let utilization_cmd =
        ~doc:"Sweep worst-case utilization and measure the ACS gain (extension).")
     Term.(const run $ verbose_arg $ rounds_arg 400 $ seed_arg $ v_min_arg $ v_max_arg)
 
+(* --- faults ------------------------------------------------------------- *)
+
+let faults_cmd =
+  let run verbose n ratio rounds seed v_min v_max overrun_prob overrun_factor
+      jitter_prob jitter_frac denial_prob no_shed no_escalate =
+    setup_logs verbose;
+    let power = power_of ~v_min ~v_max in
+    let workload_result =
+      if n = 0 then Ok (Lepts_workloads.Cnc.task_set ~power ~ratio ())
+      else
+        let rng = Lepts_prng.Xoshiro256.create ~seed in
+        Lepts_workloads.Random_gen.generate
+          (Lepts_workloads.Random_gen.default_config ~n_tasks:n ~ratio)
+          ~power ~rng
+    in
+    match workload_result with
+    | Error msg -> Format.printf "generation failed: %s@." msg; 1
+    | Ok ts -> (
+      let plan = Plan.expand ts in
+      match Lepts_robust.Robust_solver.solve ~plan ~power () with
+      | Error e -> Format.printf "error: %a@." Solver.pp_error e; 1
+      | Ok (schedule, diagnostics) ->
+        Format.printf "%a@." Lepts_robust.Robust_solver.pp_diagnostics diagnostics;
+        let spec =
+          { Lepts_robust.Fault_injector.seed; overrun_prob; overrun_factor;
+            jitter_prob; jitter_frac; denial_prob }
+        in
+        let containment =
+          { Lepts_robust.Containment.shed = not no_shed;
+            escalate_early = not no_escalate }
+        in
+        Format.printf "fault spec: %a@.containment: %a@."
+          Lepts_robust.Fault_injector.pp_spec spec
+          Lepts_robust.Containment.pp_config containment;
+        let report =
+          Lepts_robust.Campaign.run ~rounds ~containment ~spec ~schedule
+            ~policy:Lepts_dvs.Policy.Greedy ~seed:(seed + 1) ()
+        in
+        Printf.printf "\nRobustness report (%d rounds per arm, greedy policy):\n"
+          rounds;
+        Lepts_util.Table.print (Lepts_robust.Campaign.to_table report);
+        0)
+  in
+  let n =
+    Arg.(value & opt int 0
+         & info [ "tasks"; "n" ] ~docv:"N"
+             ~doc:"Number of random tasks; 0 (default) uses the CNC task set.")
+  in
+  let ratio =
+    Arg.(value & opt float 0.1 & info [ "ratio" ] ~docv:"R" ~doc:"BCEC/WCEC ratio.")
+  in
+  let overrun_prob =
+    Arg.(value & opt float 0.05
+         & info [ "overrun-prob" ] ~docv:"P"
+             ~doc:"Per-instance probability of a WCEC overrun.")
+  in
+  let overrun_factor =
+    Arg.(value & opt float 1.5
+         & info [ "overrun-factor" ] ~docv:"F"
+             ~doc:"Actual cycles = F * WCEC on an overrun (F >= 1).")
+  in
+  let jitter_prob =
+    Arg.(value & opt float 0.05
+         & info [ "jitter-prob" ] ~docv:"P"
+             ~doc:"Per-instance probability of release jitter.")
+  in
+  let jitter_frac =
+    Arg.(value & opt float 0.1
+         & info [ "jitter-frac" ] ~docv:"F"
+             ~doc:"Maximum jitter as a fraction of the period.")
+  in
+  let denial_prob =
+    Arg.(value & opt float 0.05
+         & info [ "denial-prob" ] ~docv:"P"
+             ~doc:"Per-dispatch probability that a voltage change is denied.")
+  in
+  let no_shed =
+    Arg.(value & flag
+         & info [ "no-shed" ]
+             ~doc:"Containment escalates to v_max but never sheds residual work.")
+  in
+  let no_escalate =
+    Arg.(value & flag
+         & info [ "no-escalate" ]
+             ~doc:"Containment only acts once the budget is fully exhausted.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run a fault-injection campaign (WCEC overruns, release jitter, \
+             denied voltage transitions) and print a robustness report.")
+    Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 500 $ seed_arg
+          $ v_min_arg $ v_max_arg $ overrun_prob $ overrun_factor $ jitter_prob
+          $ jitter_frac $ denial_prob $ no_shed $ no_escalate)
+
 (* --- export -------------------------------------------------------------- *)
 
 let export_cmd =
@@ -281,6 +375,6 @@ let main_cmd =
   let doc = "low-energy preemptive task scheduling (DATE 2005 reproduction)" in
   Cmd.group (Cmd.info "lepts" ~version:"1.0.0" ~doc)
     [ motivation_cmd; fig6a_cmd; fig6b_cmd; schedule_cmd; random_cmd; policies_cmd;
-      ablations_cmd; utilization_cmd; export_cmd ]
+      ablations_cmd; utilization_cmd; faults_cmd; export_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -221,7 +221,7 @@ let slacks_for (plan : Plan.t) ~t_max ~e ~q =
    their mean runtime energy (a single ACEC or WCEC scenario for the
    deterministic modes, a Monte-Carlo sample for the stochastic
    extension). *)
-let solve_from ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~power ~y0 () =
+let solve_from ?deadline ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~power ~y0 () =
     let m = Array.length plan.Plan.order in
     let t_max = t_at_vmax power in
     let hyper = Plan.hyper_period plan in
@@ -250,7 +250,10 @@ let solve_from ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~power ~y0 ()
     let outer = ref 0 in
     let violation = ref infinity in
     let finished = ref false in
-    while (not !finished) && !outer < max_outer do
+    let within_deadline () =
+      match deadline with None -> true | Some d -> Sys.time () < d
+    in
+    while (not !finished) && !outer < max_outer && within_deadline () do
       incr outer;
       let mu_now = !mu in
       let lag y =
@@ -341,13 +344,14 @@ let solve_from ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~power ~y0 ()
    worst-case schedule, its ALAP push-right, and any caller-provided
    warm starts (e.g. the WCS solution when solving ACS) — and keeps the
    best result. *)
-let solve_multi_start ~max_outer ~max_inner ~warm_starts ~totals_list
+let solve_multi_start ?wall_budget ~max_outer ~max_inner ~warm_starts ~totals_list
     ~(plan : Plan.t) ~power () =
   match initial_point ~plan ~power with
   | Error _ as err -> err
   | Ok (e0, q0) ->
     let m = Array.length plan.Plan.order in
     let t_max = t_at_vmax power in
+    let deadline = Option.map (fun b -> Sys.time () +. b) wall_budget in
     let point_of_eq (e, q) = Array.append q (slacks_for plan ~t_max ~e ~q) in
     let alap = alap_end_times plan ~t_max ~e:e0 ~q:q0 in
     let candidates =
@@ -356,10 +360,21 @@ let solve_multi_start ~max_outer ~max_inner ~warm_starts ~totals_list
       :: List.map point_of_eq warm_starts
     in
     let best = ref None in
-    List.iter
-      (fun y0 ->
-        match solve_from ~max_outer ~max_inner ~totals_list ~plan ~power ~y0 () with
-        | Error _ -> ()
+    (* Keep the most recent failure: when every start fails, the final
+       error must say why instead of a generic stall message. *)
+    let last_error = ref None in
+    List.iteri
+      (fun start y0 ->
+        let attempt =
+          try solve_from ?deadline ~max_outer ~max_inner ~totals_list ~plan ~power ~y0 ()
+          with Lepts_optim.Guard.Non_finite what ->
+            Error
+              (Solver_stalled (Printf.sprintf "non-finite evaluation (%s)" what))
+        in
+        match attempt with
+        | Error err ->
+          Log.debug (fun f -> f "start %d failed: %a" start pp_error err);
+          last_error := Some err
         | Ok (schedule, stats) -> (
           match !best with
           | Some (_, best_stats) when best_stats.objective <= stats.objective -> ()
@@ -367,12 +382,21 @@ let solve_multi_start ~max_outer ~max_inner ~warm_starts ~totals_list
       candidates;
     (match !best with
     | Some result -> Ok result
-    | None -> Error (Solver_stalled "no start point produced a feasible schedule"))
+    | None ->
+      let detail =
+        match !last_error with
+        | Some (Solver_stalled why) -> ": last failure: " ^ why
+        | Some Unschedulable -> ": last failure: unschedulable"
+        | None -> ""
+      in
+      Error
+        (Solver_stalled ("no start point produced a feasible schedule" ^ detail)))
 
-let solve ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = []) ~mode
-    ~(plan : Plan.t) ~power () =
+let solve ?wall_budget ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = [])
+    ~mode ~(plan : Plan.t) ~power () =
   let totals_list = [ Objective.instance_totals mode plan ] in
-  solve_multi_start ~max_outer ~max_inner ~warm_starts ~totals_list ~plan ~power ()
+  solve_multi_start ?wall_budget ~max_outer ~max_inner ~warm_starts ~totals_list
+    ~plan ~power ()
 
 let solve_stochastic ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = [])
     ?(scenarios = 16) ?(seed = 1) ~(plan : Plan.t) ~power () =
@@ -393,8 +417,10 @@ let solve_stochastic ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = [])
   let totals_list = List.init scenarios (fun _ -> sample ()) in
   solve_multi_start ~max_outer ~max_inner ~warm_starts ~totals_list ~plan ~power ()
 
-let solve_acs ?max_outer ?max_inner ?warm_starts ~plan ~power () =
-  solve ?max_outer ?max_inner ?warm_starts ~mode:Objective.Average ~plan ~power ()
+let solve_acs ?wall_budget ?max_outer ?max_inner ?warm_starts ~plan ~power () =
+  solve ?wall_budget ?max_outer ?max_inner ?warm_starts ~mode:Objective.Average
+    ~plan ~power ()
 
-let solve_wcs ?max_outer ?max_inner ?warm_starts ~plan ~power () =
-  solve ?max_outer ?max_inner ?warm_starts ~mode:Objective.Worst ~plan ~power ()
+let solve_wcs ?wall_budget ?max_outer ?max_inner ?warm_starts ~plan ~power () =
+  solve ?wall_budget ?max_outer ?max_inner ?warm_starts ~mode:Objective.Worst
+    ~plan ~power ()

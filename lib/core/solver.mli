@@ -57,6 +57,7 @@ val repair :
     near-feasible solutions only microscopically. *)
 
 val solve :
+  ?wall_budget:float ->
   ?max_outer:int ->
   ?max_inner:int ->
   ?warm_starts:(float array * float array) list ->
@@ -71,9 +72,18 @@ val solve :
     [warm_starts] given as [(end_times, quotas)] pairs (e.g. the WCS
     solution when solving ACS) — and returns the best. Uses the
     analytic adjoint gradient for the ideal delay model and falls back
-    to central differences for the alpha model. *)
+    to central differences for the alpha model.
+
+    [wall_budget] bounds the CPU time (seconds, {!Sys.time}) spent
+    across all starts: once exhausted, no further outer iteration
+    begins and the current iterate is repaired and returned if
+    feasible. Non-finite objective or gradient evaluations (see
+    {!Lepts_optim.Guard}) abort the offending start with a
+    [Solver_stalled] error instead of iterating on garbage; when every
+    start fails, the final error reports the last failure's cause. *)
 
 val solve_acs :
+  ?wall_budget:float ->
   ?max_outer:int ->
   ?max_inner:int ->
   ?warm_starts:(float array * float array) list ->
@@ -84,6 +94,7 @@ val solve_acs :
 (** [solve ~mode:Average] — the paper's proposed scheduler. *)
 
 val solve_wcs :
+  ?wall_budget:float ->
   ?max_outer:int ->
   ?max_inner:int ->
   ?warm_starts:(float array * float array) list ->

@@ -1,0 +1,14 @@
+exception Non_finite of string
+
+let finite ~where x =
+  if not (Float.is_finite x) then
+    raise (Non_finite (Printf.sprintf "%s is %h" where x));
+  x
+
+let finite_vec ~where v =
+  let n = Array.length v in
+  for i = 0 to n - 1 do
+    if not (Float.is_finite v.(i)) then
+      raise (Non_finite (Printf.sprintf "%s.(%d) is %h" where i v.(i)))
+  done;
+  v

@@ -7,9 +7,9 @@ let gradient ?(h = 1e-6) ~f x =
       let step = h *. Float.max 1. (Float.abs x.(i)) in
       let xi = x.(i) in
       x.(i) <- xi +. step;
-      let fp = f x in
+      let fp = Guard.finite ~where:(Printf.sprintf "f(x + h e_%d)" i) (f x) in
       x.(i) <- xi -. step;
-      let fm = f x in
+      let fm = Guard.finite ~where:(Printf.sprintf "f(x - h e_%d)" i) (f x) in
       x.(i) <- xi;
       (fp -. fm) /. (2. *. step))
 
@@ -18,6 +18,6 @@ let directional ?(h = 1e-6) ~f x ~dir =
   if norm = 0. then 0.
   else
     let step = h /. norm in
-    let fp = f (Vec.axpy step dir x) in
-    let fm = f (Vec.axpy (-.step) dir x) in
+    let fp = Guard.finite ~where:"f(x + h d)" (f (Vec.axpy step dir x)) in
+    let fm = Guard.finite ~where:"f(x - h d)" (f (Vec.axpy (-.step) dir x)) in
     (fp -. fm) /. (2. *. step)

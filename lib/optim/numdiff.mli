@@ -7,7 +7,8 @@ val gradient :
   ?h:float -> f:(Lepts_linalg.Vec.t -> float) -> Lepts_linalg.Vec.t -> Lepts_linalg.Vec.t
 (** [gradient ~f x] approximates the gradient of [f] at [x] with central
     differences of step [h] (default [1e-6] scaled by coordinate
-    magnitude). [x] is not modified. *)
+    magnitude). [x] is not modified. Raises {!Guard.Non_finite} when an
+    evaluation of [f] returns NaN or infinity. *)
 
 val directional :
   ?h:float ->
@@ -16,4 +17,5 @@ val directional :
   dir:Lepts_linalg.Vec.t ->
   float
 (** Central-difference approximation of the directional derivative of
-    [f] at [x] along [dir]. *)
+    [f] at [x] along [dir]. Raises {!Guard.Non_finite} when an
+    evaluation of [f] returns NaN or infinity. *)

@@ -10,8 +10,8 @@ type report = {
 
 let minimize ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f ~grad ~project ~x0 () =
   let x = ref (project (Vec.copy x0)) in
-  let fx = ref (f !x) in
-  let g = ref (grad !x) in
+  let fx = ref (Guard.finite ~where:"objective at x0" (f !x)) in
+  let g = ref (Guard.finite_vec ~where:"gradient at x0" (grad !x)) in
   let recent = Array.make history !fx in
   let recent_idx = ref 0 in
   let push_value v =
@@ -48,7 +48,7 @@ let minimize ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f ~grad ~project 
       last_step_norm := 0.;
       converged := true
     | Some (x_next, fx_next, d, false) ->
-      let g_next = grad x_next in
+      let g_next = Guard.finite_vec ~where:"gradient" (grad x_next) in
       (* Barzilai–Borwein step length for the next iteration. *)
       let y = Vec.sub g_next !g in
       let sy = Vec.dot d y and ss = Vec.dot d d in

@@ -30,4 +30,10 @@ val minimize :
     10) objective values (Grippo–Lampariello–Lucidi non-monotone rule).
     Converged when the projected step drops below [tol] (default
     [1e-9]) relative to the iterate norm. [x0] is projected first, so
-    it need not be feasible. *)
+    it need not be feasible.
+
+    Raises {!Guard.Non_finite} when the objective at the (projected)
+    start point or any accepted gradient contains NaN or infinity —
+    iterating on non-finite values would otherwise silently return a
+    garbage minimiser. Non-finite {e trial} objective values during
+    backtracking remain non-fatal: the step is simply rejected. *)

@@ -1,0 +1,96 @@
+module Runner = Lepts_sim.Runner
+module Static_schedule = Lepts_core.Static_schedule
+module Model = Lepts_power.Model
+module Rng = Lepts_prng.Xoshiro256
+module Table = Lepts_util.Table
+
+type arm = {
+  label : string;
+  summary : Runner.summary;
+  faults : Fault_injector.counters;
+  containment : Containment.counters option;
+}
+
+type report = {
+  clean : Runner.summary;
+  faulty : arm;
+  contained : arm;
+  spec : Fault_injector.spec;
+  rounds : int;
+}
+
+let run ?(rounds = 500) ?dist ?(containment = Containment.default_config) ~spec
+    ~(schedule : Static_schedule.t) ~policy ~seed () =
+  Fault_injector.validate spec;
+  let plan = schedule.Static_schedule.plan in
+  let power = schedule.Static_schedule.power in
+  (* Each arm replays the identical workload draws (same simulation
+     seed) and the identical fault scenarios (same injector spec and
+     per-round seeds); only the runtime response differs. *)
+  let arm label ~contained =
+    let fcounters = Fault_injector.fresh_counters () in
+    let round_now = ref 0 in
+    let scenario ~round ~totals =
+      round_now := round;
+      let s =
+        Fault_injector.perturb spec ~counters:fcounters ~round plan ~totals
+      in
+      (s.Fault_injector.totals, Some s.Fault_injector.faults)
+    in
+    let ccounters, control =
+      if not contained then (None, None)
+      else
+        let c = Containment.fresh_counters () in
+        ( Some c,
+          Some
+            (Containment.control ~config:containment
+               ~epoch:(fun () -> !round_now)
+               ~power ~counters:c ()) )
+    in
+    let summary =
+      Runner.simulate ~rounds ?dist ~scenario ?control ~schedule ~policy
+        ~rng:(Rng.create ~seed) ()
+    in
+    { label; summary; faults = fcounters; containment = ccounters }
+  in
+  let clean =
+    Runner.simulate ~rounds ?dist ~schedule ~policy ~rng:(Rng.create ~seed) ()
+  in
+  let faulty = arm "faults" ~contained:false in
+  let contained = arm "faults + containment" ~contained:true in
+  { clean; faulty; contained; spec; rounds }
+
+let to_table r =
+  let t =
+    Table.create
+      ~header:
+        [ "run"; "misses"; "shed"; "escalated"; "overruns"; "jitters"; "denials";
+          "mean"; "p95"; "p99" ]
+  in
+  let row label (s : Runner.summary) (f : Fault_injector.counters option)
+      (c : Containment.counters option) =
+    Table.add_row t
+      [ label;
+        string_of_int s.Runner.deadline_misses;
+        string_of_int s.Runner.shed_instances;
+        (match c with
+        | None -> "-"
+        | Some c -> string_of_int c.Containment.escalated_instances);
+        (match f with
+        | None -> "-"
+        | Some f -> string_of_int f.Fault_injector.overruns);
+        (match f with
+        | None -> "-"
+        | Some f -> string_of_int f.Fault_injector.jitters);
+        (match f with
+        | None -> "-"
+        | Some f -> string_of_int f.Fault_injector.denials);
+        Table.float_cell s.Runner.mean_energy;
+        Table.float_cell s.Runner.p95_energy;
+        Table.float_cell s.Runner.p99_energy ]
+  in
+  row "fault-free" r.clean None None;
+  row r.faulty.label r.faulty.summary (Some r.faulty.faults) None;
+  row r.contained.label r.contained.summary (Some r.contained.faults)
+    r.contained.containment;
+  t

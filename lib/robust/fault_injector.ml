@@ -1,0 +1,124 @@
+module Plan = Lepts_preempt.Plan
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+module Rng = Lepts_prng.Xoshiro256
+module Event_sim = Lepts_sim.Event_sim
+
+type spec = {
+  seed : int;
+  overrun_prob : float;
+  overrun_factor : float;
+  jitter_prob : float;
+  jitter_frac : float;
+  denial_prob : float;
+}
+
+let zero =
+  { seed = 2005; overrun_prob = 0.; overrun_factor = 1.5; jitter_prob = 0.;
+    jitter_frac = 0.; denial_prob = 0. }
+
+let is_zero spec =
+  spec.overrun_prob <= 0. && spec.jitter_prob <= 0. && spec.denial_prob <= 0.
+
+let validate spec =
+  let prob name p =
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Fault_injector: %s must be in [0, 1]" name)
+  in
+  prob "overrun_prob" spec.overrun_prob;
+  prob "jitter_prob" spec.jitter_prob;
+  prob "denial_prob" spec.denial_prob;
+  if spec.overrun_factor < 1. then
+    invalid_arg "Fault_injector: overrun_factor must be >= 1";
+  if spec.jitter_frac < 0. || spec.jitter_frac >= 1. then
+    invalid_arg "Fault_injector: jitter_frac must be in [0, 1)"
+
+let pp_spec ppf s =
+  Format.fprintf ppf
+    "seed=%d overrun=%g@@x%g jitter=%g@@%g denial=%g" s.seed s.overrun_prob
+    s.overrun_factor s.jitter_prob s.jitter_frac s.denial_prob
+
+type counters = {
+  mutable overruns : int;
+  mutable jitters : int;
+  mutable denials : int;
+}
+
+let fresh_counters () = { overruns = 0; jitters = 0; denials = 0 }
+
+type event =
+  | Overrun of { task : int; instance : int; actual : float; wcec : float }
+  | Jitter of { task : int; instance : int; delay : float }
+  | Denial of { task : int; instance : int; sub : int; time : float; requested : float }
+
+let pp_event ppf = function
+  | Overrun { task; instance; actual; wcec } ->
+    Format.fprintf ppf "overrun T%d.%d: %g > wcec %g" (task + 1) (instance + 1)
+      actual wcec
+  | Jitter { task; instance; delay } ->
+    Format.fprintf ppf "jitter T%d.%d: +%g" (task + 1) (instance + 1) delay
+  | Denial { task; instance; sub; time; requested } ->
+    Format.fprintf ppf "denial T%d.%d sub %d at t=%g (wanted %.3g V)" (task + 1)
+      (instance + 1) sub time requested
+
+type scenario = {
+  totals : float array array;
+  faults : Event_sim.faults;
+  events : event list ref;
+}
+
+let trace scenario = List.rev !(scenario.events)
+
+(* All randomness flows through one generator seeded from
+   [spec.seed + round] (SplitMix64 expansion makes consecutive integer
+   seeds independent streams): upfront per-instance overrun and jitter
+   draws in task/instance order, then a split stream for the per-
+   dispatch denial decisions. The simulator's dispatch sequence is
+   itself deterministic, so the whole fault trace is a pure function of
+   (spec, round, totals). *)
+let perturb spec ?counters ~round (plan : Plan.t) ~totals =
+  validate spec;
+  let rng = Rng.create ~seed:(spec.seed + round) in
+  let c = match counters with Some c -> c | None -> fresh_counters () in
+  let events = ref [] in
+  let ts = plan.Plan.task_set in
+  let totals' = Array.map Array.copy totals in
+  let offsets = Array.map (Array.map (fun _ -> 0.)) totals in
+  Array.iteri
+    (fun i per_instance ->
+      let task = Task_set.task ts i in
+      Array.iteri
+        (fun j _ ->
+          if spec.overrun_prob > 0. && Rng.float rng < spec.overrun_prob then begin
+            let actual = task.Task.wcec *. spec.overrun_factor in
+            totals'.(i).(j) <- actual;
+            c.overruns <- c.overruns + 1;
+            events :=
+              Overrun { task = i; instance = j; actual; wcec = task.Task.wcec }
+              :: !events
+          end;
+          if spec.jitter_prob > 0. && Rng.float rng < spec.jitter_prob then begin
+            let hi = spec.jitter_frac *. float_of_int task.Task.period in
+            let delay = Rng.uniform rng ~lo:0. ~hi in
+            offsets.(i).(j) <- delay;
+            c.jitters <- c.jitters + 1;
+            events := Jitter { task = i; instance = j; delay } :: !events
+          end)
+        per_instance)
+    totals;
+  let denial_rng = Rng.split rng in
+  let deny_transition ~task ~instance ~sub ~now ~requested =
+    if spec.denial_prob <= 0. then false
+    else if Rng.float denial_rng < spec.denial_prob then begin
+      c.denials <- c.denials + 1;
+      events := Denial { task; instance; sub; time = now; requested } :: !events;
+      true
+    end
+    else false
+  in
+  { totals = totals';
+    faults =
+      { Event_sim.release_offsets = offsets;
+        enforce_budget = spec.overrun_prob <= 0.;
+        deny_transition };
+    events }

@@ -1,0 +1,119 @@
+module Solver = Lepts_core.Solver
+module Validate = Lepts_core.Validate
+module Static_schedule = Lepts_core.Static_schedule
+
+let log_src = Logs.Src.create "lepts.robust.solver" ~doc:"resilient solve pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type budget = { max_outer : int; max_inner : int; wall_budget : float option }
+
+let default_budget = { max_outer = 30; max_inner = 2000; wall_budget = None }
+
+type config = { acs : budget; wcs : budget }
+
+let default_config = { acs = default_budget; wcs = default_budget }
+
+type stage = Acs | Wcs | Rm_vmax
+
+let stage_name = function Acs -> "acs" | Wcs -> "wcs" | Rm_vmax -> "rm-vmax"
+
+type diagnostics = {
+  attempts : (stage * string) list;
+  chosen : stage;
+  stats : Lepts_core.Solver.stats option;
+}
+
+let pp_diagnostics ppf d =
+  Format.fprintf ppf "schedule from %s" (stage_name d.chosen);
+  List.iter
+    (fun (stage, why) ->
+      Format.fprintf ppf "@.  %s failed: %s" (stage_name stage) why)
+    d.attempts
+
+let error_string e = Format.asprintf "%a" Solver.pp_error e
+
+let violations_string vs =
+  String.concat "; " (List.map (Format.asprintf "%a" Validate.pp_violation) vs)
+
+(* Re-check every candidate with the independent validator: a solver
+   bug must surface as a fallback, never as an infeasible schedule
+   handed to the runtime. *)
+let validated (schedule, stats) =
+  match Validate.check schedule with
+  | Ok () -> Ok (schedule, Some stats)
+  | Error vs ->
+    Error (Printf.sprintf "solution failed validation (%s)" (violations_string vs))
+
+let attempt_nlp ~budget ~solve =
+  if budget.max_outer <= 0 || budget.max_inner <= 0 then
+    Error "iteration budget exhausted before start"
+  else
+    match
+      solve ?wall_budget:budget.wall_budget ~max_outer:budget.max_outer
+        ~max_inner:budget.max_inner ()
+    with
+    | Error e -> Error (error_string e)
+    | Ok pair -> validated pair
+
+(* The canonical feasible point: worst-case rate-monotonic execution at
+   maximum speed. No optimisation involved, so it cannot stall — it
+   fails only when the task set is unschedulable outright. *)
+let attempt_rm ~plan ~power =
+  match Solver.initial_point ~plan ~power with
+  | Error e -> Error (error_string e)
+  | Ok (e0, q0) -> (
+    let schedule = Static_schedule.create ~plan ~power ~end_times:e0 ~quotas:q0 in
+    match Validate.check schedule with
+    | Ok () -> Ok (schedule, None)
+    | Error vs ->
+      Error
+        (Printf.sprintf "canonical RM schedule failed validation (%s)"
+           (violations_string vs)))
+
+let solve ?(config = default_config) ~plan ~power () =
+  let failures = ref [] in
+  let run stage attempt =
+    match attempt () with
+    | Ok (schedule, stats) ->
+      Log.debug (fun f -> f "%s succeeded" (stage_name stage));
+      Some
+        (schedule, { attempts = List.rev !failures; chosen = stage; stats })
+    | Error why ->
+      Log.info (fun f -> f "%s failed: %s" (stage_name stage) why);
+      failures := (stage, why) :: !failures;
+      None
+  in
+  let ( <|> ) previous (stage, attempt) =
+    match previous with Some _ -> previous | None -> run stage attempt
+  in
+  let result =
+    run Acs (fun () ->
+        attempt_nlp ~budget:config.acs
+          ~solve:(fun ?wall_budget ~max_outer ~max_inner () ->
+            Solver.solve_acs ?wall_budget ~max_outer ~max_inner ~plan ~power ()))
+    <|> ( Wcs,
+          fun () ->
+            attempt_nlp ~budget:config.wcs
+              ~solve:(fun ?wall_budget ~max_outer ~max_inner () ->
+                Solver.solve_wcs ?wall_budget ~max_outer ~max_inner ~plan ~power ()) )
+    <|> (Rm_vmax, fun () -> attempt_rm ~plan ~power)
+  in
+  match result with
+  | Some ok -> Ok ok
+  | None ->
+    (* Even the canonical RM point failed: either truly unschedulable,
+       or every stage stalled — report the full chain. *)
+    let unschedulable =
+      List.exists
+        (fun (_, why) -> why = error_string Solver.Unschedulable)
+        !failures
+    in
+    if unschedulable then Error Solver.Unschedulable
+    else
+      Error
+        (Solver.Solver_stalled
+           (String.concat "; "
+              (List.rev_map
+                 (fun (stage, why) -> stage_name stage ^ ": " ^ why)
+                 !failures)))

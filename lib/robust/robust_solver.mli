@@ -1,0 +1,61 @@
+(** Resilient solve pipeline: structured fallback ACS → WCS → RM.
+
+    The scheduling NLP is non-convex; {!Lepts_core.Solver} already runs
+    multiple starts, but a production pipeline must also survive the
+    case where {e every} start stalls, exceeds its budget, or trips a
+    non-finite guard. This module arranges a structured fallback chain:
+
+    + {b ACS} — the paper's average-case-aware schedule, under the
+      configured iteration/wall budget;
+    + {b WCS} — the worst-case baseline (a better-conditioned NLP),
+      under its own budget;
+    + {b RM at v_max} — the canonical worst-case rate-monotonic
+      schedule at maximum speed ({!Lepts_core.Solver.initial_point}).
+      No optimisation is involved, so this stage cannot stall; it fails
+      only when the task set is unschedulable outright.
+
+    Every candidate is re-checked with the independent
+    {!Lepts_core.Validate.check} before being accepted, and the
+    returned {!diagnostics} record which stages failed and why —
+    replacing the former drop-errors-on-the-floor behaviour. *)
+
+type budget = {
+  max_outer : int;  (** augmented-Lagrangian outer iterations; <= 0
+                        fails the stage before it starts *)
+  max_inner : int;  (** projected-gradient inner iterations per outer *)
+  wall_budget : float option;  (** CPU-seconds cap for the stage *)
+}
+
+val default_budget : budget
+(** The solver defaults: 30 outer, 2000 inner, no wall cap. *)
+
+type config = { acs : budget; wcs : budget }
+
+val default_config : config
+
+type stage = Acs | Wcs | Rm_vmax
+
+val stage_name : stage -> string
+
+type diagnostics = {
+  attempts : (stage * string) list;
+      (** failed stages in attempt order, with the failure reason *)
+  chosen : stage;  (** the stage that produced the returned schedule *)
+  stats : Lepts_core.Solver.stats option;
+      (** NLP statistics; [None] for the [Rm_vmax] fallback *)
+}
+
+val solve :
+  ?config:config ->
+  plan:Lepts_preempt.Plan.t ->
+  power:Lepts_power.Model.t ->
+  unit ->
+  (Lepts_core.Static_schedule.t * diagnostics, Lepts_core.Solver.error) result
+(** [solve ~plan ~power ()] walks the fallback chain and returns the
+    first candidate that passes {!Lepts_core.Validate.check}, together
+    with diagnostics naming any stages that failed. [Error] means the
+    whole chain failed — [Unschedulable] when any stage reported the
+    task set unschedulable, otherwise [Solver_stalled] carrying every
+    stage's failure reason. *)
+
+val pp_diagnostics : Format.formatter -> diagnostics -> unit

@@ -18,11 +18,39 @@ type instance_state = {
   mutable sub_pos : int;  (** current position in [subs] *)
   mutable quota_remaining : float;  (** unused quota of the current sub *)
   mutable finish : float;  (** nan until completed *)
+  mutable shed : bool;  (** true once containment dropped the residue *)
 }
 
-let build_instances (schedule : Static_schedule.t) ~totals =
+type faults = {
+  release_offsets : float array array;
+  enforce_budget : bool;
+  deny_transition :
+    task:int -> instance:int -> sub:int -> now:float -> requested:float -> bool;
+}
+
+type dispatch = {
+  d_task : int;
+  d_instance : int;
+  d_sub : int option;
+  d_now : float;
+  d_deadline : float;
+  d_quota_remaining : float;
+  d_budget_remaining : float;
+  d_work_remaining : float;
+  d_base_voltage : float;
+}
+
+type action = Run of float | Shed
+
+let build_instances ?faults (schedule : Static_schedule.t) ~totals =
   let plan = schedule.Static_schedule.plan in
   let ts = plan.Plan.task_set in
+  let enforce_budget =
+    match faults with None -> true | Some f -> f.enforce_budget
+  in
+  let offset i j =
+    match faults with None -> 0. | Some f -> f.release_offsets.(i).(j)
+  in
   let states = ref [] in
   Array.iteri
     (fun i per_instance ->
@@ -38,10 +66,16 @@ let build_instances (schedule : Static_schedule.t) ~totals =
             if Array.length subs = 0 then 0.
             else schedule.Static_schedule.quotas.(subs.(0))
           in
-          let release = float_of_int j *. period in
+          let release = (float_of_int j *. period) +. offset i j in
           (* Cap at the quota sum: the budgeted worst case. An instance
-             with no actual work completes at its release. *)
-          let remaining = Float.min totals.(i).(j) quota_sum in
+             with no actual work completes at its release. Fault
+             scenarios may disable the cap to model WCEC overruns; the
+             excess then executes past the budget (see [current_sub]'s
+             [None] branch) unless a containment policy sheds it. *)
+          let remaining =
+            if enforce_budget then Float.min totals.(i).(j) quota_sum
+            else totals.(i).(j)
+          in
           states :=
             { task = i; instance = j; release;
               deadline = float_of_int (j + 1) *. period;
@@ -49,16 +83,17 @@ let build_instances (schedule : Static_schedule.t) ~totals =
               remaining = (if remaining <= tiny then 0. else remaining);
               sub_pos = 0;
               quota_remaining = first_quota;
-              finish = (if remaining <= tiny then release else Float.nan) }
+              finish = (if remaining <= tiny then release else Float.nan);
+              shed = false }
             :: !states)
         per_instance)
     plan.Plan.instance_subs;
   Array.of_list (List.rev !states)
 
 (* Advance to the first sub-instance with unused quota; [None] means
-   every quota is exhausted but actual work remains (possible only
-   within the repair tolerance — the residue then runs at maximum
-   speed). *)
+   every quota is exhausted but actual work remains (within the repair
+   tolerance in normal operation, or a genuine WCEC overrun under fault
+   injection — the residue then runs at maximum speed). *)
 let current_sub (schedule : Static_schedule.t) st =
   while st.quota_remaining <= tiny && st.sub_pos < Array.length st.subs - 1 do
     st.sub_pos <- st.sub_pos + 1;
@@ -70,23 +105,35 @@ let current_sub (schedule : Static_schedule.t) st =
    execute its current sub-instance once that sub-instance's segment
    has been released — a task whose quota is exhausted suspends until
    its next segment, leaving the planned room to lower-priority
-   tasks. *)
+   tasks. Release jitter can push an instance's arrival past its first
+   segment's release, hence the [max] with the instance arrival. *)
 let ready_time (schedule : Static_schedule.t) st =
   if st.remaining <= tiny then infinity
   else
     match current_sub schedule st with
-    | Some k -> schedule.Static_schedule.plan.Plan.order.(k).Sub.release
+    | Some k ->
+      Float.max schedule.Static_schedule.plan.Plan.order.(k).Sub.release st.release
     | None -> st.release
+
+(* Unused quota left in this instance's budget: the current
+   sub-instance's remainder plus every later segment's full quota. *)
+let budget_remaining (schedule : Static_schedule.t) st =
+  let acc = ref (Float.max 0. st.quota_remaining) in
+  for pos = st.sub_pos + 1 to Array.length st.subs - 1 do
+    acc := !acc +. schedule.Static_schedule.quotas.(st.subs.(pos))
+  done;
+  !acc
 
 type transition = { time_per_volt : float; energy_per_volt : float }
 
-let run_traced ?transition ~(schedule : Static_schedule.t) ~policy ~totals () =
+let run_traced ?transition ?faults ?control ~(schedule : Static_schedule.t)
+    ~policy ~totals () =
   let spans = ref [] in
   let last_voltage = ref Float.nan in
   let plan = schedule.Static_schedule.plan in
   let power = schedule.Static_schedule.power in
   let static_v = Policy.worst_case_voltages schedule in
-  let states = build_instances schedule ~totals in
+  let states = build_instances ?faults schedule ~totals in
   let energy = ref 0. in
   let now = ref 0. in
   let guard = ref (10_000 + (100 * Array.length states * Array.length plan.Plan.order)) in
@@ -117,60 +164,93 @@ let run_traced ?transition ~(schedule : Static_schedule.t) ~policy ~totals () =
     | None ->
       let next = next_event ~pred:(fun _ -> true) in
       if Float.is_finite next then now := next else running := false
-    | Some st ->
-      let v, cycles_target =
-        match current_sub schedule st with
+    | Some st -> (
+      let sub = current_sub schedule st in
+      let base_voltage, cycles_target =
+        match sub with
         | Some k ->
           ( Policy.dispatch_voltage policy ~schedule ~static_v ~sub:k ~now:!now
               ~quota_remaining:st.quota_remaining,
             Float.min st.remaining st.quota_remaining )
         | None -> (power.Model.v_max, st.remaining)
       in
-      (* Voltage-transition overhead: stall and pay for the swing. *)
-      (match transition with
-      | Some { time_per_volt; energy_per_volt }
-        when (not (Float.is_nan !last_voltage)) && Float.abs (v -. !last_voltage) > 1e-9
-        ->
-        let dv = Float.abs (v -. !last_voltage) in
-        energy := !energy +. (energy_per_volt *. dv);
-        now := !now +. (time_per_volt *. dv)
-      | Some _ | None -> ());
-      last_voltage := v;
-      let cycle_time = Model.cycle_time power ~v in
-      let time_needed = cycles_target *. cycle_time in
-      (* A strictly higher-priority instance becoming ready preempts. *)
-      let preempt_at = next_event ~pred:(fun other -> other.task < st.task) in
-      let run_until = Float.min (!now +. time_needed) preempt_at in
-      let executed =
-        if run_until >= !now +. time_needed then cycles_target
-        else (run_until -. !now) /. cycle_time
+      let action =
+        match control with
+        | None -> Run base_voltage
+        | Some decide ->
+          decide
+            { d_task = st.task; d_instance = st.instance; d_sub = sub;
+              d_now = !now; d_deadline = st.deadline;
+              d_quota_remaining = st.quota_remaining;
+              d_budget_remaining = budget_remaining schedule st;
+              d_work_remaining = st.remaining; d_base_voltage = base_voltage }
       in
-      energy := !energy +. Model.energy power ~v ~cycles:executed;
-      if run_until > !now then
-        spans :=
-          { Trace.task = st.task; instance = st.instance; from_time = !now;
-            to_time = run_until; voltage = v }
-          :: !spans;
-      st.remaining <- st.remaining -. executed;
-      st.quota_remaining <- st.quota_remaining -. executed;
-      now := run_until;
-      if st.remaining <= tiny then begin
+      match action with
+      | Shed ->
+        (* Containment dropped the residue: the instance stops consuming
+           processor time. Its finish time stays nan, so it is counted
+           as a deadline miss (it never completed). *)
         st.remaining <- 0.;
-        st.finish <- !now
-      end
+        st.shed <- true
+      | Run v ->
+        (* A voltage-transition fault pins the processor at the previous
+           level for this dispatch. *)
+        let v =
+          match (faults, sub) with
+          | Some f, Some k
+            when (not (Float.is_nan !last_voltage))
+                 && Float.abs (v -. !last_voltage) > 1e-9
+                 && f.deny_transition ~task:st.task ~instance:st.instance ~sub:k
+                      ~now:!now ~requested:v -> !last_voltage
+          | _ -> v
+        in
+        (* Voltage-transition overhead: stall and pay for the swing. *)
+        (match transition with
+        | Some { time_per_volt; energy_per_volt }
+          when (not (Float.is_nan !last_voltage))
+               && Float.abs (v -. !last_voltage) > 1e-9 ->
+          let dv = Float.abs (v -. !last_voltage) in
+          energy := !energy +. (energy_per_volt *. dv);
+          now := !now +. (time_per_volt *. dv)
+        | Some _ | None -> ());
+        last_voltage := v;
+        let cycle_time = Model.cycle_time power ~v in
+        let time_needed = cycles_target *. cycle_time in
+        (* A strictly higher-priority instance becoming ready preempts. *)
+        let preempt_at = next_event ~pred:(fun other -> other.task < st.task) in
+        let run_until = Float.min (!now +. time_needed) preempt_at in
+        let executed =
+          if run_until >= !now +. time_needed then cycles_target
+          else (run_until -. !now) /. cycle_time
+        in
+        energy := !energy +. Model.energy power ~v ~cycles:executed;
+        if run_until > !now then
+          spans :=
+            { Trace.task = st.task; instance = st.instance; from_time = !now;
+              to_time = run_until; voltage = v }
+            :: !spans;
+        st.remaining <- st.remaining -. executed;
+        st.quota_remaining <- st.quota_remaining -. executed;
+        now := run_until;
+        if st.remaining <= tiny then begin
+          st.remaining <- 0.;
+          st.finish <- !now
+        end)
   done;
   let finish_times =
     Array.map (Array.map (fun _ -> Float.nan)) plan.Plan.instance_subs
   in
-  let misses = ref 0 in
+  let misses = ref 0 and shed = ref 0 in
   Array.iter
     (fun st ->
       finish_times.(st.task).(st.instance) <- st.finish;
+      if st.shed then incr shed;
       if Float.is_nan st.finish || st.finish > st.deadline +. (1e-6 *. st.deadline)
       then incr misses)
     states;
-  ( { Outcome.energy = !energy; deadline_misses = !misses; finish_times },
+  ( { Outcome.energy = !energy; deadline_misses = !misses;
+      shed_instances = !shed; finish_times },
     { Trace.spans = List.rev !spans; horizon = Plan.hyper_period plan } )
 
-let run ?transition ~schedule ~policy ~totals () =
-  fst (run_traced ?transition ~schedule ~policy ~totals ())
+let run ?transition ?faults ?control ~schedule ~policy ~totals () =
+  fst (run_traced ?transition ?faults ?control ~schedule ~policy ~totals ())

@@ -20,7 +20,29 @@
     the closed-form {!Sequence} executor whenever both are given the
     same per-instance workloads — a property the tests check — but this
     module makes no such assumption and remains correct for policies
-    other than greedy reclamation. *)
+    other than greedy reclamation.
+
+    {2 Fault model}
+
+    The optional [faults] argument perturbs the execution to study how
+    the schedule degrades when the paper's assumptions are violated
+    (see {!Lepts_robust.Fault_injector} for the seeded generator):
+
+    - {e release jitter}: instance arrivals are delayed by
+      [release_offsets];
+    - {e WCEC overruns}: with [enforce_budget = false], actual cycles
+      beyond the budgeted quota sum are executed instead of capped —
+      the residue runs at [v_max] once every quota is exhausted, unless
+      a [control] hook sheds it;
+    - {e voltage-transition faults}: [deny_transition] may refuse a
+      requested voltage change, pinning the processor at the previous
+      level for that dispatch.
+
+    The optional [control] hook observes every dispatch (including the
+    wrapped policy's voltage choice) and may override the voltage or
+    shed the instance's residual work — the mechanism behind
+    {!Lepts_robust.Containment}. With both arguments absent the
+    behaviour is exactly the historical one. *)
 
 type transition = {
   time_per_volt : float;  (** stall per volt of voltage change (ms/V) *)
@@ -34,8 +56,43 @@ type transition = {
     processor for [time_per_volt * |dV|] and costs
     [energy_per_volt * |dV|]. *)
 
+type faults = {
+  release_offsets : float array array;
+      (** non-negative arrival delay per instance, indexed
+          [.(task).(instance)] *)
+  enforce_budget : bool;
+      (** [true] (the default behaviour) caps each instance's actual
+          cycles at its quota sum; [false] lets WCEC overruns execute *)
+  deny_transition :
+    task:int -> instance:int -> sub:int -> now:float -> requested:float -> bool;
+      (** consulted once per dispatch that requests a voltage change;
+          returning [true] keeps the previous voltage for this
+          dispatch *)
+}
+(** A concrete fault scenario for one hyper-period. *)
+
+type dispatch = {
+  d_task : int;
+  d_instance : int;
+  d_sub : int option;  (** order index; [None] once every quota is spent *)
+  d_now : float;
+  d_deadline : float;  (** the instance's absolute deadline *)
+  d_quota_remaining : float;
+  d_budget_remaining : float;
+      (** unused quota across this and all later segments *)
+  d_work_remaining : float;  (** actual cycles still to execute *)
+  d_base_voltage : float;  (** what the wrapped policy chose *)
+}
+(** What a {e control} hook sees at each dispatch. *)
+
+type action =
+  | Run of float  (** execute at this voltage *)
+  | Shed  (** drop the instance's residual work (counts as a miss) *)
+
 val run :
   ?transition:transition ->
+  ?faults:faults ->
+  ?control:(dispatch -> action) ->
   schedule:Lepts_core.Static_schedule.t ->
   policy:Lepts_dvs.Policy.t ->
   totals:float array array ->
@@ -45,10 +102,13 @@ val run :
     instance [(i, j)] requires [totals.(i).(j)] actual cycles
     (necessarily [<= wcec_i] for the guarantees to hold; larger values
     are capped at the quota sum, matching hardware that enforces
-    worst-case budgets). Deadline misses are recorded, not fatal. *)
+    worst-case budgets — unless [faults] disables enforcement).
+    Deadline misses are recorded, not fatal. *)
 
 val run_traced :
   ?transition:transition ->
+  ?faults:faults ->
+  ?control:(dispatch -> action) ->
   schedule:Lepts_core.Static_schedule.t ->
   policy:Lepts_dvs.Policy.t ->
   totals:float array array ->

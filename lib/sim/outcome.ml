@@ -1,10 +1,15 @@
 type t = {
   energy : float;
   deadline_misses : int;
+  shed_instances : int;
   finish_times : float array array;
 }
 
 let completed t = t.deadline_misses = 0
 
 let pp ppf t =
-  Format.fprintf ppf "energy=%g misses=%d" t.energy t.deadline_misses
+  if t.shed_instances = 0 then
+    Format.fprintf ppf "energy=%g misses=%d" t.energy t.deadline_misses
+  else
+    Format.fprintf ppf "energy=%g misses=%d shed=%d" t.energy t.deadline_misses
+      t.shed_instances

@@ -4,6 +4,10 @@ type t = {
   energy : float;  (** total energy consumed by task execution *)
   deadline_misses : int;  (** instances that completed after their
                               deadline (or not at all) *)
+  shed_instances : int;
+      (** instances whose residual work a containment policy dropped
+          (always counted as deadline misses too, since they never
+          completed); 0 outside fault-injection runs *)
   finish_times : float array array;
       (** completion time per instance, indexed [.(task).(instance)];
           [nan] for instances that never completed *)

@@ -4,27 +4,42 @@ type summary = {
   stddev_energy : float;
   min_energy : float;
   max_energy : float;
+  p95_energy : float;
+  p99_energy : float;
   deadline_misses : int;
+  shed_instances : int;
 }
 
-let simulate ?(rounds = 1000) ?dist ~schedule ~policy ~rng () =
+let simulate ?(rounds = 1000) ?dist ?scenario ?control ~schedule ~policy ~rng () =
   if rounds <= 0 then invalid_arg "Runner.simulate: rounds must be positive";
   let plan = schedule.Lepts_core.Static_schedule.plan in
   let energies = Array.make rounds 0. in
-  let misses = ref 0 in
+  let misses = ref 0 and shed = ref 0 in
   for r = 0 to rounds - 1 do
     let totals = Sampler.instance_totals ?dist plan ~rng in
-    let outcome = Event_sim.run ~schedule ~policy ~totals () in
+    let totals, faults =
+      match scenario with
+      | None -> (totals, None)
+      | Some perturb -> perturb ~round:r ~totals
+    in
+    let outcome = Event_sim.run ?faults ?control ~schedule ~policy ~totals () in
     energies.(r) <- outcome.Outcome.energy;
-    misses := !misses + outcome.Outcome.deadline_misses
+    misses := !misses + outcome.Outcome.deadline_misses;
+    shed := !shed + outcome.Outcome.shed_instances
   done;
   let min_energy, max_energy = Lepts_util.Stats.min_max energies in
   { rounds;
     mean_energy = Lepts_util.Stats.mean energies;
     stddev_energy = Lepts_util.Stats.stddev energies;
     min_energy; max_energy;
-    deadline_misses = !misses }
+    p95_energy = Lepts_util.Stats.percentile energies ~p:95.;
+    p99_energy = Lepts_util.Stats.percentile energies ~p:99.;
+    deadline_misses = !misses;
+    shed_instances = !shed }
 
 let pp_summary ppf s =
-  Format.fprintf ppf "rounds=%d mean=%.4g sd=%.3g min=%.4g max=%.4g misses=%d"
-    s.rounds s.mean_energy s.stddev_energy s.min_energy s.max_energy s.deadline_misses
+  Format.fprintf ppf
+    "rounds=%d mean=%.4g sd=%.3g min=%.4g max=%.4g p95=%.4g p99=%.4g misses=%d"
+    s.rounds s.mean_energy s.stddev_energy s.min_energy s.max_energy s.p95_energy
+    s.p99_energy s.deadline_misses;
+  if s.shed_instances > 0 then Format.fprintf ppf " shed=%d" s.shed_instances

@@ -10,12 +10,22 @@ type summary = {
   stddev_energy : float;
   min_energy : float;
   max_energy : float;
+  p95_energy : float;  (** 95th percentile of per-round energy *)
+  p99_energy : float;  (** 99th percentile of per-round energy *)
   deadline_misses : int;  (** summed over all rounds *)
+  shed_instances : int;
+      (** instances shed by a containment [control] hook, summed over
+          all rounds; 0 outside fault-injection campaigns *)
 }
 
 val simulate :
   ?rounds:int ->
   ?dist:Sampler.distribution ->
+  ?scenario:
+    (round:int ->
+    totals:float array array ->
+    float array array * Event_sim.faults option) ->
+  ?control:(Event_sim.dispatch -> Event_sim.action) ->
   schedule:Lepts_core.Static_schedule.t ->
   policy:Lepts_dvs.Policy.t ->
   rng:Lepts_prng.Xoshiro256.t ->
@@ -23,7 +33,12 @@ val simulate :
   summary
 (** [simulate ~schedule ~policy ~rng ()] runs [rounds] (default 1000,
     the paper's setting) hyper-periods through {!Event_sim} with fresh
-    workload draws from [dist] (default the paper's truncated
-    normal). *)
+    workload draws from [dist] (default the paper's truncated normal).
+
+    [scenario] maps each round's sampled workloads to (possibly
+    perturbed) workloads plus an optional fault scenario — the hook
+    {!Lepts_robust.Fault_injector} plugs into; [control] is passed
+    through to {!Event_sim.run} (containment). With both absent the
+    summaries are identical to the historical behaviour. *)
 
 val pp_summary : Format.formatter -> summary -> unit

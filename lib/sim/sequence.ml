@@ -34,4 +34,5 @@ let run ~(schedule : Static_schedule.t) ~totals =
           per_instance)
       plan.Plan.instance_subs
   in
-  { Outcome.energy = trace.Objective.energy; deadline_misses = !misses; finish_times }
+  { Outcome.energy = trace.Objective.energy; deadline_misses = !misses;
+    shed_instances = 0; finish_times }

@@ -15,6 +15,7 @@ let () =
       ("validate", Test_validate.suite);
       ("dvs", Test_dvs.suite);
       ("sim", Test_sim.suite);
+      ("robust", Test_robust.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("extensions", Test_extensions.suite);

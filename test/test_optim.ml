@@ -44,6 +44,43 @@ let test_directional () =
   check_float 1e-5 "directional" 2. d;
   check_float 0. "zero direction" 0. (Numdiff.directional ~f:sphere x ~dir:[| 0.; 0. |])
 
+(* --- Non-finite guards --------------------------------------------------- *)
+
+let raises_non_finite f =
+  try
+    ignore (f ());
+    false
+  with Guard.Non_finite _ -> true
+
+let test_numdiff_guards_nan () =
+  (* A NaN objective near the evaluation point must trip the guard, not
+     silently poison the gradient. *)
+  let f x = if x.(0) > 1. then Float.nan else sphere x in
+  Alcotest.(check bool) "nan objective detected" true
+    (raises_non_finite (fun () -> Numdiff.gradient ~f [| 1.; 0. |]));
+  let g x = if x.(0) > 1. then Float.infinity else sphere x in
+  Alcotest.(check bool) "inf objective detected" true
+    (raises_non_finite (fun () -> Numdiff.gradient ~f:g [| 1.; 0. |]))
+
+let test_pg_guards_nan_at_start () =
+  let f _ = Float.nan in
+  let grad x = Vec.scale 2. x in
+  Alcotest.(check bool) "nan objective at x0 detected" true
+    (raises_non_finite (fun () ->
+         Projected_gradient.minimize ~f ~grad ~project:Fun.id ~x0:[| 1. |] ()))
+
+let test_pg_guards_nan_gradient () =
+  let grad _ = [| Float.nan |] in
+  Alcotest.(check bool) "nan gradient detected" true
+    (raises_non_finite (fun () ->
+         Projected_gradient.minimize ~f:sphere ~grad ~project:Fun.id ~x0:[| 1. |] ()))
+
+let test_guard_passes_finite () =
+  Alcotest.(check (float 0.)) "finite passthrough" 3.5
+    (Guard.finite ~where:"x" 3.5);
+  Alcotest.(check bool) "vector passthrough" true
+    (Guard.finite_vec ~where:"v" [| 1.; 2. |] = [| 1.; 2. |])
+
 (* --- Line search -------------------------------------------------------- *)
 
 let test_backtracking_accepts () =
@@ -256,6 +293,10 @@ let suite =
     ("numdiff rosenbrock", `Quick, test_numdiff_rosenbrock);
     ("numdiff purity", `Quick, test_numdiff_does_not_mutate);
     ("directional derivative", `Quick, test_directional);
+    ("numdiff nan guard", `Quick, test_numdiff_guards_nan);
+    ("pg nan objective guard", `Quick, test_pg_guards_nan_at_start);
+    ("pg nan gradient guard", `Quick, test_pg_guards_nan_gradient);
+    ("guard finite passthrough", `Quick, test_guard_passes_finite);
     ("backtracking accepts descent", `Quick, test_backtracking_accepts);
     ("backtracking rejects ascent", `Quick, test_backtracking_rejects_ascent);
     ("lbfgs sphere", `Quick, test_lbfgs_sphere);

@@ -1,0 +1,340 @@
+open Lepts_core
+module Task = Lepts_task.Task
+module Task_set = Lepts_task.Task_set
+module Plan = Lepts_preempt.Plan
+module Model = Lepts_power.Model
+module Policy = Lepts_dvs.Policy
+module Event_sim = Lepts_sim.Event_sim
+module Outcome = Lepts_sim.Outcome
+module Runner = Lepts_sim.Runner
+module Sampler = Lepts_sim.Sampler
+module Rng = Lepts_prng.Xoshiro256
+module Fault_injector = Lepts_robust.Fault_injector
+module Containment = Lepts_robust.Containment
+module Robust_solver = Lepts_robust.Robust_solver
+module Campaign = Lepts_robust.Campaign
+
+let power = Model.ideal ~v_min:0.5 ~v_max:4. ()
+
+let preemptive_acs () =
+  let ts =
+    Task_set.scale_wcec_to_utilization
+      (Task_set.create
+         [ Task.with_ratio ~name:"a" ~period:4 ~wcec:4. ~ratio:0.1;
+           Task.with_ratio ~name:"b" ~period:6 ~wcec:5. ~ratio:0.1;
+           Task.with_ratio ~name:"c" ~period:12 ~wcec:8. ~ratio:0.1 ])
+      ~power ~target:0.7
+  in
+  let plan = Plan.expand ts in
+  let acs, _ = Result.get_ok (Solver.solve_acs ~plan ~power ()) in
+  (plan, acs)
+
+let moderate_spec =
+  { Fault_injector.seed = 42; overrun_prob = 0.3; overrun_factor = 2.;
+    jitter_prob = 0.3; jitter_frac = 0.2; denial_prob = 0.1 }
+
+(* --- Fault injector ------------------------------------------------------ *)
+
+let test_injector_deterministic () =
+  let plan, _ = preemptive_acs () in
+  let totals = Sampler.fixed plan ~value:`Acec in
+  let draw () = Fault_injector.perturb moderate_spec ~round:7 plan ~totals in
+  let a = draw () and b = draw () in
+  Alcotest.(check bool) "same totals" true
+    (a.Fault_injector.totals = b.Fault_injector.totals);
+  Alcotest.(check bool) "same trace" true
+    (Fault_injector.trace a = Fault_injector.trace b);
+  (* Different rounds reseed the generator. *)
+  let c = Fault_injector.perturb moderate_spec ~round:8 plan ~totals in
+  Alcotest.(check bool) "round changes the draw" true
+    (Fault_injector.trace a <> Fault_injector.trace c)
+
+let test_injector_zero_is_identity () =
+  let plan, _ = preemptive_acs () in
+  let totals = Sampler.fixed plan ~value:`Acec in
+  let s = Fault_injector.perturb Fault_injector.zero ~round:3 plan ~totals in
+  Alcotest.(check bool) "is_zero" true (Fault_injector.is_zero Fault_injector.zero);
+  Alcotest.(check bool) "totals unchanged" true (s.Fault_injector.totals = totals);
+  Alcotest.(check bool) "no events" true (Fault_injector.trace s = []);
+  Alcotest.(check bool) "budget still enforced" true
+    s.Fault_injector.faults.Event_sim.enforce_budget
+
+let test_injector_overruns_exceed_wcec () =
+  let plan, _ = preemptive_acs () in
+  let ts = plan.Plan.task_set in
+  let totals = Sampler.fixed plan ~value:`Wcec in
+  let spec = { moderate_spec with overrun_prob = 1.; jitter_prob = 0.; denial_prob = 0. } in
+  let counters = Fault_injector.fresh_counters () in
+  let s = Fault_injector.perturb spec ~counters ~round:0 plan ~totals in
+  let instances =
+    Array.fold_left (fun acc per -> acc + Array.length per) 0 totals
+  in
+  Alcotest.(check int) "every instance overruns" instances
+    counters.Fault_injector.overruns;
+  Array.iteri
+    (fun i per ->
+      let wcec = (Task_set.task ts i).Task.wcec in
+      Array.iter
+        (fun w ->
+          Alcotest.(check (float 1e-9)) "actual = factor * wcec"
+            (spec.Fault_injector.overrun_factor *. wcec) w)
+        per)
+    s.Fault_injector.totals;
+  Alcotest.(check bool) "budget enforcement off" false
+    s.Fault_injector.faults.Event_sim.enforce_budget
+
+let test_injector_validates_spec () =
+  let bad = { moderate_spec with overrun_prob = 1.5 } in
+  Alcotest.(check bool) "rejects out-of-range probability" true
+    (try
+       Fault_injector.validate bad;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Zero-rate scenario is bit-identical --------------------------------- *)
+
+let test_runner_zero_spec_identity () =
+  let plan, acs = preemptive_acs () in
+  let scenario ~round ~totals =
+    let s = Fault_injector.perturb Fault_injector.zero ~round plan ~totals in
+    (s.Fault_injector.totals, Some s.Fault_injector.faults)
+  in
+  let plain =
+    Runner.simulate ~rounds:40 ~schedule:acs ~policy:Policy.Greedy
+      ~rng:(Rng.create ~seed:17) ()
+  in
+  let faulted =
+    Runner.simulate ~rounds:40 ~scenario ~schedule:acs ~policy:Policy.Greedy
+      ~rng:(Rng.create ~seed:17) ()
+  in
+  Alcotest.(check (float 0.)) "mean identical" plain.Runner.mean_energy
+    faulted.Runner.mean_energy;
+  Alcotest.(check (float 0.)) "stddev identical" plain.Runner.stddev_energy
+    faulted.Runner.stddev_energy;
+  Alcotest.(check (float 0.)) "p95 identical" plain.Runner.p95_energy
+    faulted.Runner.p95_energy;
+  Alcotest.(check (float 0.)) "p99 identical" plain.Runner.p99_energy
+    faulted.Runner.p99_energy;
+  Alcotest.(check int) "misses identical" plain.Runner.deadline_misses
+    faulted.Runner.deadline_misses;
+  Alcotest.(check int) "nothing shed" 0 faulted.Runner.shed_instances
+
+(* --- Containment regression ----------------------------------------------- *)
+
+(* The shipped regression scenario for the containment guarantee: a
+   severe (10x WCEC) overrun on the first instance of the
+   highest-priority task. Unprotected, the unbudgeted residue hogs the
+   processor at top priority and drags several other instances past
+   their deadlines; contained, the hopeless instance is shed at its
+   first dispatch and only it misses. *)
+let severe_overrun_scenario () =
+  let plan, acs = preemptive_acs () in
+  let ts = plan.Plan.task_set in
+  let totals = Sampler.fixed plan ~value:`Wcec in
+  totals.(0).(0) <- 10. *. (Task_set.task ts 0).Task.wcec;
+  let faults =
+    { Event_sim.release_offsets = Array.map (Array.map (fun _ -> 0.)) totals;
+      enforce_budget = false;
+      deny_transition = (fun ~task:_ ~instance:_ ~sub:_ ~now:_ ~requested:_ -> false) }
+  in
+  (acs, faults, totals)
+
+let test_containment_fewer_misses () =
+  let acs, faults, totals = severe_overrun_scenario () in
+  let unprotected =
+    Event_sim.run ~faults ~schedule:acs ~policy:Policy.Greedy ~totals ()
+  in
+  let counters = Containment.fresh_counters () in
+  let control = Containment.control ~power ~counters () in
+  let contained =
+    Event_sim.run ~faults ~control ~schedule:acs ~policy:Policy.Greedy ~totals ()
+  in
+  Alcotest.(check bool) "overrun cascades without containment" true
+    (unprotected.Outcome.deadline_misses > 1);
+  Alcotest.(check bool) "containment strictly reduces misses" true
+    (contained.Outcome.deadline_misses < unprotected.Outcome.deadline_misses);
+  Alcotest.(check int) "hopeless instance shed" 1 contained.Outcome.shed_instances;
+  Alcotest.(check int) "shed counter agrees" 1 counters.Containment.shed_instances;
+  (* Only the shed instance misses: its residue no longer steals time. *)
+  Alcotest.(check int) "one miss under containment" 1
+    contained.Outcome.deadline_misses
+
+let test_containment_escalates_recoverable_overrun () =
+  (* A mild overrun that still fits before the deadline at v_max must be
+     escalated, not shed: the instance completes and nothing misses. *)
+  let plan, acs = preemptive_acs () in
+  let ts = plan.Plan.task_set in
+  let totals = Sampler.fixed plan ~value:`Bcec in
+  totals.(0).(0) <- 1.2 *. (Task_set.task ts 0).Task.wcec;
+  let faults =
+    { Event_sim.release_offsets = Array.map (Array.map (fun _ -> 0.)) totals;
+      enforce_budget = false;
+      deny_transition = (fun ~task:_ ~instance:_ ~sub:_ ~now:_ ~requested:_ -> false) }
+  in
+  let counters = Containment.fresh_counters () in
+  let control = Containment.control ~power ~counters () in
+  let o = Event_sim.run ~faults ~control ~schedule:acs ~policy:Policy.Greedy ~totals () in
+  Alcotest.(check int) "nothing shed" 0 o.Outcome.shed_instances;
+  Alcotest.(check int) "no misses" 0 o.Outcome.deadline_misses;
+  Alcotest.(check bool) "overrun was escalated" true
+    (counters.Containment.escalated_instances >= 1)
+
+(* --- Campaign ------------------------------------------------------------- *)
+
+let test_campaign_deterministic () =
+  let _, acs = preemptive_acs () in
+  let run () =
+    Campaign.run ~rounds:30 ~spec:moderate_spec ~schedule:acs
+      ~policy:Policy.Greedy ~seed:5 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (float 0.)) "faulty mean identical"
+    a.Campaign.faulty.Campaign.summary.Runner.mean_energy
+    b.Campaign.faulty.Campaign.summary.Runner.mean_energy;
+  Alcotest.(check int) "faulty misses identical"
+    a.Campaign.faulty.Campaign.summary.Runner.deadline_misses
+    b.Campaign.faulty.Campaign.summary.Runner.deadline_misses;
+  Alcotest.(check int) "overrun counts identical"
+    a.Campaign.faulty.Campaign.faults.Fault_injector.overruns
+    b.Campaign.faulty.Campaign.faults.Fault_injector.overruns;
+  Alcotest.(check (float 0.)) "contained mean identical"
+    a.Campaign.contained.Campaign.summary.Runner.mean_energy
+    b.Campaign.contained.Campaign.summary.Runner.mean_energy
+
+let test_campaign_arms_share_draws () =
+  let _, acs = preemptive_acs () in
+  let r =
+    Campaign.run ~rounds:30 ~spec:Fault_injector.zero ~schedule:acs
+      ~policy:Policy.Greedy ~seed:5 ()
+  in
+  (* With a zero spec all three arms replay the same fault-free draws. *)
+  Alcotest.(check (float 0.)) "faulty arm = clean"
+    r.Campaign.clean.Runner.mean_energy
+    r.Campaign.faulty.Campaign.summary.Runner.mean_energy;
+  Alcotest.(check (float 0.)) "contained arm = clean"
+    r.Campaign.clean.Runner.mean_energy
+    r.Campaign.contained.Campaign.summary.Runner.mean_energy;
+  Alcotest.(check int) "no misses anywhere" 0
+    (r.Campaign.clean.Runner.deadline_misses
+     + r.Campaign.faulty.Campaign.summary.Runner.deadline_misses
+     + r.Campaign.contained.Campaign.summary.Runner.deadline_misses)
+
+let test_runner_percentiles_ordered () =
+  let _, acs = preemptive_acs () in
+  let s =
+    Runner.simulate ~rounds:100 ~schedule:acs ~policy:Policy.Greedy
+      ~rng:(Rng.create ~seed:13) ()
+  in
+  Alcotest.(check bool) "min <= p95" true (s.Runner.min_energy <= s.Runner.p95_energy);
+  Alcotest.(check bool) "p95 <= p99" true (s.Runner.p95_energy <= s.Runner.p99_energy);
+  Alcotest.(check bool) "p99 <= max" true (s.Runner.p99_energy <= s.Runner.max_energy)
+
+(* --- Resilient solve pipeline --------------------------------------------- *)
+
+let zero_budget = { Robust_solver.max_outer = 0; max_inner = 0; wall_budget = None }
+
+let test_robust_solver_default_uses_acs () =
+  let plan, _ = preemptive_acs () in
+  match Robust_solver.solve ~plan ~power () with
+  | Error _ -> Alcotest.fail "default pipeline failed"
+  | Ok (s, d) ->
+    Alcotest.(check bool) "acs chosen" true (d.Robust_solver.chosen = Robust_solver.Acs);
+    Alcotest.(check bool) "no failed attempts" true (d.Robust_solver.attempts = []);
+    Alcotest.(check bool) "feasible" true (Validate.is_feasible s)
+
+let test_robust_solver_falls_back_to_wcs () =
+  let plan, _ = preemptive_acs () in
+  let config = { Robust_solver.default_config with acs = zero_budget } in
+  match Robust_solver.solve ~config ~plan ~power () with
+  | Error _ -> Alcotest.fail "pipeline must survive a failing ACS stage"
+  | Ok (s, d) ->
+    Alcotest.(check bool) "wcs chosen" true (d.Robust_solver.chosen = Robust_solver.Wcs);
+    Alcotest.(check bool) "acs failure named" true
+      (List.exists
+         (fun (stage, why) ->
+           stage = Robust_solver.Acs
+           && why = "iteration budget exhausted before start")
+         d.Robust_solver.attempts);
+    Alcotest.(check bool) "feasible" true (Validate.is_feasible s)
+
+let test_robust_solver_falls_back_to_rm () =
+  let plan, _ = preemptive_acs () in
+  let config = { Robust_solver.acs = zero_budget; wcs = zero_budget } in
+  match Robust_solver.solve ~config ~plan ~power () with
+  | Error _ -> Alcotest.fail "RM fallback must not fail on a schedulable set"
+  | Ok (s, d) ->
+    Alcotest.(check bool) "rm chosen" true
+      (d.Robust_solver.chosen = Robust_solver.Rm_vmax);
+    Alcotest.(check int) "both NLP stages failed" 2
+      (List.length d.Robust_solver.attempts);
+    Alcotest.(check bool) "no NLP stats" true (d.Robust_solver.stats = None);
+    Alcotest.(check bool) "feasible" true (Validate.is_feasible s)
+
+let test_robust_solver_feasible_on_all_seed_workloads () =
+  (* The acceptance property: even with ACS forced to fail, every seed
+     workload still yields a feasible schedule via the fallback chain. *)
+  let config = { Robust_solver.default_config with acs = zero_budget } in
+  List.iter
+    (fun n ->
+      let gen_config = Lepts_workloads.Random_gen.default_config ~n_tasks:n ~ratio:0.4 in
+      let ts =
+        Result.get_ok
+          (Lepts_workloads.Random_gen.generate gen_config ~power
+             ~rng:(Rng.create ~seed:(100 + n)))
+      in
+      let plan = Plan.expand ts in
+      match Robust_solver.solve ~config ~plan ~power () with
+      | Error e ->
+        Alcotest.failf "n=%d failed: %a" n Solver.pp_error e
+      | Ok (s, d) ->
+        Alcotest.(check bool) "not acs" true
+          (d.Robust_solver.chosen <> Robust_solver.Acs);
+        if not (Validate.is_feasible s) then
+          Alcotest.failf "n=%d fallback schedule infeasible" n)
+    [ 2; 3; 4 ]
+
+let test_robust_solver_unschedulable () =
+  (* Utilization far above 1 at v_max: every stage must fail and the
+     pipeline reports Unschedulable. *)
+  let ts =
+    Task_set.create
+      [ Task.create ~name:"t1" ~period:2 ~wcec:30. ~acec:20. ~bcec:10.;
+        Task.create ~name:"t2" ~period:4 ~wcec:30. ~acec:20. ~bcec:10. ]
+  in
+  let plan = Plan.expand ts in
+  match Robust_solver.solve ~plan ~power () with
+  | Ok _ -> Alcotest.fail "accepted an unschedulable task set"
+  | Error Solver.Unschedulable -> ()
+  | Error e -> Alcotest.failf "expected Unschedulable, got %a" Solver.pp_error e
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_diagnostics_printer () =
+  let d =
+    { Robust_solver.attempts = [ (Robust_solver.Acs, "stalled") ];
+      chosen = Robust_solver.Wcs; stats = None }
+  in
+  let s = String.lowercase_ascii (Format.asprintf "%a" Robust_solver.pp_diagnostics d) in
+  Alcotest.(check bool) "names the fallback" true (contains ~sub:"wcs" s);
+  Alcotest.(check bool) "names the failed stage" true (contains ~sub:"acs" s)
+
+let suite =
+  [ ("injector determinism", `Quick, test_injector_deterministic);
+    ("zero spec is identity", `Quick, test_injector_zero_is_identity);
+    ("overruns scale WCEC", `Quick, test_injector_overruns_exceed_wcec);
+    ("spec validation", `Quick, test_injector_validates_spec);
+    ("zero spec runner identity", `Quick, test_runner_zero_spec_identity);
+    ("containment reduces misses", `Quick, test_containment_fewer_misses);
+    ("recoverable overrun escalated", `Quick, test_containment_escalates_recoverable_overrun);
+    ("campaign determinism", `Quick, test_campaign_deterministic);
+    ("campaign arms share draws", `Quick, test_campaign_arms_share_draws);
+    ("runner percentiles ordered", `Quick, test_runner_percentiles_ordered);
+    ("robust solver default", `Quick, test_robust_solver_default_uses_acs);
+    ("fallback to WCS", `Quick, test_robust_solver_falls_back_to_wcs);
+    ("fallback to RM", `Quick, test_robust_solver_falls_back_to_rm);
+    ("feasible on seed workloads", `Quick, test_robust_solver_feasible_on_all_seed_workloads);
+    ("unschedulable reported", `Quick, test_robust_solver_unschedulable);
+    ("diagnostics printer", `Quick, test_diagnostics_printer) ]
