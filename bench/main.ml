@@ -84,6 +84,36 @@ let regenerate_design_ablations () =
   | Error e -> Format.printf "error: %a@." Solver.pp_error e
   | Ok points -> Lepts_util.Table.print (Experiments.Transition_sweep.to_table points)
 
+let parallel_speedup () =
+  section "Parallel campaign engine: fig6a reduced sweep at -j 1 vs -j 4";
+  let config =
+    { Experiments.Fig6a.paper_config with
+      task_counts = [ 4; 6 ]; ratios = [ 0.1 ]; sets_per_point = 4; rounds = 100 }
+  in
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    let points = Experiments.Fig6a.run ~jobs config ~power in
+    (Unix.gettimeofday () -. t0, points)
+  in
+  let t_seq, seq_points = time 1 in
+  let t_par, par_points = time 4 in
+  let identical =
+    List.for_all2
+      (fun (a : Experiments.Fig6a.point) (b : Experiments.Fig6a.point) ->
+        a = b)
+      seq_points par_points
+  in
+  Printf.printf
+    "  -j 1: %6.2fs   -j 4: %6.2fs   speedup: %.2fx   bit-identical: %b\n"
+    t_seq t_par (t_seq /. Float.max t_par 1e-9) identical;
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "  (%d core(s) available; speedup saturates at min(jobs, cores), and with\n\
+    \   jobs > cores the domains time-slice one core and every minor-GC\n\
+    \   stop-the-world barrier pays a scheduler round-trip, so expect a\n\
+    \   slowdown there — the numbers above are only meaningful on >= 4 cores)\n"
+    cores
+
 let regenerate_policy_ablation () =
   section "Ablation: offline schedule x online policy (CNC, ratio 0.1)";
   let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
@@ -233,5 +263,6 @@ let () =
   regenerate_fig6b ();
   regenerate_policy_ablation ();
   regenerate_design_ablations ();
+  parallel_speedup ();
   run_benchmarks ();
   print_endline "\nbench: done"

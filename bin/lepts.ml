@@ -34,9 +34,25 @@ let rounds_arg default =
 let seed_arg =
   Arg.(value & opt int 2005 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the Monte-Carlo rounds (results are \
+                 bit-identical for every value; 0 = one per core).")
+
+let resolve_jobs jobs =
+  if jobs < 0 then invalid_arg "--jobs must be non-negative"
+  else if jobs = 0 then Lepts_par.Pool.default_jobs ()
+  else jobs
+
 let progress line =
   print_endline line;
   flush stdout
+
+(* Timing varies run to run, so throughput reporting goes to stderr:
+   stdout stays byte-identical across reruns and across -j values. *)
+let print_stats ~label stats =
+  Format.eprintf "  [%s] %a@." label Lepts_par.Pool.pp_stats stats
 
 (* --- motivation -------------------------------------------------------- *)
 
@@ -57,15 +73,24 @@ let motivation_cmd =
 (* --- fig6a ------------------------------------------------------------- *)
 
 let fig6a_cmd =
-  let run verbose sets rounds seed v_min v_max =
+  let run verbose sets rounds seed jobs v_min v_max =
     setup_logs verbose;
+    let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
     let config =
       { Experiments.Fig6a.paper_config with sets_per_point = sets; rounds; seed }
     in
-    let points = Experiments.Fig6a.run ~progress config ~power in
+    let t0 = Unix.gettimeofday () in
+    let points = Experiments.Fig6a.run ~progress ~jobs config ~power in
+    let elapsed = Unix.gettimeofday () -. t0 in
     print_endline "Fig 6(a): ACS improvement over WCS, random task sets:";
     Lepts_util.Table.print (Experiments.Fig6a.to_table points);
+    let total_sets = List.length points * sets in
+    Printf.eprintf
+      "throughput: %d points (%d sets, %d rounds each) in %.1fs — %.2f sets/s at -j %d\n%!"
+      (List.length points) total_sets rounds elapsed
+      (float_of_int total_sets /. Float.max elapsed 1e-9)
+      jobs;
     0
   in
   let sets =
@@ -74,18 +99,20 @@ let fig6a_cmd =
   in
   Cmd.v
     (Cmd.info "fig6a" ~doc:"Reproduce Fig 6(a): improvement vs task count and BCEC/WCEC ratio.")
-    Term.(const run $ verbose_arg $ sets $ rounds_arg 1000 $ seed_arg $ v_min_arg $ v_max_arg)
+    Term.(const run $ verbose_arg $ sets $ rounds_arg 1000 $ seed_arg $ jobs_arg
+          $ v_min_arg $ v_max_arg)
 
 (* --- fig6b ------------------------------------------------------------- *)
 
 let fig6b_cmd =
-  let run verbose rounds seed v_min v_max no_gap =
+  let run verbose rounds seed jobs v_min v_max no_gap =
     setup_logs verbose;
+    let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
     let config =
       { Experiments.Fig6b.paper_config with rounds; seed; include_gap = not no_gap }
     in
-    let points = Experiments.Fig6b.run ~progress config ~power in
+    let points = Experiments.Fig6b.run ~progress ~jobs config ~power in
     print_endline "Fig 6(b): ACS improvement over WCS, real-life applications:";
     Lepts_util.Table.print (Experiments.Fig6b.to_table points);
     0
@@ -95,7 +122,8 @@ let fig6b_cmd =
   in
   Cmd.v
     (Cmd.info "fig6b" ~doc:"Reproduce Fig 6(b): improvement on the CNC and GAP task sets.")
-    Term.(const run $ verbose_arg $ rounds_arg 1000 $ seed_arg $ v_min_arg $ v_max_arg $ no_gap)
+    Term.(const run $ verbose_arg $ rounds_arg 1000 $ seed_arg $ jobs_arg $ v_min_arg
+          $ v_max_arg $ no_gap)
 
 (* --- schedule ---------------------------------------------------------- *)
 
@@ -126,17 +154,21 @@ let schedule_cmd =
 (* --- random ------------------------------------------------------------ *)
 
 let random_cmd =
-  let run verbose n ratio rounds seed v_min v_max =
+  let run verbose n ratio rounds seed jobs v_min v_max =
     setup_logs verbose;
+    let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
     let rng = Lepts_prng.Xoshiro256.create ~seed in
     let config = Lepts_workloads.Random_gen.default_config ~n_tasks:n ~ratio in
+    (* No timing in this output on purpose: CI diffs [-j 1] against
+       [-j 4] to enforce the bit-identity guarantee. *)
     (match Lepts_workloads.Random_gen.generate config ~power ~rng with
     | Error msg -> Format.printf "generation failed: %s@." msg; ()
     | Ok ts -> (
       Format.printf "task set: %a@." Task_set.pp ts;
       match
-        Experiments.Improvement.measure ~rounds ~task_set:ts ~power ~sim_seed:(seed + 1) ()
+        Experiments.Improvement.measure ~rounds ~jobs ~task_set:ts ~power
+          ~sim_seed:(seed + 1) ()
       with
       | Error e -> Format.printf "error: %a@." Solver.pp_error e
       | Ok r -> Format.printf "%a@." Experiments.Improvement.pp r));
@@ -150,7 +182,8 @@ let random_cmd =
   in
   Cmd.v
     (Cmd.info "random" ~doc:"Generate one random task set and measure ACS vs WCS.")
-    Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 1000 $ seed_arg $ v_min_arg $ v_max_arg)
+    Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 1000 $ seed_arg $ jobs_arg
+          $ v_min_arg $ v_max_arg)
 
 (* --- policies ---------------------------------------------------------- *)
 
@@ -231,9 +264,10 @@ let utilization_cmd =
 (* --- faults ------------------------------------------------------------- *)
 
 let faults_cmd =
-  let run verbose n ratio rounds seed v_min v_max overrun_prob overrun_factor
+  let run verbose n ratio rounds seed jobs v_min v_max overrun_prob overrun_factor
       jitter_prob jitter_frac denial_prob no_shed no_escalate =
     setup_logs verbose;
+    let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
     let workload_result =
       if n = 0 then Ok (Lepts_workloads.Cnc.task_set ~power ~ratio ())
@@ -262,9 +296,11 @@ let faults_cmd =
         Format.printf "fault spec: %a@.containment: %a@."
           Lepts_robust.Fault_injector.pp_spec spec
           Lepts_robust.Containment.pp_config containment;
+        Printf.eprintf "campaign throughput (-j %d):\n%!" jobs;
         let report =
-          Lepts_robust.Campaign.run ~rounds ~containment ~spec ~schedule
-            ~policy:Lepts_dvs.Policy.Greedy ~seed:(seed + 1) ()
+          Lepts_robust.Campaign.run ~rounds ~jobs ~on_stats:print_stats
+            ~containment ~spec ~schedule ~policy:Lepts_dvs.Policy.Greedy
+            ~seed:(seed + 1) ()
         in
         Printf.printf "\nRobustness report (%d rounds per arm, greedy policy):\n"
           rounds;
@@ -319,8 +355,8 @@ let faults_cmd =
        ~doc:"Run a fault-injection campaign (WCEC overruns, release jitter, \
              denied voltage transitions) and print a robustness report.")
     Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 500 $ seed_arg
-          $ v_min_arg $ v_max_arg $ overrun_prob $ overrun_factor $ jitter_prob
-          $ jitter_frac $ denial_prob $ no_shed $ no_escalate)
+          $ jobs_arg $ v_min_arg $ v_max_arg $ overrun_prob $ overrun_factor
+          $ jitter_prob $ jitter_frac $ denial_prob $ no_shed $ no_escalate)
 
 (* --- export -------------------------------------------------------------- *)
 

@@ -24,10 +24,12 @@ type point = {
   total_misses : int;
 }
 
-let run_point config ~power ~n_tasks ~ratio =
-  let improvements = ref [] in
-  let misses = ref 0 in
-  for set = 0 to config.sets_per_point - 1 do
+let run_point ?(jobs = 1) config ~power ~n_tasks ~ratio =
+  (* Task sets are independent (per-set seeds), so the whole
+     generate → solve → simulate pipeline of each set can run on its
+     own domain; results come back indexed by set, and the reduction
+     below walks them in set order — bit-identical for every [jobs]. *)
+  let one_set set =
     (* One generator stream per (n, ratio, set) triple so points are
        independent and reproducible. *)
     let gen_seed =
@@ -37,30 +39,35 @@ let run_point config ~power ~n_tasks ~ratio =
     let rng = Rng.create ~seed:gen_seed in
     let gen_config = Random_gen.default_config ~n_tasks ~ratio in
     match Random_gen.generate gen_config ~power ~rng with
-    | Error _ -> ()
+    | Error _ -> None
     | Ok task_set -> (
       match
         Improvement.measure ~rounds:config.rounds ~task_set ~power
           ~sim_seed:(gen_seed + 7919) ()
       with
-      | Error _ -> ()
-      | Ok r ->
-        improvements := r.Improvement.improvement_pct :: !improvements;
-        misses := !misses + r.Improvement.wcs_misses + r.Improvement.acs_misses)
-  done;
-  let arr = Array.of_list !improvements in
+      | Error _ -> None
+      | Ok r -> Some r)
+  in
+  let results, _ = Lepts_par.Pool.run ~jobs ~n:config.sets_per_point ~f:one_set in
+  let measured = List.filter_map Fun.id (Array.to_list results) in
+  let arr = Array.of_list (List.map (fun r -> r.Improvement.improvement_pct) measured) in
+  let misses =
+    List.fold_left
+      (fun acc r -> acc + r.Improvement.wcs_misses + r.Improvement.acs_misses)
+      0 measured
+  in
   { n_tasks; ratio;
     mean_improvement_pct = (if Array.length arr = 0 then Float.nan else Lepts_util.Stats.mean arr);
     stddev_improvement_pct = (if Array.length arr < 2 then 0. else Lepts_util.Stats.stddev arr);
     sets_measured = Array.length arr;
-    total_misses = !misses }
+    total_misses = misses }
 
-let run ?(progress = fun _ -> ()) config ~power =
+let run ?(progress = fun _ -> ()) ?(jobs = 1) config ~power =
   List.concat_map
     (fun n_tasks ->
       List.map
         (fun ratio ->
-          let point = run_point config ~power ~n_tasks ~ratio in
+          let point = run_point ~jobs config ~power ~n_tasks ~ratio in
           progress
             (Printf.sprintf "fig6a: n=%d ratio=%.1f -> %.1f%% (%d sets)" n_tasks
                ratio point.mean_improvement_pct point.sets_measured);

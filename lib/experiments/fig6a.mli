@@ -30,9 +30,17 @@ type point = {
                            must be 0 *)
 }
 
-val run : ?progress:(string -> unit) -> config -> power:Lepts_power.Model.t -> point list
+val run :
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  config ->
+  power:Lepts_power.Model.t ->
+  point list
 (** Runs the sweep; [progress] (default ignore) receives one line per
-    completed point. *)
+    completed point. [jobs] (default 1) runs the task sets of each
+    point on a {!Lepts_par.Pool} of domains — per-set seeds make sets
+    independent, and per-set results are reduced in set order, so the
+    points are bit-identical for every [jobs] value. *)
 
 val to_table : point list -> Lepts_util.Table.t
 (** Rows: one per (task count, ratio) — the series of the paper's

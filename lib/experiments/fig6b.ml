@@ -17,14 +17,16 @@ let applications config =
      [ ("GAP", fun ~power ~ratio -> Lepts_workloads.Gap.task_set ~power ~ratio ()) ]
    else [])
 
-let run ?(progress = fun _ -> ()) config ~power =
+let run ?(progress = fun _ -> ()) ?(jobs = 1) config ~power =
+  (* Few points here (two applications, three ratios): parallelism
+     lives inside each measurement, across its simulation rounds. *)
   List.concat_map
     (fun (name, build) ->
       List.filter_map
         (fun ratio ->
           let task_set = build ~power ~ratio in
           match
-            Improvement.measure ~rounds:config.rounds ~task_set ~power
+            Improvement.measure ~rounds:config.rounds ~jobs ~task_set ~power
               ~sim_seed:(config.seed + int_of_float (ratio *. 1000.)) ()
           with
           | Error _ ->

@@ -20,5 +20,13 @@ type point = {
   misses : int;
 }
 
-val run : ?progress:(string -> unit) -> config -> power:Lepts_power.Model.t -> point list
+val run :
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  config ->
+  power:Lepts_power.Model.t ->
+  point list
+(** [jobs] (default 1) parallelises each measurement's simulation
+    rounds; results are bit-identical for every value. *)
+
 val to_table : point list -> Lepts_util.Table.t

@@ -30,7 +30,8 @@ let refine_with_literal ~mode ~plan ~power (best : Lepts_core.Static_schedule.t)
       then candidate
       else best
 
-let measure ?(rounds = 1000) ?(strong_baseline = false) ~task_set ~power ~sim_seed () =
+let measure ?(rounds = 1000) ?(jobs = 1) ?(strong_baseline = false) ~task_set ~power
+    ~sim_seed () =
   let plan = Plan.expand task_set in
   match Solver.solve_wcs ~plan ~power () with
   | Error _ as err -> err
@@ -68,7 +69,7 @@ let measure ?(rounds = 1000) ?(strong_baseline = false) ~task_set ~power ~sim_se
           | Error _ -> wcs
       in
       let simulate schedule =
-        Runner.simulate ~rounds ~schedule ~policy:Policy.Greedy
+        Runner.simulate ~rounds ~jobs ~schedule ~policy:Policy.Greedy
           ~rng:(Rng.create ~seed:sim_seed) ()
       in
       let sw = simulate wcs and sa = simulate acs in

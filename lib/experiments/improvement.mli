@@ -17,6 +17,7 @@ type t = {
 
 val measure :
   ?rounds:int ->
+  ?jobs:int ->
   ?strong_baseline:bool ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
@@ -26,7 +27,9 @@ val measure :
 (** [measure ~task_set ~power ~sim_seed ()] runs the full pipeline on
     one task set. Both schedules are simulated with the same workload
     RNG seed (paired comparison). [rounds] defaults to 1000
-    hyper-periods, the paper's setting.
+    hyper-periods, the paper's setting. [jobs] (default 1) parallelises
+    the simulation rounds across domains; the result is bit-identical
+    for every value (see {!Lepts_sim.Runner.simulate}).
 
     [strong_baseline] (default false) additionally warm-starts the WCS
     solve from the ACS solution (selected purely by worst-case energy).

@@ -1,0 +1,39 @@
+(** Chunked fork-join domain pool for embarrassingly parallel index
+    spaces (OCaml 5 [Domain], no external dependencies).
+
+    [run ~jobs ~n ~f] computes [Array.init n f] with up to [jobs]
+    domains pulling chunks of indices from a shared atomic queue. Each
+    result lands at its own index, so the caller's reduction order is
+    the sequential one no matter which domain computed what or in what
+    order chunks were claimed — the building block behind the
+    bit-identical parallel simulation paths ({!Lepts_sim.Runner},
+    {!Lepts_robust.Campaign}, the Fig 6 sweeps).
+
+    [f] must therefore be safe to call from several domains at once
+    (no shared mutable state beyond what it owns per index). *)
+
+type stats = {
+  jobs : int;  (** domains actually used (capped at [n]) *)
+  items : int;  (** [n] *)
+  elapsed_s : float;  (** wall-clock of the whole call *)
+  per_domain_items : int array;  (** indices computed by each domain *)
+  per_domain_busy_s : float array;
+      (** per-domain wall time between its first and last chunk;
+          [busy / elapsed] is that domain's utilization *)
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run : jobs:int -> n:int -> f:(int -> 'a) -> 'a array * stats
+(** Requires [jobs >= 1] and [n >= 0] (raises [Invalid_argument]
+    otherwise). [jobs = 1] runs sequentially on the calling domain, in
+    index order, spawning nothing. An exception raised by [f] is
+    re-raised on the caller after all domains have drained. *)
+
+val throughput : stats -> float
+(** Items per second ([items / elapsed_s]; 0 when elapsed is 0). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One line: items, wall time, items/sec and, when [jobs > 1], the
+    per-domain item counts and utilization. *)

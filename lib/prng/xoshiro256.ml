@@ -34,6 +34,25 @@ let split t =
   let s3 = Splitmix64.next sm in
   { s0; s1; s2; s3 }
 
+let split_key t ~key =
+  (* Absorb the full 256-bit state and the counter through a SplitMix64
+     chain, then expand as in [create]. [t] is never advanced, so the
+     child is a pure function of (state, key): deriving children in any
+     traversal order — or from concurrent domains — yields identical
+     streams. *)
+  let absorb h x = Splitmix64.next (Splitmix64.create (Int64.logxor h x)) in
+  let h = Int64.of_int key in
+  let h = absorb h t.s0 in
+  let h = absorb h t.s1 in
+  let h = absorb h t.s2 in
+  let h = absorb h t.s3 in
+  let sm = Splitmix64.create h in
+  let s0 = Splitmix64.next sm in
+  let s1 = Splitmix64.next sm in
+  let s2 = Splitmix64.next sm in
+  let s3 = Splitmix64.next sm in
+  { s0; s1; s2; s3 }
+
 let float t =
   (* Top 53 bits scaled by 2^-53: uniform on [0, 1). *)
   let bits = Int64.shift_right_logical (next_int64 t) 11 in

@@ -15,6 +15,17 @@ val split : t -> t
     advancing [t]. Useful for giving each task-set replication its own
     stream. *)
 
+val split_key : t -> key:int -> t
+(** [split_key t ~key] derives the [key]-th child stream of [t]'s
+    {e current} state without advancing [t]: the child is a pure
+    function of (state, key), so children may be derived in any order —
+    or concurrently from several domains — and are identical to the
+    ones a sequential traversal would produce. Distinct keys give
+    decorrelated streams (state and key are mixed through a SplitMix64
+    chain). This is the primitive behind the per-round and per-instance
+    stream discipline of {!Lepts_sim.Runner} and
+    {!Lepts_sim.Sampler}. *)
+
 val copy : t -> t
 (** Snapshot of the current state. *)
 

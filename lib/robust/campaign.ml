@@ -1,7 +1,11 @@
 module Runner = Lepts_sim.Runner
+module Sampler = Lepts_sim.Sampler
+module Event_sim = Lepts_sim.Event_sim
+module Outcome = Lepts_sim.Outcome
 module Static_schedule = Lepts_core.Static_schedule
 module Model = Lepts_power.Model
 module Rng = Lepts_prng.Xoshiro256
+module Pool = Lepts_par.Pool
 module Table = Lepts_util.Table
 
 type arm = {
@@ -19,42 +23,59 @@ type report = {
   rounds : int;
 }
 
-let run ?(rounds = 500) ?dist ?(containment = Containment.default_config) ~spec
+let run ?(rounds = 500) ?(jobs = 1) ?on_stats ?dist
+    ?(containment = Containment.default_config) ~spec
     ~(schedule : Static_schedule.t) ~policy ~seed () =
   Fault_injector.validate spec;
   let plan = schedule.Static_schedule.plan in
   let power = schedule.Static_schedule.power in
-  (* Each arm replays the identical workload draws (same simulation
-     seed) and the identical fault scenarios (same injector spec and
-     per-round seeds); only the runtime response differs. *)
+  let base = Rng.create ~seed in
+  let stats_for label = Option.map (fun f s -> f ~label s) on_stats in
+  (* Each arm replays the identical workload draws (the per-round
+     generator is [Runner.round_rng ~rng:base], exactly what the clean
+     [Runner.simulate] arm derives) and the identical fault scenarios
+     (same injector spec and per-round seeds); only the runtime
+     response differs. Every round gets its own fault/containment
+     counters and containment hook, so rounds are independent — safe to
+     run on any domain — and the totals are merged in round order. *)
   let arm label ~contained =
-    let fcounters = Fault_injector.fresh_counters () in
-    let round_now = ref 0 in
-    let scenario ~round ~totals =
-      round_now := round;
-      let s =
-        Fault_injector.perturb spec ~counters:fcounters ~round plan ~totals
+    let one_round r =
+      let rng = Runner.round_rng ~rng:base ~round:r in
+      let totals = Sampler.instance_totals ?dist plan ~rng in
+      let fc = Fault_injector.fresh_counters () in
+      let s = Fault_injector.perturb spec ~counters:fc ~round:r plan ~totals in
+      let cc, control =
+        if not contained then (None, None)
+        else
+          let c = Containment.fresh_counters () in
+          (Some c, Some (Containment.control ~config:containment ~power ~counters:c ()))
       in
-      (s.Fault_injector.totals, Some s.Fault_injector.faults)
+      let outcome =
+        Event_sim.run ~faults:s.Fault_injector.faults ?control ~schedule ~policy
+          ~totals:s.Fault_injector.totals ()
+      in
+      ( { Runner.energy = outcome.Outcome.energy;
+          misses = outcome.Outcome.deadline_misses;
+          shed = outcome.Outcome.shed_instances },
+        fc, cc )
     in
-    let ccounters, control =
-      if not contained then (None, None)
-      else
-        let c = Containment.fresh_counters () in
-        ( Some c,
-          Some
-            (Containment.control ~config:containment
-               ~epoch:(fun () -> !round_now)
-               ~power ~counters:c ()) )
-    in
-    let summary =
-      Runner.simulate ~rounds ?dist ~scenario ?control ~schedule ~policy
-        ~rng:(Rng.create ~seed) ()
-    in
-    { label; summary; faults = fcounters; containment = ccounters }
+    let results, pstats = Pool.run ~jobs ~n:rounds ~f:one_round in
+    Option.iter (fun f -> f pstats) (stats_for label);
+    let fcounters = Fault_injector.fresh_counters () in
+    let ccounters = Containment.fresh_counters () in
+    Array.iter
+      (fun (_, fc, cc) ->
+        Fault_injector.add_counters ~into:fcounters fc;
+        Option.iter (fun c -> Containment.add_counters ~into:ccounters c) cc)
+      results;
+    { label;
+      summary = Runner.summarize (Array.map (fun (r, _, _) -> r) results);
+      faults = fcounters;
+      containment = (if contained then Some ccounters else None) }
   in
   let clean =
-    Runner.simulate ~rounds ?dist ~schedule ~policy ~rng:(Rng.create ~seed) ()
+    Runner.simulate ~rounds ~jobs ?on_stats:(stats_for "fault-free") ?dist ~schedule
+      ~policy ~rng:base ()
   in
   let faulty = arm "faults" ~contained:false in
   let contained = arm "faults + containment" ~contained:true in

@@ -31,6 +31,8 @@ type report = {
 
 val run :
   ?rounds:int ->
+  ?jobs:int ->
+  ?on_stats:(label:string -> Lepts_par.Pool.stats -> unit) ->
   ?dist:Lepts_sim.Sampler.distribution ->
   ?containment:Containment.config ->
   spec:Fault_injector.spec ->
@@ -41,7 +43,11 @@ val run :
   report
 (** [run ~spec ~schedule ~policy ~seed ()] simulates [rounds] (default
     500) hyper-periods per arm. Deterministic in (spec, seed, rounds,
-    dist). *)
+    dist) — and in [jobs] (default 1): every round owns its generator
+    ({!Lepts_sim.Runner.round_rng}), fault counters and containment
+    hook, and per-round outcomes and counters are reduced in round
+    order, so the report is bit-identical whatever the domain count.
+    [on_stats] receives one throughput/utilization report per arm. *)
 
 val to_table : report -> Lepts_util.Table.t
 (** Robustness report: one row per arm with miss / shed / escalation

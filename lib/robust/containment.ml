@@ -17,6 +17,11 @@ type counters = {
 let fresh_counters () =
   { escalated_dispatches = 0; escalated_instances = 0; shed_instances = 0 }
 
+let add_counters ~into c =
+  into.escalated_dispatches <- into.escalated_dispatches + c.escalated_dispatches;
+  into.escalated_instances <- into.escalated_instances + c.escalated_instances;
+  into.shed_instances <- into.shed_instances + c.shed_instances
+
 let tiny = 1e-9
 
 let control ?(config = default_config) ?(epoch = fun () -> 0) ~power ~counters () =

@@ -44,6 +44,10 @@ type counters = {
 
 val fresh_counters : unit -> counters
 
+val add_counters : into:counters -> counters -> unit
+(** [add_counters ~into c] accumulates [c] into [into] — used to merge
+    per-round counters in round order after a parallel campaign. *)
+
 val control :
   ?config:config ->
   ?epoch:(unit -> int) ->

@@ -46,6 +46,11 @@ type counters = {
 
 let fresh_counters () = { overruns = 0; jitters = 0; denials = 0 }
 
+let add_counters ~into c =
+  into.overruns <- into.overruns + c.overruns;
+  into.jitters <- into.jitters + c.jitters;
+  into.denials <- into.denials + c.denials
+
 type event =
   | Overrun of { task : int; instance : int; actual : float; wcec : float }
   | Jitter of { task : int; instance : int; delay : float }

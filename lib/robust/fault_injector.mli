@@ -49,6 +49,10 @@ type counters = {
 
 val fresh_counters : unit -> counters
 
+val add_counters : into:counters -> counters -> unit
+(** [add_counters ~into c] accumulates [c] into [into] — used to merge
+    per-round counters in round order after a parallel campaign. *)
+
 type event =
   | Overrun of { task : int; instance : int; actual : float; wcec : float }
   | Jitter of { task : int; instance : int; delay : float }

@@ -1,3 +1,6 @@
+module Rng = Lepts_prng.Xoshiro256
+module Pool = Lepts_par.Pool
+
 type summary = {
   rounds : int;
   mean_energy : float;
@@ -10,32 +13,51 @@ type summary = {
   shed_instances : int;
 }
 
-let simulate ?(rounds = 1000) ?dist ?scenario ?control ~schedule ~policy ~rng () =
+type round_result = { energy : float; misses : int; shed : int }
+
+let round_rng ~rng ~round = Rng.split_key rng ~key:round
+
+let summarize results =
+  let rounds = Array.length results in
+  if rounds = 0 then invalid_arg "Runner.summarize: no rounds";
+  let energies = Array.map (fun r -> r.energy) results in
+  let misses = Array.fold_left (fun acc r -> acc + r.misses) 0 results in
+  let shed = Array.fold_left (fun acc r -> acc + r.shed) 0 results in
+  let min_energy, max_energy = Lepts_util.Stats.min_max energies in
+  { rounds;
+    mean_energy = Lepts_util.Stats.mean energies;
+    (* A single round carries no spread information: report the honest
+       "unknown" rather than the old misleading 0. *)
+    stddev_energy = (if rounds < 2 then Float.nan else Lepts_util.Stats.stddev energies);
+    min_energy; max_energy;
+    p95_energy = Lepts_util.Stats.percentile energies ~p:95.;
+    p99_energy = Lepts_util.Stats.percentile energies ~p:99.;
+    deadline_misses = misses;
+    shed_instances = shed }
+
+let simulate ?(rounds = 1000) ?(jobs = 1) ?on_stats ?dist ?scenario ?control ~schedule
+    ~policy ~rng () =
   if rounds <= 0 then invalid_arg "Runner.simulate: rounds must be positive";
   let plan = schedule.Lepts_core.Static_schedule.plan in
-  let energies = Array.make rounds 0. in
-  let misses = ref 0 and shed = ref 0 in
-  for r = 0 to rounds - 1 do
-    let totals = Sampler.instance_totals ?dist plan ~rng in
+  let one_round r =
+    (* The round's generator depends only on ([rng]'s state, r), so the
+       energies array is identical whichever domain computes which
+       round — the parallel path is bit-identical by construction. *)
+    let round_rng = round_rng ~rng ~round:r in
+    let totals = Sampler.instance_totals ?dist plan ~rng:round_rng in
     let totals, faults =
       match scenario with
       | None -> (totals, None)
       | Some perturb -> perturb ~round:r ~totals
     in
     let outcome = Event_sim.run ?faults ?control ~schedule ~policy ~totals () in
-    energies.(r) <- outcome.Outcome.energy;
-    misses := !misses + outcome.Outcome.deadline_misses;
-    shed := !shed + outcome.Outcome.shed_instances
-  done;
-  let min_energy, max_energy = Lepts_util.Stats.min_max energies in
-  { rounds;
-    mean_energy = Lepts_util.Stats.mean energies;
-    stddev_energy = Lepts_util.Stats.stddev energies;
-    min_energy; max_energy;
-    p95_energy = Lepts_util.Stats.percentile energies ~p:95.;
-    p99_energy = Lepts_util.Stats.percentile energies ~p:99.;
-    deadline_misses = !misses;
-    shed_instances = !shed }
+    { energy = outcome.Outcome.energy;
+      misses = outcome.Outcome.deadline_misses;
+      shed = outcome.Outcome.shed_instances }
+  in
+  let results, stats = Pool.run ~jobs ~n:rounds ~f:one_round in
+  Option.iter (fun f -> f stats) on_stats;
+  summarize results
 
 let pp_summary ppf s =
   Format.fprintf ppf

@@ -2,12 +2,28 @@
 
     Frame-based systems restart identically every hyper-period (all
     instances complete within it), so rounds are independent draws of
-    the per-instance workloads. *)
+    the per-instance workloads.
+
+    {2 Stream discipline and parallel determinism}
+
+    Round [r] simulates with the generator
+    [Xoshiro256.split_key rng ~key:r] — a pure function of the caller's
+    generator state and the round index. [simulate] never advances
+    [rng], rounds never share a stream, and {!Sampler.instance_totals}
+    keys each instance's draws the same way below the round, so the
+    per-round energy sequence depends only on (generator state,
+    arguments). Rounds are therefore embarrassingly parallel: with
+    [jobs > 1] they are computed by a {!Lepts_par.Pool} of domains and
+    reduced in round order, producing {e bit-identical} summaries to
+    the sequential path for the same seed (asserted by the test
+    suite). *)
 
 type summary = {
   rounds : int;
   mean_energy : float;  (** per hyper-period *)
   stddev_energy : float;
+      (** [nan] when [rounds = 1]: a single round carries no spread
+          information (historically reported as a misleading 0) *)
   min_energy : float;
   max_energy : float;
   p95_energy : float;  (** 95th percentile of per-round energy *)
@@ -18,8 +34,24 @@ type summary = {
           all rounds; 0 outside fault-injection campaigns *)
 }
 
+type round_result = { energy : float; misses : int; shed : int }
+(** One round's contribution to a {!summary}. *)
+
+val round_rng : rng:Lepts_prng.Xoshiro256.t -> round:int -> Lepts_prng.Xoshiro256.t
+(** The generator {!simulate} gives round [round]:
+    [Xoshiro256.split_key rng ~key:round], leaving [rng] untouched.
+    Exposed so campaign engines ({!Lepts_robust.Campaign}) can replay
+    exactly the draws a [simulate] call with the same [rng] would
+    make. *)
+
+val summarize : round_result array -> summary
+(** Ordered reduction of per-round outcomes (index = round) into a
+    {!summary}. Raises [Invalid_argument] on an empty array. *)
+
 val simulate :
   ?rounds:int ->
+  ?jobs:int ->
+  ?on_stats:(Lepts_par.Pool.stats -> unit) ->
   ?dist:Sampler.distribution ->
   ?scenario:
     (round:int ->
@@ -35,10 +67,18 @@ val simulate :
     the paper's setting) hyper-periods through {!Event_sim} with fresh
     workload draws from [dist] (default the paper's truncated normal).
 
+    [jobs] (default 1) is the number of worker domains; the summary is
+    bit-identical for every [jobs] value. [on_stats] receives the
+    pool's throughput/utilization report after the rounds complete.
+
     [scenario] maps each round's sampled workloads to (possibly
     perturbed) workloads plus an optional fault scenario — the hook
     {!Lepts_robust.Fault_injector} plugs into; [control] is passed
-    through to {!Event_sim.run} (containment). With both absent the
-    summaries are identical to the historical behaviour. *)
+    through to {!Event_sim.run} (containment). With [jobs = 1] rounds
+    run in order on the calling domain, so stateful hooks behave as
+    they always have; with [jobs > 1] the hooks are called
+    concurrently and in no particular order, so they must be pure or
+    thread-safe — {!Lepts_robust.Campaign} builds per-round hooks
+    instead and merges their counters in round order. *)
 
 val pp_summary : Format.formatter -> summary -> unit

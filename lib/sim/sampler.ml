@@ -18,10 +18,26 @@ let draw dist rng (task : Task.t) =
     else Lepts_prng.Xoshiro256.uniform rng ~lo ~hi:(lo +. (0.25 *. span))
 
 let instance_totals ?(dist = Truncated_normal) (plan : Plan.t) ~rng =
+  (* One decorrelated base per call ([split] advances [rng], so
+     successive calls draw fresh hyper-periods), then one child stream
+     per instance keyed by its flat index. Each instance's variates
+     therefore depend only on (base state, instance index) — never on
+     traversal order, nor on how many variates other instances'
+     rejection loops consumed. The historical implementation threaded
+     one shared stream through [Array.mapi], silently coupling every
+     draw to plan traversal order. *)
+  let base = Lepts_prng.Xoshiro256.split rng in
+  let offset = Array.make (Array.length plan.Plan.instance_subs) 0 in
+  for i = 1 to Array.length offset - 1 do
+    offset.(i) <- offset.(i - 1) + Array.length plan.Plan.instance_subs.(i - 1)
+  done;
   Array.mapi
     (fun i per_instance ->
       let task = Task_set.task plan.Plan.task_set i in
-      Array.map (fun _ -> draw dist rng task) per_instance)
+      Array.mapi
+        (fun j _ ->
+          draw dist (Lepts_prng.Xoshiro256.split_key base ~key:(offset.(i) + j)) task)
+        per_instance)
     plan.Plan.instance_subs
 
 let fixed (plan : Plan.t) ~value =

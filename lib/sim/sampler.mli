@@ -17,6 +17,9 @@ type distribution =
           top decile of [[BCEC, WCEC]]), otherwise near the BCEC
           (uniform on the bottom quartile) *)
 
+val draw : distribution -> Lepts_prng.Xoshiro256.t -> Lepts_task.Task.t -> float
+(** One actual-cycles variate for a single task, on [[bcec, wcec]]. *)
+
 val instance_totals :
   ?dist:distribution ->
   Lepts_preempt.Plan.t ->
@@ -24,7 +27,17 @@ val instance_totals :
   float array array
 (** One fresh draw of actual cycles for every instance in the
     hyper-period, indexed [.(task).(instance)]. [dist] defaults to
-    [Truncated_normal]. *)
+    [Truncated_normal].
+
+    Stream discipline: the call advances [rng] once (via
+    {!Lepts_prng.Xoshiro256.split}) to obtain a base stream, and
+    instance [(i, j)] draws from the child
+    [split_key base ~key:flat(i, j)], where [flat] is the instance's
+    index in task-major order. Every draw is thus a pure function of
+    (base state, instance index), independent of traversal order and of
+    how many variates other instances consumed — the property the
+    deterministic parallel {!Runner} relies on, asserted by a
+    regression test against a permuted traversal. *)
 
 val fixed : Lepts_preempt.Plan.t -> value:[ `Acec | `Wcec | `Bcec ] -> float array array
 (** Deterministic workloads: every instance takes exactly the given

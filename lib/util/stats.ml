@@ -7,7 +7,9 @@ let mean xs =
 
 let variance xs =
   let n = Array.length xs in
-  if n < 2 then 0.
+  (* A silent 0. here made 1-round campaigns report stddev = 0 as if
+     perfectly stable; the sample variance is simply undefined. *)
+  if n < 2 then invalid_arg "Stats.variance: need at least two samples"
   else
     let m = mean xs in
     let devs = Array.map (fun x -> (x -. m) ** 2.) xs in

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "lepts"
     [ ("util", Test_util.suite);
       ("prng", Test_prng.suite);
+      ("par", Test_par.suite);
       ("linalg", Test_linalg.suite);
       ("optim", Test_optim.suite);
       ("power", Test_power.suite);

@@ -1,0 +1,68 @@
+open Lepts_par
+
+let test_matches_sequential () =
+  let f i = (i * 31) + (i mod 7) in
+  List.iter
+    (fun n ->
+      let expected = Array.init n f in
+      List.iter
+        (fun jobs ->
+          let got, _ = Pool.run ~jobs ~n ~f in
+          Alcotest.(check (array int))
+            (Printf.sprintf "n=%d jobs=%d" n jobs)
+            expected got)
+        [ 1; 2; 3; 5; 16 ])
+    [ 0; 1; 2; 7; 100; 1000 ]
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "jobs=%d" jobs)
+        (Failure "boom")
+        (fun () ->
+          ignore
+            (Pool.run ~jobs ~n:50 ~f:(fun i ->
+                 if i = 37 then failwith "boom" else i))))
+    [ 1; 3 ]
+
+let test_invalid_args () =
+  Alcotest.check_raises "jobs = 0" (Invalid_argument "Pool.run: jobs must be positive")
+    (fun () -> ignore (Pool.run ~jobs:0 ~n:1 ~f:(fun i -> i)));
+  Alcotest.check_raises "n < 0" (Invalid_argument "Pool.run: n must be non-negative")
+    (fun () -> ignore (Pool.run ~jobs:1 ~n:(-1) ~f:(fun i -> i)))
+
+let test_stats_accounting () =
+  let n = 200 in
+  let _, stats = Pool.run ~jobs:3 ~n ~f:(fun i -> i) in
+  Alcotest.(check int) "items" n stats.Pool.items;
+  Alcotest.(check int) "per-domain sums to n" n
+    (Array.fold_left ( + ) 0 stats.Pool.per_domain_items);
+  Alcotest.(check int) "jobs recorded" 3 stats.Pool.jobs;
+  Alcotest.(check int) "one busy slot per domain" 3
+    (Array.length stats.Pool.per_domain_busy_s)
+
+let test_jobs_capped_at_n () =
+  (* More workers than items: capped, and every index still computed once. *)
+  let got, stats = Pool.run ~jobs:16 ~n:3 ~f:(fun i -> i * i) in
+  Alcotest.(check (array int)) "values" [| 0; 1; 4 |] got;
+  Alcotest.(check bool) "jobs capped" true (stats.Pool.jobs <= 3);
+  Alcotest.(check int) "per-domain sums to n" 3
+    (Array.fold_left ( + ) 0 stats.Pool.per_domain_items)
+
+let test_empty () =
+  let got, stats = Pool.run ~jobs:4 ~n:0 ~f:(fun _ -> assert false) in
+  Alcotest.(check int) "no results" 0 (Array.length got);
+  Alcotest.(check int) "no items" 0 stats.Pool.items
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "at least one" true (Pool.default_jobs () >= 1)
+
+let suite =
+  [ ("parallel matches sequential", `Quick, test_matches_sequential);
+    ("exception propagates", `Quick, test_exception_propagates);
+    ("invalid arguments", `Quick, test_invalid_args);
+    ("stats accounting", `Quick, test_stats_accounting);
+    ("jobs capped at n", `Quick, test_jobs_capped_at_n);
+    ("empty index space", `Quick, test_empty);
+    ("default jobs", `Quick, test_default_jobs_positive) ]

@@ -94,6 +94,49 @@ let test_split_independent () =
   done;
   Alcotest.(check int) "split streams differ" 0 !same
 
+let test_split_key_pure () =
+  let parent = Xoshiro256.create ~seed:77 in
+  let before = Xoshiro256.copy parent in
+  let a = Xoshiro256.split_key parent ~key:3 in
+  let b = Xoshiro256.split_key parent ~key:3 in
+  (* Same (state, key) twice: identical child streams. *)
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same child" (Xoshiro256.next_int64 a)
+      (Xoshiro256.next_int64 b)
+  done;
+  (* And the parent was never advanced. *)
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "parent untouched" (Xoshiro256.next_int64 before)
+      (Xoshiro256.next_int64 parent)
+  done
+
+let test_split_key_order_independent () =
+  (* Children derived in any order are identical: the crux of the
+     per-round stream discipline. *)
+  let parent = Xoshiro256.create ~seed:78 in
+  let forward = List.map (fun k -> Xoshiro256.split_key parent ~key:k) [ 0; 1; 2; 3 ] in
+  let backward = List.rev_map (fun k -> Xoshiro256.split_key parent ~key:k) [ 3; 2; 1; 0 ] in
+  List.iter2
+    (fun a b ->
+      for _ = 1 to 20 do
+        Alcotest.(check int64) "order independent" (Xoshiro256.next_int64 a)
+          (Xoshiro256.next_int64 b)
+      done)
+    forward backward
+
+let test_split_key_distinct () =
+  let parent = Xoshiro256.create ~seed:79 in
+  let children = Array.init 32 (fun k -> Xoshiro256.split_key parent ~key:k) in
+  let firsts = Array.map Xoshiro256.next_int64 children in
+  Array.iteri
+    (fun i x ->
+      Array.iteri
+        (fun j y ->
+          if i < j && Int64.equal x y then
+            Alcotest.failf "keys %d and %d collide on first output" i j)
+        firsts)
+    firsts
+
 let test_copy_snapshot () =
   let a = Xoshiro256.create ~seed:8 in
   ignore (Xoshiro256.next_int64 a);
@@ -146,6 +189,52 @@ let test_truncated_normal_degenerate () =
   Alcotest.check_raises "lo > hi" (Invalid_argument "Dist.truncated_normal: lo > hi")
     (fun () -> ignore (Dist.truncated_normal rng ~mu:0. ~sigma:1. ~lo:1. ~hi:0.))
 
+let test_normal_cdf_values () =
+  let check x expected =
+    if Float.abs (Dist.normal_cdf x -. expected) > 1e-6 then
+      Alcotest.failf "cdf(%f) = %.8f, expected %.8f" x (Dist.normal_cdf x) expected
+  in
+  check 0. 0.5;
+  check 1. 0.8413447461;
+  check (-1.) 0.1586552539;
+  check 1.96 0.9750021049;
+  check (-3.) 0.0013498980
+
+let test_normal_icdf_roundtrip () =
+  for i = -60 to 60 do
+    let x = float_of_int i /. 10. in
+    let x' = Dist.normal_icdf (Dist.normal_cdf x) in
+    if Float.abs (x' -. x) > 1e-4 then
+      Alcotest.failf "icdf(cdf(%f)) = %f" x x'
+  done;
+  Alcotest.check_raises "p = 0"
+    (Invalid_argument "Dist.normal_icdf: p must be in (0, 1)") (fun () ->
+      ignore (Dist.normal_icdf 0.));
+  Alcotest.check_raises "p = 1"
+    (Invalid_argument "Dist.normal_icdf: p must be in (0, 1)") (fun () ->
+      ignore (Dist.normal_icdf 1.))
+
+let test_truncated_normal_far_tail () =
+  (* Interval [5, 6] sigmas above the mean: rejection essentially never
+     accepts, so this exercises the inverse-CDF fallback. The clamping
+     fallback this replaced returned exactly 5.0 with a point mass. *)
+  let rng = Xoshiro256.create ~seed:31 in
+  let n = 20_000 in
+  let at_bounds = ref 0 in
+  let xs =
+    Array.init n (fun _ ->
+        let x = Dist.truncated_normal rng ~mu:0. ~sigma:1. ~lo:5. ~hi:6. in
+        if x < 5. || x > 6. then Alcotest.failf "out of [5,6]: %f" x;
+        if x = 5. || x = 6. then incr at_bounds;
+        x)
+  in
+  if !at_bounds > n / 100 then
+    Alcotest.failf "point mass at bounds: %d of %d draws" !at_bounds n;
+  (* Exact conditional mean of N(0,1) on [5,6] is ~5.1870. *)
+  let mean = Lepts_util.Stats.mean xs in
+  if Float.abs (mean -. 5.187) > 0.05 then
+    Alcotest.failf "far-tail mean %f, expected ~5.187" mean
+
 let test_uniform_choice () =
   let rng = Xoshiro256.create ~seed:29 in
   let arr = [| 10; 20; 30 |] in
@@ -169,6 +258,9 @@ let suite =
     ("int invalid bound", `Quick, test_int_invalid);
     ("int bound one", `Quick, test_int_bound_one);
     ("split independence", `Quick, test_split_independent);
+    ("split_key pure", `Quick, test_split_key_pure);
+    ("split_key order independent", `Quick, test_split_key_order_independent);
+    ("split_key distinct keys", `Quick, test_split_key_distinct);
     ("copy snapshot", `Quick, test_copy_snapshot);
     ("normal moments", `Quick, test_normal_moments);
     ("normal zero sigma", `Quick, test_normal_zero_sigma);
@@ -176,4 +268,7 @@ let suite =
     ("truncated normal bounds", `Quick, test_truncated_normal_bounds);
     ("truncated normal mean", `Quick, test_truncated_normal_mean);
     ("truncated normal degenerate", `Quick, test_truncated_normal_degenerate);
+    ("normal cdf reference values", `Quick, test_normal_cdf_values);
+    ("normal icdf round-trip", `Quick, test_normal_icdf_roundtrip);
+    ("truncated normal far tail unbiased", `Quick, test_truncated_normal_far_tail);
     ("uniform choice", `Quick, test_uniform_choice) ]

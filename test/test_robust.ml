@@ -219,6 +219,23 @@ let test_campaign_arms_share_draws () =
      + r.Campaign.faulty.Campaign.summary.Runner.deadline_misses
      + r.Campaign.contained.Campaign.summary.Runner.deadline_misses)
 
+let test_campaign_parallel_bit_identical () =
+  (* The full report — every summary field and every fault/containment
+     counter — must not depend on the worker-domain count. *)
+  let _, acs = preemptive_acs () in
+  let run jobs =
+    Campaign.run ~rounds:30 ~jobs ~spec:moderate_spec ~schedule:acs
+      ~policy:Policy.Greedy ~seed:5 ()
+  in
+  let seq = run 1 in
+  List.iter
+    (fun jobs ->
+      let par = run jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "report identical at jobs=%d" jobs)
+        true (seq = par))
+    [ 2; 3 ]
+
 let test_runner_percentiles_ordered () =
   let _, acs = preemptive_acs () in
   let s =
@@ -331,6 +348,7 @@ let suite =
     ("recoverable overrun escalated", `Quick, test_containment_escalates_recoverable_overrun);
     ("campaign determinism", `Quick, test_campaign_deterministic);
     ("campaign arms share draws", `Quick, test_campaign_arms_share_draws);
+    ("campaign parallel bit-identical", `Quick, test_campaign_parallel_bit_identical);
     ("runner percentiles ordered", `Quick, test_runner_percentiles_ordered);
     ("robust solver default", `Quick, test_robust_solver_default_uses_acs);
     ("fallback to WCS", `Quick, test_robust_solver_falls_back_to_wcs);

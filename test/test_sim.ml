@@ -56,6 +56,40 @@ let test_sampler_fixed () =
       Array.iter (fun w -> Alcotest.(check (float 0.)) "wcec" task.Task.wcec w) per)
     totals
 
+let test_sampler_traversal_order_regression () =
+  (* Instance draws must depend only on (base state, flat instance
+     index). We reconstruct the totals by walking the plan in the
+     reverse order and deriving each instance's stream by key; any
+     hidden threading of a shared stream through the traversal would
+     break the equality. *)
+  let plan, _, _ = preemptive_pair () in
+  let rng = Lepts_prng.Xoshiro256.create ~seed:41 in
+  let replay = Lepts_prng.Xoshiro256.copy rng in
+  let totals = Sampler.instance_totals plan ~rng in
+  let base = Lepts_prng.Xoshiro256.split replay in
+  let n_tasks = Array.length plan.Plan.instance_subs in
+  let offset = Array.make n_tasks 0 in
+  for i = 1 to n_tasks - 1 do
+    offset.(i) <- offset.(i - 1) + Array.length plan.Plan.instance_subs.(i - 1)
+  done;
+  for i = n_tasks - 1 downto 0 do
+    let task = Task_set.task plan.Plan.task_set i in
+    let per = plan.Plan.instance_subs.(i) in
+    for j = Array.length per - 1 downto 0 do
+      let child = Lepts_prng.Xoshiro256.split_key base ~key:(offset.(i) + j) in
+      Alcotest.(check (float 0.)) "permuted traversal identical"
+        totals.(i).(j)
+        (Sampler.draw Sampler.Truncated_normal child task)
+    done
+  done
+
+let test_sampler_successive_calls_differ () =
+  let plan, _, _ = preemptive_pair () in
+  let rng = Lepts_prng.Xoshiro256.create ~seed:43 in
+  let a = Sampler.instance_totals plan ~rng in
+  let b = Sampler.instance_totals plan ~rng in
+  Alcotest.(check bool) "fresh hyper-period each call" true (a <> b)
+
 let test_event_sim_worst_case_no_misses () =
   let plan, wcs, acs = preemptive_pair () in
   let totals = Sampler.fixed plan ~value:`Wcec in
@@ -179,6 +213,64 @@ let test_runner_deterministic () =
   Alcotest.(check bool) "different seed differs" true
     (Float.abs (a.Runner.mean_energy -. c.Runner.mean_energy) > 1e-12)
 
+let check_summary_equal msg (a : Runner.summary) (b : Runner.summary) =
+  Alcotest.(check int) (msg ^ ": rounds") a.Runner.rounds b.Runner.rounds;
+  Alcotest.(check (float 0.)) (msg ^ ": mean") a.Runner.mean_energy b.Runner.mean_energy;
+  Alcotest.(check (float 0.)) (msg ^ ": stddev") a.Runner.stddev_energy
+    b.Runner.stddev_energy;
+  Alcotest.(check (float 0.)) (msg ^ ": min") a.Runner.min_energy b.Runner.min_energy;
+  Alcotest.(check (float 0.)) (msg ^ ": max") a.Runner.max_energy b.Runner.max_energy;
+  Alcotest.(check (float 0.)) (msg ^ ": p95") a.Runner.p95_energy b.Runner.p95_energy;
+  Alcotest.(check (float 0.)) (msg ^ ": p99") a.Runner.p99_energy b.Runner.p99_energy;
+  Alcotest.(check int) (msg ^ ": misses") a.Runner.deadline_misses
+    b.Runner.deadline_misses;
+  Alcotest.(check int) (msg ^ ": shed") a.Runner.shed_instances b.Runner.shed_instances
+
+let test_runner_parallel_bit_identical () =
+  let _, _, acs = preemptive_pair () in
+  let run jobs =
+    Runner.simulate ~rounds:40 ~jobs ~schedule:acs ~policy:Policy.Greedy
+      ~rng:(Lepts_prng.Xoshiro256.create ~seed:6) ()
+  in
+  let seq = run 1 in
+  List.iter
+    (fun jobs -> check_summary_equal (Printf.sprintf "jobs=%d" jobs) seq (run jobs))
+    [ 2; 3; 7 ]
+
+let test_runner_pure_in_rng () =
+  (* [simulate] must never advance the caller's generator: the same
+     generator object used twice yields the same summary. *)
+  let _, _, acs = preemptive_pair () in
+  let rng = Lepts_prng.Xoshiro256.create ~seed:12 in
+  let run () = Runner.simulate ~rounds:15 ~schedule:acs ~policy:Policy.Greedy ~rng () in
+  check_summary_equal "same rng twice" (run ()) (run ())
+
+let test_runner_single_round_summary () =
+  let _, _, acs = preemptive_pair () in
+  let s =
+    Runner.simulate ~rounds:1 ~schedule:acs ~policy:Policy.Greedy
+      ~rng:(Lepts_prng.Xoshiro256.create ~seed:14) ()
+  in
+  Alcotest.(check int) "one round" 1 s.Runner.rounds;
+  Alcotest.(check bool) "stddev undefined" true (Float.is_nan s.Runner.stddev_energy);
+  Alcotest.(check (float 0.)) "min = mean" s.Runner.mean_energy s.Runner.min_energy;
+  Alcotest.(check (float 0.)) "max = mean" s.Runner.mean_energy s.Runner.max_energy;
+  Alcotest.(check (float 0.)) "p95 = mean" s.Runner.mean_energy s.Runner.p95_energy;
+  Alcotest.(check (float 0.)) "p99 = mean" s.Runner.mean_energy s.Runner.p99_energy
+
+let test_runner_stats_reported () =
+  let _, _, acs = preemptive_pair () in
+  let seen = ref None in
+  ignore
+    (Runner.simulate ~rounds:20 ~jobs:2 ~on_stats:(fun s -> seen := Some s)
+       ~schedule:acs ~policy:Policy.Greedy
+       ~rng:(Lepts_prng.Xoshiro256.create ~seed:16) ());
+  match !seen with
+  | None -> Alcotest.fail "on_stats not called"
+  | Some s ->
+    Alcotest.(check int) "items = rounds" 20 s.Lepts_par.Pool.items;
+    Alcotest.(check int) "jobs" 2 s.Lepts_par.Pool.jobs
+
 let test_runner_invalid_rounds () =
   let _, _, acs = preemptive_pair () in
   Alcotest.check_raises "rounds positive"
@@ -209,6 +301,8 @@ let test_budget_enforcement_prevents_miss () =
 let suite =
   [ ("sampler respects bounds", `Quick, test_sampler_bounds);
     ("sampler fixed values", `Quick, test_sampler_fixed);
+    ("sampler traversal-order regression", `Quick, test_sampler_traversal_order_regression);
+    ("sampler successive calls differ", `Quick, test_sampler_successive_calls_differ);
     ("worst case meets deadlines", `Quick, test_event_sim_worst_case_no_misses);
     ("event sim = sequence executor", `Quick, test_event_sim_matches_sequence);
     ("event sim = closed form on ACEC", `Quick, test_event_sim_matches_predicted_on_acec);
@@ -218,5 +312,9 @@ let suite =
     ("finish times recorded", `Quick, test_finish_times_recorded);
     ("runner statistics", `Quick, test_runner_statistics);
     ("runner determinism", `Quick, test_runner_deterministic);
+    ("runner parallel bit-identical", `Quick, test_runner_parallel_bit_identical);
+    ("runner pure in rng", `Quick, test_runner_pure_in_rng);
+    ("runner single-round summary", `Quick, test_runner_single_round_summary);
+    ("runner pool stats reported", `Quick, test_runner_stats_reported);
     ("runner invalid rounds", `Quick, test_runner_invalid_rounds);
     ("budget enforcement regression", `Quick, test_budget_enforcement_prevents_miss) ]

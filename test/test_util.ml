@@ -63,7 +63,15 @@ let test_mean_variance () =
   check_float "mean" 2. (Stats.mean [| 1.; 2.; 3. |]);
   check_float "variance" 1. (Stats.variance [| 1.; 2.; 3. |]);
   check_float "stddev" 1. (Stats.stddev [| 1.; 2.; 3. |]);
-  check_float "variance singleton" 0. (Stats.variance [| 5. |]);
+  check_float "variance pair" 0.5 (Stats.variance [| 1.; 2. |]);
+  (* Sample variance is undefined below two samples: it must refuse, not
+     silently report zero spread. *)
+  Alcotest.check_raises "variance singleton"
+    (Invalid_argument "Stats.variance: need at least two samples") (fun () ->
+      ignore (Stats.variance [| 5. |]));
+  Alcotest.check_raises "variance empty"
+    (Invalid_argument "Stats.variance: need at least two samples") (fun () ->
+      ignore (Stats.variance [||]));
   Alcotest.check_raises "mean empty" (Invalid_argument "Stats.mean: empty array")
     (fun () -> ignore (Stats.mean [||]))
 
@@ -81,7 +89,26 @@ let test_percentile () =
   check_float "p10 interpolated" 14. (Stats.percentile xs ~p:10.);
   Alcotest.check_raises "out of range"
     (Invalid_argument "Stats.percentile: p out of range") (fun () ->
-      ignore (Stats.percentile xs ~p:101.))
+      ignore (Stats.percentile xs ~p:101.));
+  Alcotest.check_raises "negative p"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile xs ~p:(-1.)))
+
+let test_percentile_edges () =
+  (* Single element: every percentile is that element. *)
+  List.iter
+    (fun p -> check_float "singleton" 7. (Stats.percentile [| 7. |] ~p))
+    [ 0.; 25.; 50.; 100. ];
+  (* Ties: interpolation between equal neighbours stays on the tie. *)
+  let ties = [| 1.; 2.; 2.; 2.; 3. |] in
+  check_float "ties p25" 2. (Stats.percentile ties ~p:25.);
+  check_float "ties p50" 2. (Stats.percentile ties ~p:50.);
+  check_float "ties p75" 2. (Stats.percentile ties ~p:75.);
+  (* Unsorted input: percentile must sort internally. *)
+  let unsorted = [| 50.; 10.; 40.; 20.; 30. |] in
+  check_float "unsorted p0" 10. (Stats.percentile unsorted ~p:0.);
+  check_float "unsorted p100" 50. (Stats.percentile unsorted ~p:100.);
+  check_float "unsorted p50" 30. (Stats.percentile unsorted ~p:50.)
 
 let test_geometric_mean () =
   check_float "powers of two" 4. (Stats.geometric_mean [| 2.; 8. |]);
@@ -130,6 +157,7 @@ let suite =
     ("mean/variance", `Quick, test_mean_variance);
     ("min_max", `Quick, test_min_max);
     ("percentile", `Quick, test_percentile);
+    ("percentile edge cases", `Quick, test_percentile_edges);
     ("geometric mean", `Quick, test_geometric_mean);
     ("table render", `Quick, test_table_render);
     ("table arity", `Quick, test_table_mismatch);
