@@ -64,13 +64,13 @@ let regenerate_design_ablations () =
       Printf.printf "%s:\n" title;
       Lepts_util.Table.print table
   in
-  show "NLP formulations" (Experiments.Ablations.formulations ~task_set:ts ~power);
+  show "NLP formulations" (Experiments.Ablations.formulations ~task_set:ts ~power ());
   show "Objectives"
     (Experiments.Ablations.objectives ~rounds:200 ~task_set:ts ~power ~seed:3 ());
   show "Voltage quantization"
     (Experiments.Ablations.quantization ~rounds:200 ~task_set:ts ~power ~seed:3 ());
   show "Structures"
-    (Experiments.Ablations.structures ~task_set:ts ~power);
+    (Experiments.Ablations.structures ~task_set:ts ~power ());
   section "Extension: utilization sweep (CNC, ratio 0.1)";
   Lepts_util.Table.print
     (Experiments.Utilization_sweep.to_table
@@ -257,12 +257,205 @@ let run_benchmarks () =
         analyses)
     (bench_tests ())
 
+(* ---------------------------------------------------------------------- *)
+(* Phase 3: solver-kernel benchmarks (time + allocation), --json mode.    *)
+(* ---------------------------------------------------------------------- *)
+
+(* The allocating reference paths are kept in {!Lepts_core.Objective}
+   precisely so this group can put a number on the workspace kernels:
+   same inputs, alloc vs workspace, ns/op and minor-words/op side by
+   side — plus full multi-start solves at three plan sizes and the
+   sequential-vs-parallel multi-start wall clock. *)
+
+module Workspace = Lepts_core.Workspace
+
+let motivation_plan = lazy (Plan.expand (Experiments.Motivation.task_set ()))
+let rand8 = random_set 8
+let rand8_plan = lazy (Plan.expand (Lazy.force rand8))
+
+type kernel_row = { row_name : string; ns_per_op : float; minor_words_per_op : float }
+
+(* (name, thunk, allocation repetitions): time comes from a Bechamel
+   OLS fit; allocation per op is measured directly as the
+   [Gc.minor_words] delta over [reps] calls, which is exact even for
+   the sub-microsecond kernels where the OLS allocation estimate is
+   too noisy to resolve zero. *)
+let solver_kernel_cases () =
+  let plan = Lazy.force cnc_plan in
+  let _, acs = Lazy.force cnc_schedules in
+  let totals = Objective.instance_totals Objective.Average plan in
+  let e = acs.Static_schedule.end_times and w_hat = acs.Static_schedule.quotas in
+  let ws = Workspace.create plan in
+  let m = Plan.size plan in
+  let de = Array.make m 0. and dwq = Array.make m 0. in
+  let solve_of plan_lazy () =
+    ignore (Result.get_ok (Solver.solve_acs ~plan:(Lazy.force plan_lazy) ~power ()))
+  in
+  [ ( "objective eval, alloc (CNC, 32 subs)",
+      (fun () -> ignore (Objective.eval ~plan ~power ~totals ~e ~w_hat)),
+      10_000 );
+    ( "objective eval, workspace (CNC, 32 subs)",
+      (fun () -> ignore (Objective.eval_ws ws ~power ~totals ~e ~w_hat)),
+      10_000 );
+    ( "adjoint gradient, alloc (CNC, 32 subs)",
+      (fun () -> ignore (Objective.eval_with_gradient ~plan ~power ~totals ~e ~w_hat)),
+      10_000 );
+    ( "adjoint gradient, workspace (CNC, 32 subs)",
+      (fun () ->
+        ignore (Objective.eval_with_gradient_ws ws ~power ~totals ~e ~w_hat ~de ~dwq)),
+      10_000 );
+    ( Printf.sprintf "ACS solve (motivation, %d subs)"
+        (Plan.size (Lazy.force motivation_plan)),
+      solve_of motivation_plan, 20 );
+    ("ACS solve (CNC, 32 subs)", solve_of cnc_plan, 2);
+    ( Printf.sprintf "ACS solve (random n=8, %d subs)"
+        (Plan.size (Lazy.force rand8_plan)),
+      solve_of rand8_plan, 1 ) ]
+
+let minor_words_per_op ~reps f =
+  f ();
+  (* warm-up: fixture laziness, first-call effects *)
+  let before = Gc.minor_words () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Gc.minor_words () -. before) /. float_of_int reps
+
+let run_solver_kernel_benchmarks ~quick () =
+  ignore (Lazy.force cnc_plan);
+  ignore (Lazy.force cnc_schedules);
+  ignore (Lazy.force motivation_plan);
+  ignore (Lazy.force rand8_plan);
+  let cfg =
+    if quick then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None ()
+    else Benchmark.cfg ~limit:300 ~quota:(Time.second 2.) ~kde:None ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.map
+    (fun (name, thunk, reps) ->
+      let reps = if quick then max 1 (reps / 10) else reps in
+      let test = Test.make ~name (Staged.stage thunk) in
+      let results = Benchmark.all cfg instances test in
+      let times = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      let ns =
+        match Hashtbl.find_opt times name with
+        | None -> Float.nan
+        | Some ols_result -> (
+          match Analyze.OLS.estimates ols_result with
+          | Some (v :: _) -> v
+          | Some [] | None -> Float.nan)
+      in
+      { row_name = name; ns_per_op = ns;
+        minor_words_per_op = minor_words_per_op ~reps thunk })
+    (solver_kernel_cases ())
+
+(* Wall clock of the same deterministic multi-start solve at -j 1 vs
+   -j 4 (three independent starts: greedy, ALAP, plus the WCS warm
+   start). Timing goes to the JSON / stderr only; the schedules are
+   asserted equal, which is the cheap end of the bit-identity tests. *)
+let parallel_solve_measurement () =
+  let plan = Lazy.force cnc_plan in
+  let wcs, _ = Lazy.force cnc_schedules in
+  let warm = [ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ] in
+  let solve jobs =
+    let t0 = Unix.gettimeofday () in
+    let schedule, stats =
+      Result.get_ok (Solver.solve_acs ~jobs ~warm_starts:warm ~plan ~power ())
+    in
+    (Unix.gettimeofday () -. t0, schedule, stats)
+  in
+  let t_seq, seq_schedule, seq_stats = solve 1 in
+  let t_par, par_schedule, _ = solve 4 in
+  let identical =
+    seq_schedule.Static_schedule.end_times = par_schedule.Static_schedule.end_times
+    && seq_schedule.Static_schedule.quotas = par_schedule.Static_schedule.quotas
+  in
+  (t_seq, t_par, seq_stats.Solver.objective, identical)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.3f" x else "null"
+
+let emit_solver_json ~path ~quick rows (t_seq, t_par, objective, identical) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"lepts-bench-solver/1\",\n";
+  out "  \"quick\": %b,\n" quick;
+  out "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+      out "    {\"name\": \"%s\", \"ns_per_op\": %s, \"minor_words_per_op\": %s}%s\n"
+        (json_escape r.row_name) (json_float r.ns_per_op)
+        (json_float r.minor_words_per_op)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ],\n";
+  out "  \"parallel_solve\": {\n";
+  out "    \"plan\": \"CNC (32 subs), 3 starts\",\n";
+  out "    \"jobs\": 4,\n";
+  out "    \"seq_s\": %s,\n" (json_float t_seq);
+  out "    \"par_s\": %s,\n" (json_float t_par);
+  out "    \"speedup\": %s,\n" (json_float (t_seq /. Float.max t_par 1e-9));
+  out "    \"objective\": %s,\n" (json_float objective);
+  out "    \"bit_identical\": %b\n" identical;
+  out "  }\n";
+  out "}\n";
+  close_out oc
+
+let print_solver_kernel_rows rows =
+  section "Solver kernels (time and minor allocation per run)";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-44s %12.1f ns/run %12.1f minor words/run\n%!" r.row_name
+        r.ns_per_op r.minor_words_per_op)
+    rows
+
+let run_solver_json ~path ~quick () =
+  let rows = run_solver_kernel_benchmarks ~quick () in
+  print_solver_kernel_rows rows;
+  let par = parallel_solve_measurement () in
+  let t_seq, t_par, _, identical = par in
+  Printf.printf
+    "  parallel multi-start: -j 1 %.2fs, -j 4 %.2fs (%.2fx), identical: %b\n%!"
+    t_seq t_par (t_seq /. Float.max t_par 1e-9) identical;
+  emit_solver_json ~path ~quick rows par;
+  Printf.printf "wrote %s\n%!" path
+
 let () =
-  regenerate_motivation ();
-  regenerate_fig6a ();
-  regenerate_fig6b ();
-  regenerate_policy_ablation ();
-  regenerate_design_ablations ();
-  parallel_speedup ();
-  run_benchmarks ();
-  print_endline "\nbench: done"
+  (* `--json PATH [--quick]` runs only the solver-kernel group and
+     writes the machine-readable summary (the CI smoke step); no
+     arguments runs the full reproduction + benchmark pipeline. *)
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let rec json_path = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> json_path rest
+    | [] -> None
+  in
+  match json_path args with
+  | Some path -> run_solver_json ~path ~quick ()
+  | None ->
+    regenerate_motivation ();
+    regenerate_fig6a ();
+    regenerate_fig6b ();
+    regenerate_policy_ablation ();
+    regenerate_design_ablations ();
+    parallel_speedup ();
+    run_benchmarks ();
+    print_solver_kernel_rows (run_solver_kernel_benchmarks ~quick:false ());
+    print_endline "\nbench: done"

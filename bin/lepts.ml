@@ -45,6 +45,12 @@ let resolve_jobs jobs =
   else if jobs = 0 then Lepts_par.Pool.default_jobs ()
   else jobs
 
+let solver_jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "solver-jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the NLP multi-start solves (results are \
+                 bit-identical for every value; 0 = one per core).")
+
 let progress line =
   print_endline line;
   flush stdout
@@ -73,15 +79,16 @@ let motivation_cmd =
 (* --- fig6a ------------------------------------------------------------- *)
 
 let fig6a_cmd =
-  let run verbose sets rounds seed jobs v_min v_max =
+  let run verbose sets rounds seed jobs solver_jobs v_min v_max =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
+    let solver_jobs = resolve_jobs solver_jobs in
     let power = power_of ~v_min ~v_max in
     let config =
       { Experiments.Fig6a.paper_config with sets_per_point = sets; rounds; seed }
     in
     let t0 = Unix.gettimeofday () in
-    let points = Experiments.Fig6a.run ~progress ~jobs config ~power in
+    let points = Experiments.Fig6a.run ~progress ~jobs ~solver_jobs config ~power in
     let elapsed = Unix.gettimeofday () -. t0 in
     print_endline "Fig 6(a): ACS improvement over WCS, random task sets:";
     Lepts_util.Table.print (Experiments.Fig6a.to_table points);
@@ -100,7 +107,7 @@ let fig6a_cmd =
   Cmd.v
     (Cmd.info "fig6a" ~doc:"Reproduce Fig 6(a): improvement vs task count and BCEC/WCEC ratio.")
     Term.(const run $ verbose_arg $ sets $ rounds_arg 1000 $ seed_arg $ jobs_arg
-          $ v_min_arg $ v_max_arg)
+          $ solver_jobs_arg $ v_min_arg $ v_max_arg)
 
 (* --- fig6b ------------------------------------------------------------- *)
 
@@ -154,9 +161,10 @@ let schedule_cmd =
 (* --- random ------------------------------------------------------------ *)
 
 let random_cmd =
-  let run verbose n ratio rounds seed jobs v_min v_max =
+  let run verbose n ratio rounds seed jobs solver_jobs v_min v_max =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
+    let solver_jobs = resolve_jobs solver_jobs in
     let power = power_of ~v_min ~v_max in
     let rng = Lepts_prng.Xoshiro256.create ~seed in
     let config = Lepts_workloads.Random_gen.default_config ~n_tasks:n ~ratio in
@@ -167,7 +175,7 @@ let random_cmd =
     | Ok ts -> (
       Format.printf "task set: %a@." Task_set.pp ts;
       match
-        Experiments.Improvement.measure ~rounds ~jobs ~task_set:ts ~power
+        Experiments.Improvement.measure ~rounds ~jobs ~solver_jobs ~task_set:ts ~power
           ~sim_seed:(seed + 1) ()
       with
       | Error e -> Format.printf "error: %a@." Solver.pp_error e
@@ -183,7 +191,7 @@ let random_cmd =
   Cmd.v
     (Cmd.info "random" ~doc:"Generate one random task set and measure ACS vs WCS.")
     Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 1000 $ seed_arg $ jobs_arg
-          $ v_min_arg $ v_max_arg)
+          $ solver_jobs_arg $ v_min_arg $ v_max_arg)
 
 (* --- policies ---------------------------------------------------------- *)
 
@@ -207,8 +215,9 @@ let policies_cmd =
 (* --- ablations ---------------------------------------------------------- *)
 
 let ablations_cmd =
-  let run verbose rounds seed v_min v_max =
+  let run verbose rounds seed jobs v_min v_max =
     setup_logs verbose;
+    let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
     let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
     let show title = function
@@ -218,19 +227,23 @@ let ablations_cmd =
         Lepts_util.Table.print table
     in
     show "NLP formulations (slack vs paper-literal)"
-      (Experiments.Ablations.formulations ~task_set:ts ~power);
+      (Experiments.Ablations.formulations ~jobs ~task_set:ts ~power ());
     show "Objectives (WCS vs ACS vs stochastic)"
-      (Experiments.Ablations.objectives ~rounds ~task_set:ts ~power ~seed ());
+      (Experiments.Ablations.objectives ~rounds ~jobs ~task_set:ts ~power ~seed ());
     show "Voltage quantization"
-      (Experiments.Ablations.quantization ~rounds ~task_set:ts ~power ~seed ());
+      (Experiments.Ablations.quantization ~rounds ~jobs ~task_set:ts ~power ~seed ());
     show "Scheduling structures (preemptive vs non-preemptive vs YDS bound)"
-      (Experiments.Ablations.structures ~task_set:ts ~power);
-    (match Experiments.Distribution_sweep.run ~rounds ~task_set:ts ~power ~seed () with
+      (Experiments.Ablations.structures ~jobs ~task_set:ts ~power ());
+    (match
+       Experiments.Distribution_sweep.run ~rounds ~jobs ~task_set:ts ~power ~seed ()
+     with
     | Error e -> Format.printf "distribution sweep: error: %a@." Solver.pp_error e
     | Ok points ->
       print_endline "\nWorkload distribution shapes:";
       Lepts_util.Table.print (Experiments.Distribution_sweep.to_table points));
-    (match Experiments.Transition_sweep.run ~rounds ~task_set:ts ~power ~seed () with
+    (match
+       Experiments.Transition_sweep.run ~rounds ~jobs ~task_set:ts ~power ~seed ()
+     with
     | Error e -> Format.printf "transition sweep: error: %a@." Solver.pp_error e
     | Ok points ->
       print_endline "\nVoltage-transition overhead:";
@@ -240,17 +253,19 @@ let ablations_cmd =
   Cmd.v
     (Cmd.info "ablations"
        ~doc:"Run the design-choice ablations from DESIGN.md on the CNC task set.")
-    Term.(const run $ verbose_arg $ rounds_arg 500 $ seed_arg $ v_min_arg $ v_max_arg)
+    Term.(const run $ verbose_arg $ rounds_arg 500 $ seed_arg $ jobs_arg $ v_min_arg
+          $ v_max_arg)
 
 (* --- utilization sweep --------------------------------------------------- *)
 
 let utilization_cmd =
-  let run verbose rounds seed v_min v_max =
+  let run verbose rounds seed jobs v_min v_max =
     setup_logs verbose;
+    let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
     let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
     let points =
-      Experiments.Utilization_sweep.run ~rounds ~task_set:ts ~power ~seed ()
+      Experiments.Utilization_sweep.run ~rounds ~jobs ~task_set:ts ~power ~seed ()
     in
     print_endline "ACS improvement vs worst-case utilization (CNC, ratio 0.1):";
     Lepts_util.Table.print (Experiments.Utilization_sweep.to_table points);
@@ -259,7 +274,8 @@ let utilization_cmd =
   Cmd.v
     (Cmd.info "utilization"
        ~doc:"Sweep worst-case utilization and measure the ACS gain (extension).")
-    Term.(const run $ verbose_arg $ rounds_arg 400 $ seed_arg $ v_min_arg $ v_max_arg)
+    Term.(const run $ verbose_arg $ rounds_arg 400 $ seed_arg $ jobs_arg $ v_min_arg
+          $ v_max_arg)
 
 (* --- faults ------------------------------------------------------------- *)
 

@@ -174,3 +174,188 @@ let eval_with_gradient ~plan ~power ~totals ~e ~w_hat =
         per_instance)
     plan.Plan.instance_subs;
   (!energy, de, dwq)
+
+(* --- Workspace kernels -------------------------------------------------- *)
+
+(* The paths above allocate their intermediates and stay as the
+   reference implementation; the [_ws] kernels below recompute exactly
+   the same floating-point operations in the same order over the
+   preallocated buffers of a {!Workspace.t} (asserted bit-for-bit by
+   the test suite), so the solver's inner loop — which evaluates them
+   tens of thousands of times per solve — allocates no arrays. *)
+
+let check_lengths ws ~e ~w_hat =
+  let m = ws.Workspace.m in
+  if Array.length e <> m || Array.length w_hat <> m then
+    invalid_arg "Objective: vector length does not match plan size"
+
+(* Same-module float copies of [Float.max] (same formula as the
+   stdlib, so same results including NaN and signed zeros) and
+   [Num_ext.clamp]: without flambda the cross-module calls box their
+   float arguments and results, and these were the last allocations
+   left on the kernel hot path. *)
+let[@inline] fmax (x : float) (y : float) =
+  if y > x || (x <> x && not (y <> y)) then y else x
+
+let[@inline] clampf ~(lo : float) ~(hi : float) (x : float) =
+  if x < lo then lo else if x > hi then hi else x
+
+(* sanitize + split_workloads over ws buffers: fills [ws.w_hat] and
+   [ws.w]. Plain nested loops — closures would allocate. *)
+let split_ws (ws : Workspace.t) ~totals ~w_hat =
+  for k = 0 to ws.m - 1 do
+    ws.w_hat.(k) <- fmax 0. w_hat.(k)
+  done;
+  let subs = ws.plan.Plan.instance_subs in
+  for i = 0 to Array.length subs - 1 do
+    let per = subs.(i) in
+    let per_total = totals.(i) in
+    for j = 0 to Array.length per - 1 do
+      let idxs = per.(j) in
+      let n = Array.length idxs in
+      for pos = 0 to n - 1 do
+        ws.wf_q.(pos) <- ws.w_hat.(idxs.(pos))
+      done;
+      Waterfall.distribute_into ~quotas:ws.wf_q ~n ~totals:per_total ~j
+        ~into:ws.wf_out;
+      for pos = 0 to n - 1 do
+        ws.w.(idxs.(pos)) <- ws.wf_out.(pos)
+      done
+    done
+  done
+
+let eval_ws (ws : Workspace.t) ~power ~totals ~e ~w_hat =
+  check_lengths ws ~e ~w_hat;
+  split_ws ws ~totals ~w_hat;
+  let plan = ws.Workspace.plan in
+  let w = ws.Workspace.w and w_hat = ws.Workspace.w_hat in
+  let finish = ref 0. and energy = ref 0. in
+  (match power.Model.delay with
+  | Model.Ideal { c0 } ->
+    (* Inlined ideal-model arithmetic: identical expressions to
+       [Model.voltage_for]/[energy]/[exec_time] (their domain checks
+       cannot fire here — [w > skip_eps] implies positive cycles, and
+       the window is floored), with no boxed-float returns. *)
+    for k = 0 to ws.Workspace.m - 1 do
+      let sub = plan.Plan.order.(k) in
+      if w.(k) > skip_eps then begin
+        let s = fmax sub.Sub.release !finish in
+        let d = fmax (e.(k) -. s) window_floor in
+        let v =
+          clampf ~lo:power.Model.v_min ~hi:power.Model.v_max
+            (c0 *. w_hat.(k) /. d)
+        in
+        energy := !energy +. (power.Model.c_eff *. v *. v *. w.(k));
+        finish := s +. (w.(k) *. (c0 /. v))
+      end
+    done
+  | Model.Alpha _ ->
+    for k = 0 to ws.Workspace.m - 1 do
+      let sub = plan.Plan.order.(k) in
+      if w.(k) > skip_eps then begin
+        let s = Float.max sub.Sub.release !finish in
+        let d = Float.max (e.(k) -. s) window_floor in
+        let v =
+          Lepts_util.Num_ext.clamp ~lo:power.Model.v_min ~hi:power.Model.v_max
+            (Model.voltage_for power ~cycles:w_hat.(k) ~duration:d)
+        in
+        energy := !energy +. Model.energy power ~v ~cycles:w.(k);
+        finish := s +. Model.exec_time power ~v ~cycles:w.(k)
+      end
+    done);
+  !energy
+
+let eval_with_gradient_ws (ws : Workspace.t) ~power ~totals ~e ~w_hat ~de ~dwq =
+  let c0 =
+    match power.Model.delay with
+    | Model.Ideal { c0 } -> c0
+    | Model.Alpha _ ->
+      invalid_arg "Objective.eval_with_gradient: analytic adjoint requires ideal delay"
+  in
+  check_lengths ws ~e ~w_hat;
+  let m = ws.Workspace.m in
+  if Array.length de <> m || Array.length dwq <> m then
+    invalid_arg "Objective.eval_with_gradient_ws: gradient buffer length mismatch";
+  split_ws ws ~totals ~w_hat;
+  let plan = ws.Workspace.plan in
+  let w = ws.Workspace.w and w_hat = ws.Workspace.w_hat in
+  (* Forward sweep, recording branches in the struct-of-arrays step
+     log. *)
+  ws.st_len <- 0;
+  let finish = ref 0. and energy = ref 0. in
+  for k = 0 to m - 1 do
+    let sub = plan.Plan.order.(k) in
+    if w.(k) > skip_eps then begin
+      let s_from_finish = !finish >= sub.Sub.release in
+      let s = if s_from_finish then !finish else sub.Sub.release in
+      let d_raw = e.(k) -. s in
+      let guarded = d_raw < window_floor in
+      let d = if guarded then window_floor else d_raw in
+      let v_raw = c0 *. w_hat.(k) /. d in
+      let clamped = v_raw <= power.Model.v_min || v_raw > power.Model.v_max in
+      let v = clampf ~lo:power.Model.v_min ~hi:power.Model.v_max v_raw in
+      energy := !energy +. (power.Model.c_eff *. v *. v *. w.(k));
+      finish := s +. (w.(k) *. c0 /. v);
+      let t = ws.st_len in
+      ws.st_k.(t) <- k;
+      ws.st_d.(t) <- d;
+      ws.st_v.(t) <- v;
+      ws.st_w.(t) <- w.(k);
+      ws.st_wq.(t) <- w_hat.(k);
+      ws.st_clamped.(t) <- clamped;
+      ws.st_guarded.(t) <- guarded;
+      ws.st_sff.(t) <- s_from_finish;
+      ws.st_len <- t + 1
+    end
+  done;
+  (* Backward (adjoint) sweep over the dispatched steps, most recent
+     first. [phi] is the adjoint of the running finish time. *)
+  for k = 0 to m - 1 do
+    de.(k) <- 0.;
+    dwq.(k) <- 0.;
+    ws.dw.(k) <- 0.
+  done;
+  let phi = ref 0. in
+  for t = ws.st_len - 1 downto 0 do
+    let k = ws.st_k.(t) in
+    let sigma = ref !phi in
+    (* finish = s + w c0 / v ; E += c_eff v^2 w *)
+    let alpha =
+      (2. *. power.Model.c_eff *. ws.st_w.(t) *. ws.st_v.(t))
+      -. (!phi *. ws.st_w.(t) *. c0 /. (ws.st_v.(t) *. ws.st_v.(t)))
+    in
+    let beta =
+      (power.Model.c_eff *. ws.st_v.(t) *. ws.st_v.(t)) +. (!phi *. c0 /. ws.st_v.(t))
+    in
+    if not ws.st_clamped.(t) then begin
+      (* v = c0 wq / d *)
+      dwq.(k) <- dwq.(k) +. (alpha *. c0 /. ws.st_d.(t));
+      if not ws.st_guarded.(t) then begin
+        let delta = -.alpha *. c0 *. ws.st_wq.(t) /. (ws.st_d.(t) *. ws.st_d.(t)) in
+        de.(k) <- de.(k) +. delta;
+        sigma := !sigma -. delta
+      end
+    end;
+    ws.dw.(k) <- ws.dw.(k) +. beta;
+    phi := if ws.st_sff.(t) then !sigma else 0.
+  done;
+  (* Waterfall vector-Jacobian products per instance. *)
+  let subs = plan.Plan.instance_subs in
+  for i = 0 to Array.length subs - 1 do
+    let per = subs.(i) in
+    let per_total = totals.(i) in
+    for j = 0 to Array.length per - 1 do
+      let idxs = per.(j) in
+      let n = Array.length idxs in
+      for pos = 0 to n - 1 do
+        ws.wf_q.(pos) <- w_hat.(idxs.(pos));
+        ws.wf_a.(pos) <- ws.dw.(idxs.(pos))
+      done;
+      Waterfall.backward_into ~quotas:ws.wf_q ~adjoint:ws.wf_a ~n
+        ~totals:per_total ~j ~into:ws.wf_out;
+      for pos = 0 to n - 1 do
+        dwq.(idxs.(pos)) <- dwq.(idxs.(pos)) +. ws.wf_out.(pos)
+      done
+    done
+  done;
+  !energy

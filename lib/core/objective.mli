@@ -73,3 +73,34 @@ val eval_with_gradient :
 (** [(energy, de, dw_hat)]. Requires the ideal delay model; raises
     [Invalid_argument] for the alpha model (use numerical
     differentiation there — see {!Solver}). *)
+
+(** {1 Workspace kernels}
+
+    Allocation-free variants of {!eval} and {!eval_with_gradient} over
+    the preallocated buffers of a {!Workspace.t}. They perform exactly
+    the same floating-point operations in the same order as the
+    allocating paths above — bit-identical results, asserted by the
+    test suite — and are what the solver's inner loop calls. *)
+
+val eval_ws :
+  Workspace.t ->
+  power:Lepts_power.Model.t ->
+  totals:float array array ->
+  e:float array ->
+  w_hat:float array ->
+  float
+(** Bit-identical to {!eval} on [Workspace.plan ws]; allocates
+    nothing. Clobbers the workspace's objective buffers. *)
+
+val eval_with_gradient_ws :
+  Workspace.t ->
+  power:Lepts_power.Model.t ->
+  totals:float array array ->
+  e:float array ->
+  w_hat:float array ->
+  de:float array ->
+  dwq:float array ->
+  float
+(** Bit-identical energy and gradients to {!eval_with_gradient},
+    writing the gradients into [de] and [dwq] (both of the plan size)
+    instead of allocating them. Requires the ideal delay model. *)

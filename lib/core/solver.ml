@@ -7,6 +7,7 @@ module Vec = Lepts_linalg.Vec
 module Projection = Lepts_optim.Projection
 module Pg = Lepts_optim.Projected_gradient
 module Numdiff = Lepts_optim.Numdiff
+module Pool = Lepts_par.Pool
 
 type error = Unschedulable | Solver_stalled of string
 
@@ -24,6 +25,11 @@ let pp_error ppf = function
 let log_src = Logs.Src.create "lepts.core.solver" ~doc:"voltage scheduling NLP"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Wall clock for the solve budget. [Sys.time] is per-process CPU time,
+   which runs [jobs] times faster than the wall during a parallel
+   multi-start and so starved parallel solves of their budget. *)
+let now () = Unix.gettimeofday ()
 
 (* Worst-case rate-monotonic execution at maximum speed: process the
    total order with a running cursor, filling each sub-instance with as
@@ -67,74 +73,98 @@ let t_at_vmax power =
 
 (* --- Slack parametrisation -------------------------------------------- *)
 
-(* The decision vector is y = [q_0..q_{M-1}; s_0..s_{M-1}]. *)
+(* The decision vector is y = [q_0..q_{M-1}; s_0..s_{M-1}]. The forward
+   frontier recursion and its adjoint run over the preallocated buffers
+   of a {!Workspace.t} — one workspace per solve, so the inner loop
+   (called tens of thousands of times per solve through the augmented
+   Lagrangian) allocates nothing. *)
 
-type forward = {
-  e : float array;  (** derived end-times: the worst-case frontier *)
-  start : float array;  (** worst-case start max(r_k, F_{k-1}) *)
-  start_from_frontier : bool array;  (** branch of the start max *)
-  room : float array;  (** max(0, b_k - start_k) *)
-  g : float array;  (** capacity constraint values t q_k + s_k - room_k *)
-}
+(* Derive end-times / starts / capacity constraints from packed [y]:
+   fills [ws.q] (quota prefix of [y], verbatim), [ws.e], [ws.start],
+   [ws.start_ff], [ws.room] and [ws.g]. *)
+(* Same-module float copy of [Float.max] (same formula as the stdlib,
+   so same results): without flambda the cross-module call boxes its
+   arguments and result, and [forward_ws] runs it 3m times per
+   objective evaluation. *)
+let[@inline] fmax (x : float) (y : float) =
+  if y > x || (x <> x && not (y <> y)) then y else x
 
-let forward_pass (plan : Plan.t) ~t_max ~q ~s =
-  let m = Array.length plan.Plan.order in
-  let e = Array.make m 0. and start = Array.make m 0. in
-  let start_from_frontier = Array.make m false in
-  let room = Array.make m 0. and g = Array.make m 0. in
+let forward_ws (ws : Workspace.t) ~t_max (y : Vec.t) =
+  let m = ws.Workspace.m in
+  let plan = ws.Workspace.plan in
+  Array.blit y 0 ws.q 0 m;
+  let e = ws.Workspace.e and start = ws.Workspace.start in
+  let start_ff = ws.Workspace.start_ff in
+  let room = ws.Workspace.room and g = ws.Workspace.g in
   let frontier = ref 0. in
   for k = 0 to m - 1 do
     let sub = plan.Plan.order.(k) in
     let from_frontier = !frontier >= sub.Sub.release in
     let st = if from_frontier then !frontier else sub.Sub.release in
-    let qk = Float.max 0. q.(k) and sk = Float.max 0. s.(k) in
+    let qk = fmax 0. y.(k) and sk = fmax 0. y.(m + k) in
     start.(k) <- st;
-    start_from_frontier.(k) <- from_frontier;
-    room.(k) <- Float.max 0. (sub.Sub.boundary -. st);
+    start_ff.(k) <- from_frontier;
+    room.(k) <- fmax 0. (sub.Sub.boundary -. st);
     g.(k) <- (t_max *. qk) +. sk -. room.(k);
     e.(k) <- st +. (t_max *. qk) +. sk;
     frontier := e.(k)
-  done;
-  { e; start; start_from_frontier; room; g }
+  done
 
 (* Adjoint of the frontier recursion: given dE/de_k (from the runtime
    objective) and dP/dg_k (from the penalty terms), accumulate
-   gradients with respect to q and s in one backward sweep. *)
-let backward_pass (plan : Plan.t) ~t_max ~fw ~de ~dg ~into_dq ~into_ds =
-  let m = Array.length plan.Plan.order in
+   gradients with respect to q and s in one backward sweep over the
+   branches recorded by {!forward_ws}. *)
+let backward_ws (ws : Workspace.t) ~t_max ~de ~dg ~into_dq ~into_ds =
+  let room = ws.Workspace.room and start_ff = ws.Workspace.start_ff in
   let psi = ref 0. in
   (* psi is the adjoint of the frontier F_k flowing from later
      sub-instances. *)
-  for k = m - 1 downto 0 do
+  for k = ws.Workspace.m - 1 downto 0 do
     let total = de.(k) +. !psi in
     (* e_k = start_k + t q_k + s_k ; g_k = t q_k + s_k - room_k *)
     into_dq.(k) <- into_dq.(k) +. (t_max *. (total +. dg.(k)));
     into_ds.(k) <- into_ds.(k) +. total +. dg.(k);
     (* start_k adjoint: from e_k (weight 1) and from room_k
        (room = b - start when positive, so dg/dstart = +dg). *)
-    let dstart = total +. (if fw.room.(k) > 0. then dg.(k) else 0.) in
-    psi := if fw.start_from_frontier.(k) then dstart else 0.
+    let dstart = total +. (if room.(k) > 0. then dg.(k) else 0.) in
+    psi := if start_ff.(k) then dstart else 0.
   done
 
-let make_projection (plan : Plan.t) ~hyper =
+(* In-place projection of packed [y]: each instance's quota slice onto
+   its [sum = WCEC] simplex, slacks clamped into [0, hyper]. The slices
+   partition the quota prefix, so projecting in place is equivalent to
+   the copy-out form; the exact-length gather / sort buffers per
+   instance are allocated once and reused by every call. *)
+let make_projection_ip (plan : Plan.t) ~hyper =
   let m = Array.length plan.Plan.order in
   let ts = plan.Plan.task_set in
-  fun y ->
-    let out = Vec.copy y in
-    Array.iteri
-      (fun i per_instance ->
-        let wcec = (Task_set.task ts i).Task.wcec in
-        Array.iter
-          (fun idxs ->
-            let slice = Array.map (fun k -> y.(k)) idxs in
-            let projected = Projection.simplex ~total:wcec slice in
-            Array.iteri (fun pos k -> out.(k) <- projected.(pos)) idxs)
-          per_instance)
-      plan.Plan.instance_subs;
-    for k = m to (2 * m) - 1 do
-      out.(k) <- Lepts_util.Num_ext.clamp ~lo:0. ~hi:hyper y.(k)
+  let subs = plan.Plan.instance_subs in
+  let buffers =
+    Array.map
+      (Array.map (fun idxs ->
+           (Array.make (Array.length idxs) 0., Array.make (Array.length idxs) 0.)))
+      subs
+  in
+  fun (y : Vec.t) ->
+    for i = 0 to Array.length subs - 1 do
+      let wcec = (Task_set.task ts i).Task.wcec in
+      let per = subs.(i) in
+      for j = 0 to Array.length per - 1 do
+        let idxs = per.(j) in
+        let buf, scratch = buffers.(i).(j) in
+        let n = Array.length idxs in
+        for pos = 0 to n - 1 do
+          buf.(pos) <- y.(idxs.(pos))
+        done;
+        Projection.simplex_ip ~total:wcec ~scratch buf;
+        for pos = 0 to n - 1 do
+          y.(idxs.(pos)) <- buf.(pos)
+        done
+      done
     done;
-    out
+    for k = m to (2 * m) - 1 do
+      y.(k) <- Lepts_util.Num_ext.clamp ~lo:0. ~hi:hyper y.(k)
+    done
 
 (* Final feasibility repair: walk the total order once, capping each
    quota to what fits before its boundary at maximum speed (moving any
@@ -146,16 +176,7 @@ let repair ~(plan : Plan.t) ~power ~e ~q =
   let m = Array.length plan.Plan.order in
   let t_max = t_at_vmax power in
   let e = Array.copy e and q = Array.copy q in
-  let next_sub_of_instance k =
-    let sub = plan.Plan.order.(k) in
-    let idxs = plan.Plan.instance_subs.(sub.Sub.task).(sub.Sub.instance) in
-    let rec find pos =
-      if pos >= Array.length idxs - 1 then None
-      else if idxs.(pos) = k then Some idxs.(pos + 1)
-      else find (pos + 1)
-    in
-    find 0
-  in
+  let next = plan.Plan.next_in_instance in
   let cursor = ref 0. in
   let ok = ref true in
   for k = 0 to m - 1 do
@@ -166,14 +187,15 @@ let repair ~(plan : Plan.t) ~power ~e ~q =
     if q.(k) > cap then begin
       let overflow = q.(k) -. cap in
       q.(k) <- cap;
-      match next_sub_of_instance k with
-      | Some k' -> q.(k') <- q.(k') +. overflow
-      | None ->
+      let k' = next.(k) in
+      if k' >= 0 then q.(k') <- q.(k') +. overflow
+      else begin
         (* No later segment to absorb it. Residuals far below the
            validation tolerance are solver noise and are dropped; the
            runtime executor caps actual work at the quota sum anyway. *)
         let wcec = (Task_set.task plan.Plan.task_set sub.Sub.task).Task.wcec in
         if overflow > 1e-6 *. wcec then ok := false
+      end
     end;
     let min_end = start +. (t_max *. q.(k)) in
     e.(k) <- Float.min sub.Sub.boundary (Float.max e.(k) min_end);
@@ -226,17 +248,36 @@ let solve_from ?deadline ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~po
     let t_max = t_at_vmax power in
     let hyper = Plan.hyper_period plan in
     let scenario_count = float_of_int (List.length totals_list) in
-    let unpack y = (Array.sub y 0 m, Array.sub y m m) in
-    let mean_energy ~e ~w_hat =
-      List.fold_left
-        (fun acc totals -> acc +. Objective.eval ~plan ~power ~totals ~e ~w_hat)
-        0. totals_list
-      /. scenario_count
+    let ws = Workspace.create plan in
+    (* The accumulation closures below are built once per solve and
+       capture only the workspace, so the hot path — [lag] and
+       [lag_grad_into], called once per inner iteration — allocates
+       nothing. The left-to-right scenario accumulation order matches
+       the allocating reference path bit for bit. *)
+    let acc = Array.make 1 0. in
+    let add_energy totals =
+      acc.(0) <- acc.(0) +. Objective.eval_ws ws ~power ~totals ~e:ws.Workspace.e
+                              ~w_hat:ws.Workspace.q
+    in
+    (* Mean runtime energy at the forward state currently in [ws]. *)
+    let mean_energy_ws () =
+      acc.(0) <- 0.;
+      List.iter add_energy totals_list;
+      acc.(0) /. scenario_count
+    in
+    let add_gradient totals =
+      let (_ : float) =
+        Objective.eval_with_gradient_ws ws ~power ~totals ~e:ws.Workspace.e
+          ~w_hat:ws.Workspace.q ~de:ws.Workspace.de_i ~dwq:ws.Workspace.dq_i
+      in
+      for k = 0 to m - 1 do
+        ws.Workspace.de.(k) <- ws.Workspace.de.(k) +. (ws.Workspace.de_i.(k) /. scenario_count);
+        ws.Workspace.dq.(k) <- ws.Workspace.dq.(k) +. (ws.Workspace.dq_i.(k) /. scenario_count)
+      done
     in
     let energy_of y =
-      let q, s = unpack y in
-      let fw = forward_pass plan ~t_max ~q ~s in
-      mean_energy ~e:fw.e ~w_hat:q
+      forward_ws ws ~t_max y;
+      mean_energy_ws ()
     in
     let analytic = match power.Model.delay with
       | Model.Ideal _ -> true
@@ -245,24 +286,24 @@ let solve_from ?deadline ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~po
     let lambda = Array.make m 0. in
     let mu = ref 10. in
     let x = ref (Vec.copy y0) in
-    let project = make_projection plan ~hyper in
+    let project_ip = make_projection_ip plan ~hyper in
     let inner_total = ref 0 in
     let outer = ref 0 in
     let violation = ref infinity in
     let finished = ref false in
     let within_deadline () =
-      match deadline with None -> true | Some d -> Sys.time () < d
+      match deadline with None -> true | Some d -> now () < d
     in
     while (not !finished) && !outer < max_outer && within_deadline () do
       incr outer;
       let mu_now = !mu in
       let lag y =
-        let q, s = unpack y in
-        let fw = forward_pass plan ~t_max ~q ~s in
-        let energy = mean_energy ~e:fw.e ~w_hat:q in
+        forward_ws ws ~t_max y;
+        let energy = mean_energy_ws () in
+        let g = ws.Workspace.g in
         let penalty = ref 0. in
         for k = 0 to m - 1 do
-          let t = lambda.(k) +. (mu_now *. fw.g.(k)) in
+          let t = lambda.(k) +. (mu_now *. g.(k)) in
           if t > 0. then
             penalty :=
               !penalty +. (((t *. t) -. (lambda.(k) *. lambda.(k))) /. (2. *. mu_now))
@@ -270,46 +311,43 @@ let solve_from ?deadline ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~po
         done;
         energy +. !penalty
       in
-      let lag_grad_analytic y =
-        let q, s = unpack y in
-        let fw = forward_pass plan ~t_max ~q ~s in
-        (* Mean of the per-scenario objective adjoints. *)
-        let de = Array.make m 0. and dq_direct = Array.make m 0. in
-        List.iter
-          (fun totals ->
-            let _, de_i, dq_i =
-              Objective.eval_with_gradient ~plan ~power ~totals ~e:fw.e ~w_hat:q
-            in
-            for k = 0 to m - 1 do
-              de.(k) <- de.(k) +. (de_i.(k) /. scenario_count);
-              dq_direct.(k) <- dq_direct.(k) +. (dq_i.(k) /. scenario_count)
-            done)
-          totals_list;
-        let dg = Array.make m 0. in
+      let lag_grad_analytic_into y ~into =
+        forward_ws ws ~t_max y;
+        let de = ws.Workspace.de and dq = ws.Workspace.dq in
+        let dg = ws.Workspace.dg and ds = ws.Workspace.ds in
         for k = 0 to m - 1 do
-          let t = lambda.(k) +. (mu_now *. fw.g.(k)) in
-          if t > 0. then dg.(k) <- t
+          de.(k) <- 0.;
+          dq.(k) <- 0.;
+          ds.(k) <- 0.
         done;
-        let out_dq = dq_direct and out_ds = Array.make m 0. in
-        backward_pass plan ~t_max ~fw ~de ~dg ~into_dq:out_dq ~into_ds:out_ds;
-        Array.append out_dq out_ds
+        (* Mean of the per-scenario objective adjoints. *)
+        List.iter add_gradient totals_list;
+        let g = ws.Workspace.g in
+        for k = 0 to m - 1 do
+          let t = lambda.(k) +. (mu_now *. g.(k)) in
+          dg.(k) <- (if t > 0. then t else 0.)
+        done;
+        backward_ws ws ~t_max ~de ~dg ~into_dq:dq ~into_ds:ds;
+        Array.blit dq 0 into 0 m;
+        Array.blit ds 0 into m m
       in
-      let lag_grad =
-        if analytic then lag_grad_analytic else fun y -> Numdiff.gradient ~f:lag y
+      let grad_into =
+        if analytic then lag_grad_analytic_into
+        else fun y ~into -> Array.blit (Numdiff.gradient ~f:lag y) 0 into 0 (2 * m)
       in
       let r =
-        Pg.minimize ~max_iter:max_inner ~tol:1e-10 ~f:lag ~grad:lag_grad ~project
+        Pg.minimize_ws ~max_iter:max_inner ~tol:1e-10 ~f:lag ~grad_into ~project_ip
           ~x0:!x ()
       in
       inner_total := !inner_total + r.Pg.iterations;
       x := r.Pg.x;
-      let q, s = unpack !x in
-      let fw = forward_pass plan ~t_max ~q ~s in
+      forward_ws ws ~t_max !x;
+      let g = ws.Workspace.g in
       let previous_violation = !violation in
       violation := 0.;
       for k = 0 to m - 1 do
-        violation := Float.max !violation fw.g.(k);
-        lambda.(k) <- Float.max 0. (lambda.(k) +. (mu_now *. fw.g.(k)))
+        violation := fmax !violation g.(k);
+        lambda.(k) <- fmax 0. (lambda.(k) +. (mu_now *. g.(k)))
       done;
       Log.debug (fun f ->
           f "outer %d: energy=%g violation=%g mu=%g inner=%d" !outer (energy_of !x)
@@ -317,9 +355,8 @@ let solve_from ?deadline ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~po
       if !violation <= 1e-9 *. hyper then finished := true
       else if !violation > 0.5 *. previous_violation then mu := !mu *. 5.
     done;
-    let q, s = unpack !x in
-    let fw = forward_pass plan ~t_max ~q ~s in
-    (match repair ~plan ~power ~e:fw.e ~q with
+    forward_ws ws ~t_max !x;
+    (match repair ~plan ~power ~e:ws.Workspace.e ~q:ws.Workspace.q with
     | Error _ as err -> err
     | Ok (e, q) ->
       let schedule = Static_schedule.create ~plan ~power ~end_times:e ~quotas:q in
@@ -343,34 +380,42 @@ let solve_from ?deadline ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~po
    distinct feasible points — the greedy (as-soon-as-possible)
    worst-case schedule, its ALAP push-right, and any caller-provided
    warm starts (e.g. the WCS solution when solving ACS) — and keeps the
-   best result. *)
-let solve_multi_start ?wall_budget ~max_outer ~max_inner ~warm_starts ~totals_list
-    ~(plan : Plan.t) ~power () =
+   best result. The starts are independent, so [jobs > 1] runs them on
+   a domain pool; each start owns its workspace, results come back
+   indexed by start, and the reduction below scans them in start order
+   with a strict-improvement test — so the pick is the same schedule
+   for every [jobs] value. *)
+let solve_multi_start ?wall_budget ?(jobs = 1) ~max_outer ~max_inner ~warm_starts
+    ~totals_list ~(plan : Plan.t) ~power () =
   match initial_point ~plan ~power with
   | Error _ as err -> err
   | Ok (e0, q0) ->
     let m = Array.length plan.Plan.order in
     let t_max = t_at_vmax power in
-    let deadline = Option.map (fun b -> Sys.time () +. b) wall_budget in
+    let deadline = Option.map (fun b -> now () +. b) wall_budget in
     let point_of_eq (e, q) = Array.append q (slacks_for plan ~t_max ~e ~q) in
     let alap = alap_end_times plan ~t_max ~e:e0 ~q:q0 in
     let candidates =
-      Array.append q0 (Array.make m 0.)
-      :: point_of_eq (alap, q0)
-      :: List.map point_of_eq warm_starts
+      Array.of_list
+        (Array.append q0 (Array.make m 0.)
+         :: point_of_eq (alap, q0)
+         :: List.map point_of_eq warm_starts)
+    in
+    let attempts, (_ : Pool.stats) =
+      Pool.run ~jobs ~n:(Array.length candidates) ~f:(fun start ->
+          try
+            solve_from ?deadline ~max_outer ~max_inner ~totals_list ~plan ~power
+              ~y0:candidates.(start) ()
+          with Lepts_optim.Guard.Non_finite what ->
+            Error
+              (Solver_stalled (Printf.sprintf "non-finite evaluation (%s)" what)))
     in
     let best = ref None in
     (* Keep the most recent failure: when every start fails, the final
        error must say why instead of a generic stall message. *)
     let last_error = ref None in
-    List.iteri
-      (fun start y0 ->
-        let attempt =
-          try solve_from ?deadline ~max_outer ~max_inner ~totals_list ~plan ~power ~y0 ()
-          with Lepts_optim.Guard.Non_finite what ->
-            Error
-              (Solver_stalled (Printf.sprintf "non-finite evaluation (%s)" what))
-        in
+    Array.iteri
+      (fun start attempt ->
         match attempt with
         | Error err ->
           Log.debug (fun f -> f "start %d failed: %a" start pp_error err);
@@ -379,7 +424,7 @@ let solve_multi_start ?wall_budget ~max_outer ~max_inner ~warm_starts ~totals_li
           match !best with
           | Some (_, best_stats) when best_stats.objective <= stats.objective -> ()
           | _ -> best := Some (schedule, stats)))
-      candidates;
+      attempts;
     (match !best with
     | Some result -> Ok result
     | None ->
@@ -392,13 +437,13 @@ let solve_multi_start ?wall_budget ~max_outer ~max_inner ~warm_starts ~totals_li
       Error
         (Solver_stalled ("no start point produced a feasible schedule" ^ detail)))
 
-let solve ?wall_budget ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = [])
+let solve ?wall_budget ?jobs ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = [])
     ~mode ~(plan : Plan.t) ~power () =
   let totals_list = [ Objective.instance_totals mode plan ] in
-  solve_multi_start ?wall_budget ~max_outer ~max_inner ~warm_starts ~totals_list
+  solve_multi_start ?wall_budget ?jobs ~max_outer ~max_inner ~warm_starts ~totals_list
     ~plan ~power ()
 
-let solve_stochastic ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = [])
+let solve_stochastic ?jobs ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = [])
     ?(scenarios = 16) ?(seed = 1) ~(plan : Plan.t) ~power () =
   if scenarios <= 0 then invalid_arg "Solver.solve_stochastic: scenarios";
   let rng = Lepts_prng.Xoshiro256.create ~seed in
@@ -415,12 +460,12 @@ let solve_stochastic ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = [])
       plan.Plan.instance_subs
   in
   let totals_list = List.init scenarios (fun _ -> sample ()) in
-  solve_multi_start ~max_outer ~max_inner ~warm_starts ~totals_list ~plan ~power ()
+  solve_multi_start ?jobs ~max_outer ~max_inner ~warm_starts ~totals_list ~plan ~power ()
 
-let solve_acs ?wall_budget ?max_outer ?max_inner ?warm_starts ~plan ~power () =
-  solve ?wall_budget ?max_outer ?max_inner ?warm_starts ~mode:Objective.Average
+let solve_acs ?wall_budget ?jobs ?max_outer ?max_inner ?warm_starts ~plan ~power () =
+  solve ?wall_budget ?jobs ?max_outer ?max_inner ?warm_starts ~mode:Objective.Average
     ~plan ~power ()
 
-let solve_wcs ?wall_budget ?max_outer ?max_inner ?warm_starts ~plan ~power () =
-  solve ?wall_budget ?max_outer ?max_inner ?warm_starts ~mode:Objective.Worst
+let solve_wcs ?wall_budget ?jobs ?max_outer ?max_inner ?warm_starts ~plan ~power () =
+  solve ?wall_budget ?jobs ?max_outer ?max_inner ?warm_starts ~mode:Objective.Worst
     ~plan ~power ()

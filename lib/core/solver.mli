@@ -58,6 +58,7 @@ val repair :
 
 val solve :
   ?wall_budget:float ->
+  ?jobs:int ->
   ?max_outer:int ->
   ?max_inner:int ->
   ?warm_starts:(float array * float array) list ->
@@ -74,16 +75,28 @@ val solve :
     analytic adjoint gradient for the ideal delay model and falls back
     to central differences for the alpha model.
 
-    [wall_budget] bounds the CPU time (seconds, {!Sys.time}) spent
-    across all starts: once exhausted, no further outer iteration
-    begins and the current iterate is repaired and returned if
-    feasible. Non-finite objective or gradient evaluations (see
+    [jobs] (default 1, must be [>= 1]) runs the independent starts on
+    up to that many domains ({!Lepts_par.Pool}). Each start owns its
+    scratch workspace and the best-pick scans results in start order
+    with a strict-improvement test, so the returned schedule is
+    identical for every [jobs] value (when no [wall_budget] is set —
+    a budget is the one source of [jobs]-dependence, see below).
+
+    [wall_budget] bounds the wall-clock time (seconds, monotonic
+    against the system clock via [Unix.gettimeofday]) spent across all
+    starts: once exhausted, no further outer iteration begins and the
+    current iterate is repaired and returned if feasible. Because the
+    budget is wall time shared by all starts, parallel starts each see
+    more of it than sequential ones — budgeted solves may therefore
+    return different (never worse-than-budgeted) results across [jobs]
+    values. Non-finite objective or gradient evaluations (see
     {!Lepts_optim.Guard}) abort the offending start with a
     [Solver_stalled] error instead of iterating on garbage; when every
     start fails, the final error reports the last failure's cause. *)
 
 val solve_acs :
   ?wall_budget:float ->
+  ?jobs:int ->
   ?max_outer:int ->
   ?max_inner:int ->
   ?warm_starts:(float array * float array) list ->
@@ -95,6 +108,7 @@ val solve_acs :
 
 val solve_wcs :
   ?wall_budget:float ->
+  ?jobs:int ->
   ?max_outer:int ->
   ?max_inner:int ->
   ?warm_starts:(float array * float array) list ->
@@ -105,6 +119,7 @@ val solve_wcs :
 (** [solve ~mode:Worst] — the baseline that only considers WCEC. *)
 
 val solve_stochastic :
+  ?jobs:int ->
   ?max_outer:int ->
   ?max_inner:int ->
   ?warm_starts:(float array * float array) list ->

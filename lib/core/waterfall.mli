@@ -18,6 +18,20 @@ val distribute : quotas:float array -> total:float -> float array
     workload beyond [sum quotas] is silently dropped (callers enforce
     [total <= sum quotas] — the WCEC bound — separately). *)
 
+val distribute_into :
+  quotas:float array ->
+  n:int ->
+  totals:float array ->
+  j:int ->
+  into:float array ->
+  unit
+(** Prefix variant of {!distribute} over preallocated buffers with
+    [total = totals.(j)]: reads [quotas.(0..n-1)] and writes the split
+    into [into.(0..n-1)] without allocating. The total arrives as an
+    array element rather than a float argument so it is never boxed at
+    the call (no cross-module float unboxing without flambda).
+    Bit-identical to [distribute] on the prefix. *)
+
 val partial_index : quotas:float array -> total:float -> int option
 (** Index of the unique sub-instance that is only partially filled
     ([0 < w_k < q_k]), if any. *)
@@ -28,3 +42,17 @@ val backward :
     [J^T adjoint] where [J = d(distribute)/d(quotas)], using the
     one-sided derivative that treats boundary sub-instances as fully
     filled. Used by the ACS objective gradient. *)
+
+val backward_into :
+  quotas:float array ->
+  adjoint:float array ->
+  n:int ->
+  totals:float array ->
+  j:int ->
+  into:float array ->
+  unit
+(** Prefix variant of {!backward} over preallocated buffers with
+    [total = totals.(j)]: reads the first [n] quotas/adjoints and
+    overwrites [into.(0..n-1)] with the vector-Jacobian product,
+    without allocating ([totals]/[j] for the same boxing reason as
+    {!distribute_into}). *)

@@ -1,0 +1,78 @@
+module Plan = Lepts_preempt.Plan
+
+type t = {
+  plan : Plan.t;
+  m : int;
+  (* objective kernels *)
+  w_hat : float array;
+  w : float array;
+  dw : float array;
+  (* adjoint step records, struct-of-arrays *)
+  st_k : int array;
+  st_d : float array;
+  st_v : float array;
+  st_w : float array;
+  st_wq : float array;
+  st_clamped : bool array;
+  st_guarded : bool array;
+  st_sff : bool array;
+  mutable st_len : int;
+  (* waterfall gather/scatter scratch *)
+  wf_q : float array;
+  wf_a : float array;
+  wf_out : float array;
+  (* solver frontier recursion and gradient accumulators *)
+  q : float array;
+  e : float array;
+  start : float array;
+  start_ff : bool array;
+  room : float array;
+  g : float array;
+  de : float array;
+  de_i : float array;
+  dq_i : float array;
+  dg : float array;
+  dq : float array;
+  ds : float array;
+}
+
+let max_segments (plan : Plan.t) =
+  Array.fold_left
+    (fun acc per ->
+      Array.fold_left (fun acc idxs -> max acc (Array.length idxs)) acc per)
+    1 plan.Plan.instance_subs
+
+let create (plan : Plan.t) =
+  let m = Array.length plan.Plan.order in
+  let seg = max_segments plan in
+  { plan; m;
+    w_hat = Array.make m 0.;
+    w = Array.make m 0.;
+    dw = Array.make m 0.;
+    st_k = Array.make m 0;
+    st_d = Array.make m 0.;
+    st_v = Array.make m 0.;
+    st_w = Array.make m 0.;
+    st_wq = Array.make m 0.;
+    st_clamped = Array.make m false;
+    st_guarded = Array.make m false;
+    st_sff = Array.make m false;
+    st_len = 0;
+    wf_q = Array.make seg 0.;
+    wf_a = Array.make seg 0.;
+    wf_out = Array.make seg 0.;
+    q = Array.make m 0.;
+    e = Array.make m 0.;
+    start = Array.make m 0.;
+    start_ff = Array.make m false;
+    room = Array.make m 0.;
+    g = Array.make m 0.;
+    de = Array.make m 0.;
+    de_i = Array.make m 0.;
+    dq_i = Array.make m 0.;
+    dg = Array.make m 0.;
+    dq = Array.make m 0.;
+    ds = Array.make m 0. }
+
+let plan t = t.plan
+let size t = t.m

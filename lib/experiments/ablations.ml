@@ -14,9 +14,9 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let formulations ~task_set ~power =
+let formulations ?(jobs = 1) ~task_set ~power () =
   let plan = Plan.expand task_set in
-  let slack, slack_t = time (fun () -> Solver.solve_acs ~plan ~power ()) in
+  let slack, slack_t = time (fun () -> Solver.solve_acs ~jobs ~plan ~power ()) in
   match slack with
   | Error _ as err -> err
   | Ok (_, slack_stats) -> (
@@ -41,19 +41,22 @@ let formulations ~task_set ~power =
           Table.float_cell literal_t ];
       Ok table)
 
-let simulate ~rounds ~schedule ~policy ~seed =
-  Runner.simulate ~rounds ~schedule ~policy ~rng:(Rng.create ~seed) ()
+let simulate ?(jobs = 1) ~rounds ~schedule ~policy ~seed () =
+  Runner.simulate ~rounds ~jobs ~schedule ~policy ~rng:(Rng.create ~seed) ()
 
-let objectives ?(rounds = 500) ~task_set ~power ~seed () =
+let objectives ?(rounds = 500) ?(jobs = 1) ~task_set ~power ~seed () =
   let plan = Plan.expand task_set in
-  match Solver.solve_wcs ~plan ~power () with
+  match Solver.solve_wcs ~jobs ~plan ~power () with
   | Error _ as err -> err
   | Ok (wcs, _) -> (
     let warm = [ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ] in
-    match Solver.solve_acs ~warm_starts:warm ~plan ~power () with
+    match Solver.solve_acs ~jobs ~warm_starts:warm ~plan ~power () with
     | Error _ as err -> err
     | Ok (acs, _) -> (
-      match Solver.solve_stochastic ~warm_starts:warm ~scenarios:12 ~seed ~plan ~power () with
+      match
+        Solver.solve_stochastic ~jobs ~warm_starts:warm ~scenarios:12 ~seed ~plan
+          ~power ()
+      with
       | Error _ as err -> err
       | Ok (stochastic, _) ->
         let table =
@@ -61,7 +64,9 @@ let objectives ?(rounds = 500) ~task_set ~power ~seed () =
         in
         List.iter
           (fun (name, schedule) ->
-            let s = simulate ~rounds ~schedule ~policy:Policy.Greedy ~seed:(seed + 1) in
+            let s =
+              simulate ~jobs ~rounds ~schedule ~policy:Policy.Greedy ~seed:(seed + 1) ()
+            in
             Table.add_row table
               [ name; Table.float_cell s.Runner.mean_energy;
                 string_of_int s.Runner.deadline_misses ])
@@ -69,13 +74,14 @@ let objectives ?(rounds = 500) ~task_set ~power ~seed () =
             ("stochastic (12 scenarios)", stochastic) ];
         Ok table))
 
-let quantization ?(rounds = 500) ?(steps = [ 4; 8; 16 ]) ~task_set ~power ~seed () =
+let quantization ?(rounds = 500) ?(steps = [ 4; 8; 16 ]) ?(jobs = 1) ~task_set ~power
+    ~seed () =
   let plan = Plan.expand task_set in
-  match Solver.solve_acs ~plan ~power () with
+  match Solver.solve_acs ~jobs ~plan ~power () with
   | Error _ as err -> err
   | Ok (acs, _) ->
     let table = Table.create ~header:[ "voltage levels"; "sim mean energy"; "overhead" ] in
-    let continuous = simulate ~rounds ~schedule:acs ~policy:Policy.Greedy ~seed in
+    let continuous = simulate ~jobs ~rounds ~schedule:acs ~policy:Policy.Greedy ~seed () in
     Table.add_row table
       [ "continuous"; Table.float_cell continuous.Runner.mean_energy; "-" ];
     List.iter
@@ -85,7 +91,8 @@ let quantization ?(rounds = 500) ?(steps = [ 4; 8; 16 ]) ~task_set ~power ~seed 
             ~v_max:power.Lepts_power.Model.v_max ~steps:n
         in
         let s =
-          simulate ~rounds ~schedule:acs ~policy:(Policy.Greedy_quantized levels) ~seed
+          simulate ~jobs ~rounds ~schedule:acs ~policy:(Policy.Greedy_quantized levels)
+            ~seed ()
         in
         Table.add_row table
           [ string_of_int n;
@@ -96,9 +103,9 @@ let quantization ?(rounds = 500) ?(steps = [ 4; 8; 16 ]) ~task_set ~power ~seed 
       steps;
     Ok table
 
-let structures ~task_set ~power =
+let structures ?(jobs = 1) ~task_set ~power () =
   let preemptive = Plan.expand task_set in
-  match Solver.solve_acs ~plan:preemptive ~power () with
+  match Solver.solve_acs ~jobs ~plan:preemptive ~power () with
   | Error _ as err -> err
   | Ok (p_acs, p_stats) ->
     let table =
@@ -108,7 +115,7 @@ let structures ~task_set ~power =
       [ "preemptive (RM segments)";
         string_of_int (Plan.size preemptive);
         Table.float_cell p_stats.Solver.objective ];
-    (match Solver.solve_acs ~plan:(Plan.expand_nonpreemptive task_set) ~power () with
+    (match Solver.solve_acs ~jobs ~plan:(Plan.expand_nonpreemptive task_set) ~power () with
     | Error _ ->
       Table.add_row table [ "non-preemptive"; "-"; "unschedulable" ]
     | Ok (_, np_stats) ->

@@ -13,15 +13,22 @@
       voltage levels of varying granularity;
     - {!structures}: preemptive vs non-preemptive plans on the same
       task set (where the non-preemptive one is schedulable), plus the
-      YDS lower bound for context. *)
+      YDS lower bound for context.
+
+    Every comparison accepts [jobs] (default 1): it parallelises the
+    solver's multi-start and, where a simulation is involved, the
+    simulation rounds — tables are bit-identical for every value. *)
 
 val formulations :
+  ?jobs:int ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
+  unit ->
   (Lepts_util.Table.t, Lepts_core.Solver.error) result
 
 val objectives :
   ?rounds:int ->
+  ?jobs:int ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
   seed:int ->
@@ -31,6 +38,7 @@ val objectives :
 val quantization :
   ?rounds:int ->
   ?steps:int list ->
+  ?jobs:int ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
   seed:int ->
@@ -38,6 +46,8 @@ val quantization :
   (Lepts_util.Table.t, Lepts_core.Solver.error) result
 
 val structures :
+  ?jobs:int ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
+  unit ->
   (Lepts_util.Table.t, Lepts_core.Solver.error) result

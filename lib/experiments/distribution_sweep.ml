@@ -21,31 +21,37 @@ let distributions =
     ("bimodal p=0.1 (abstract)", Sampler.Bimodal { p_large = 0.1 });
     ("bimodal p=0.3", Sampler.Bimodal { p_large = 0.3 }) ]
 
-let run ?(rounds = 400) ~task_set ~power ~seed () =
+let run ?(rounds = 400) ?(jobs = 1) ~task_set ~power ~seed () =
   let plan = Plan.expand task_set in
-  match Solver.solve_wcs ~plan ~power () with
+  match Solver.solve_wcs ~jobs ~plan ~power () with
   | Error _ as err -> err
   | Ok (wcs, _) -> (
     let warm = [ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ] in
-    match Solver.solve_acs ~warm_starts:warm ~plan ~power () with
+    match Solver.solve_acs ~jobs ~warm_starts:warm ~plan ~power () with
     | Error _ as err -> err
     | Ok (acs, _) ->
-      Ok
-        (List.map
-           (fun (label, dist) ->
-             let simulate schedule =
-               Runner.simulate ~rounds ~dist ~schedule ~policy:Policy.Greedy
-                 ~rng:(Rng.create ~seed) ()
-             in
-             let sw = simulate wcs and sa = simulate acs in
-             { label; dist;
-               wcs_energy = sw.Runner.mean_energy;
-               acs_energy = sa.Runner.mean_energy;
-               improvement_pct =
-                 100. *. (sw.Runner.mean_energy -. sa.Runner.mean_energy)
-                 /. sw.Runner.mean_energy;
-               misses = sw.Runner.deadline_misses + sa.Runner.deadline_misses })
-           distributions))
+      (* The distributions replay the two (immutable) schedules through
+         independent simulations with their own RNGs, so each runs on
+         its own domain; results come back in distribution order,
+         bit-identical for every [jobs]. *)
+      let dists = Array.of_list distributions in
+      let one i =
+        let label, dist = dists.(i) in
+        let simulate schedule =
+          Runner.simulate ~rounds ~dist ~schedule ~policy:Policy.Greedy
+            ~rng:(Rng.create ~seed) ()
+        in
+        let sw = simulate wcs and sa = simulate acs in
+        { label; dist;
+          wcs_energy = sw.Runner.mean_energy;
+          acs_energy = sa.Runner.mean_energy;
+          improvement_pct =
+            100. *. (sw.Runner.mean_energy -. sa.Runner.mean_energy)
+            /. sw.Runner.mean_energy;
+          misses = sw.Runner.deadline_misses + sa.Runner.deadline_misses }
+      in
+      let results, _ = Lepts_par.Pool.run ~jobs ~n:(Array.length dists) ~f:one in
+      Ok (Array.to_list results))
 
 let to_table points =
   let table =

@@ -21,12 +21,16 @@ type point = {
 
 val run :
   ?rounds:int ->
+  ?jobs:int ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
   seed:int ->
   unit ->
   (point list, Lepts_core.Solver.error) result
 (** Solves WCS and ACS once, then simulates both under each
-    distribution with paired seeds (default 400 rounds each). *)
+    distribution with paired seeds (default 400 rounds each). [jobs]
+    (default 1) parallelises the solver's multi-start and the
+    independent per-distribution replays; the point list is
+    bit-identical for every value. *)
 
 val to_table : point list -> Lepts_util.Table.t

@@ -24,7 +24,7 @@ type point = {
   total_misses : int;
 }
 
-let run_point ?(jobs = 1) config ~power ~n_tasks ~ratio =
+let run_point ?(jobs = 1) ?(solver_jobs = 1) config ~power ~n_tasks ~ratio =
   (* Task sets are independent (per-set seeds), so the whole
      generate → solve → simulate pipeline of each set can run on its
      own domain; results come back indexed by set, and the reduction
@@ -42,7 +42,7 @@ let run_point ?(jobs = 1) config ~power ~n_tasks ~ratio =
     | Error _ -> None
     | Ok task_set -> (
       match
-        Improvement.measure ~rounds:config.rounds ~task_set ~power
+        Improvement.measure ~rounds:config.rounds ~solver_jobs ~task_set ~power
           ~sim_seed:(gen_seed + 7919) ()
       with
       | Error _ -> None
@@ -62,12 +62,12 @@ let run_point ?(jobs = 1) config ~power ~n_tasks ~ratio =
     sets_measured = Array.length arr;
     total_misses = misses }
 
-let run ?(progress = fun _ -> ()) ?(jobs = 1) config ~power =
+let run ?(progress = fun _ -> ()) ?(jobs = 1) ?(solver_jobs = 1) config ~power =
   List.concat_map
     (fun n_tasks ->
       List.map
         (fun ratio ->
-          let point = run_point ~jobs config ~power ~n_tasks ~ratio in
+          let point = run_point ~jobs ~solver_jobs config ~power ~n_tasks ~ratio in
           progress
             (Printf.sprintf "fig6a: n=%d ratio=%.1f -> %.1f%% (%d sets)" n_tasks
                ratio point.mean_improvement_pct point.sets_measured);

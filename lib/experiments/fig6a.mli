@@ -33,6 +33,7 @@ type point = {
 val run :
   ?progress:(string -> unit) ->
   ?jobs:int ->
+  ?solver_jobs:int ->
   config ->
   power:Lepts_power.Model.t ->
   point list
@@ -40,7 +41,12 @@ val run :
     completed point. [jobs] (default 1) runs the task sets of each
     point on a {!Lepts_par.Pool} of domains — per-set seeds make sets
     independent, and per-set results are reduced in set order, so the
-    points are bit-identical for every [jobs] value. *)
+    points are bit-identical for every [jobs] value. [solver_jobs]
+    (default 1) additionally parallelises each set's WCS/ACS
+    multi-start solves ({!Lepts_core.Solver.solve}); also
+    bit-identical for every value. Prefer [jobs] (coarser units) when
+    there are many sets; [solver_jobs] helps when a few large sets
+    dominate. *)
 
 val to_table : point list -> Lepts_util.Table.t
 (** Rows: one per (task count, ratio) — the series of the paper's

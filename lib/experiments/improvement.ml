@@ -30,17 +30,17 @@ let refine_with_literal ~mode ~plan ~power (best : Lepts_core.Static_schedule.t)
       then candidate
       else best
 
-let measure ?(rounds = 1000) ?(jobs = 1) ?(strong_baseline = false) ~task_set ~power
-    ~sim_seed () =
+let measure ?(rounds = 1000) ?(jobs = 1) ?(solver_jobs = 1) ?(strong_baseline = false)
+    ~task_set ~power ~sim_seed () =
   let plan = Plan.expand task_set in
-  match Solver.solve_wcs ~plan ~power () with
+  match Solver.solve_wcs ~jobs:solver_jobs ~plan ~power () with
   | Error _ as err -> err
   | Ok (wcs, _) -> (
     let wcs = refine_with_literal ~mode:Lepts_core.Objective.Worst ~plan ~power wcs in
     let warm =
       [ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ]
     in
-    match Solver.solve_acs ~warm_starts:warm ~plan ~power () with
+    match Solver.solve_acs ~jobs:solver_jobs ~warm_starts:warm ~plan ~power () with
     | Error _ as err -> err
     | Ok (acs, _) ->
       let acs =
@@ -58,7 +58,7 @@ let measure ?(rounds = 1000) ?(jobs = 1) ?(strong_baseline = false) ~task_set ~p
         if not strong_baseline then wcs
         else
           match
-            Solver.solve_wcs
+            Solver.solve_wcs ~jobs:solver_jobs
               ~warm_starts:
                 [ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas);
                   (acs.Static_schedule.end_times, acs.Static_schedule.quotas) ]

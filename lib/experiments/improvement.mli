@@ -18,6 +18,7 @@ type t = {
 val measure :
   ?rounds:int ->
   ?jobs:int ->
+  ?solver_jobs:int ->
   ?strong_baseline:bool ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
@@ -28,8 +29,10 @@ val measure :
     one task set. Both schedules are simulated with the same workload
     RNG seed (paired comparison). [rounds] defaults to 1000
     hyper-periods, the paper's setting. [jobs] (default 1) parallelises
-    the simulation rounds across domains; the result is bit-identical
-    for every value (see {!Lepts_sim.Runner.simulate}).
+    the simulation rounds across domains; [solver_jobs] (default 1)
+    parallelises the multi-start NLP solves
+    ({!Lepts_core.Solver.solve}). The result is bit-identical for every
+    value of either (see {!Lepts_sim.Runner.simulate}).
 
     [strong_baseline] (default false) additionally warm-starts the WCS
     solve from the ACS solution (selected purely by worst-case energy).

@@ -13,9 +13,9 @@ type point = {
 }
 
 let run ?(overheads = [ 0.; 0.001; 0.01; 0.05 ]) ?(energy_per_volt_ratio = 0.1)
-    ?(rounds = 300) ~task_set ~power ~seed () =
+    ?(rounds = 300) ?(jobs = 1) ~task_set ~power ~seed () =
   let plan = Plan.expand task_set in
-  match Solver.solve_acs ~plan ~power () with
+  match Solver.solve_acs ~jobs ~plan ~power () with
   | Error _ as err -> err
   | Ok (schedule, _) ->
     (* Same workload draws for every overhead level. *)
@@ -32,21 +32,25 @@ let run ?(overheads = [ 0.; 0.001; 0.01; 0.05 ]) ?(energy_per_volt_ratio = 0.1)
       (!energy /. float_of_int rounds, !misses)
     in
     let baseline, _ = measure None in
-    Ok
-      (List.map
-         (fun time_per_volt ->
-           let transition =
-             if time_per_volt = 0. then None
-             else
-               Some
-                 { Event_sim.time_per_volt;
-                   energy_per_volt = energy_per_volt_ratio }
-           in
-           let mean_energy, deadline_misses = measure transition in
-           { time_per_volt; mean_energy;
-             energy_inflation_pct = 100. *. (mean_energy -. baseline) /. baseline;
-             deadline_misses })
-         overheads)
+    (* The overhead levels replay the same (immutable) draws through
+       independent simulations, so they run on their own domains;
+       results come back in overhead order, bit-identical for every
+       [jobs]. *)
+    let levels = Array.of_list overheads in
+    let one i =
+      let time_per_volt = levels.(i) in
+      let transition =
+        if time_per_volt = 0. then None
+        else
+          Some { Event_sim.time_per_volt; energy_per_volt = energy_per_volt_ratio }
+      in
+      let mean_energy, deadline_misses = measure transition in
+      { time_per_volt; mean_energy;
+        energy_inflation_pct = 100. *. (mean_energy -. baseline) /. baseline;
+        deadline_misses }
+    in
+    let results, _ = Lepts_par.Pool.run ~jobs ~n:(Array.length levels) ~f:one in
+    Ok (Array.to_list results)
 
 let to_table points =
   let table =

@@ -19,6 +19,7 @@ val run :
   ?overheads:float list ->
   ?energy_per_volt_ratio:float ->
   ?rounds:int ->
+  ?jobs:int ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
   seed:int ->
@@ -27,6 +28,9 @@ val run :
 (** [run ~task_set ~power ~seed ()] solves the ACS schedule once, then
     simulates it under each overhead (default
     [0.; 0.001; 0.01; 0.05] ms/V; switching energy =
-    [energy_per_volt_ratio] (default 0.1) energy units per volt). *)
+    [energy_per_volt_ratio] (default 0.1) energy units per volt).
+    [jobs] (default 1) parallelises the solver's multi-start and the
+    independent overhead replays; the point list is bit-identical for
+    every value. *)
 
 val to_table : point list -> Lepts_util.Table.t

@@ -7,20 +7,27 @@ type point = {
   acs_energy : float;
 }
 
-let run ?(utilizations = [ 0.3; 0.5; 0.7; 0.9 ]) ?(rounds = 400) ~task_set ~power
-    ~seed () =
-  List.filter_map
-    (fun u ->
-      let scaled = Task_set.scale_wcec_to_utilization task_set ~power ~target:u in
-      match Improvement.measure ~rounds ~task_set:scaled ~power ~sim_seed:seed () with
-      | Error _ -> None
-      | Ok r ->
-        Some
-          { utilization = u;
-            improvement_pct = r.Improvement.improvement_pct;
-            wcs_energy = r.Improvement.wcs_energy;
-            acs_energy = r.Improvement.acs_energy })
-    utilizations
+let run ?(utilizations = [ 0.3; 0.5; 0.7; 0.9 ]) ?(rounds = 400) ?(jobs = 1)
+    ~task_set ~power ~seed () =
+  (* Each utilisation point is an independent scale → solve → simulate
+     pipeline, so the points run on their own domains; results come
+     back indexed by point and are reduced in sweep order, making the
+     output bit-identical for every [jobs]. *)
+  let points = Array.of_list utilizations in
+  let one i =
+    let u = points.(i) in
+    let scaled = Task_set.scale_wcec_to_utilization task_set ~power ~target:u in
+    match Improvement.measure ~rounds ~task_set:scaled ~power ~sim_seed:seed () with
+    | Error _ -> None
+    | Ok r ->
+      Some
+        { utilization = u;
+          improvement_pct = r.Improvement.improvement_pct;
+          wcs_energy = r.Improvement.wcs_energy;
+          acs_energy = r.Improvement.acs_energy }
+  in
+  let results, _ = Lepts_par.Pool.run ~jobs ~n:(Array.length points) ~f:one in
+  List.filter_map Fun.id (Array.to_list results)
 
 let to_table points =
   let table =

@@ -16,6 +16,7 @@ type point = {
 val run :
   ?utilizations:float list ->
   ?rounds:int ->
+  ?jobs:int ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
   seed:int ->
@@ -24,6 +25,8 @@ val run :
 (** [run ~task_set ~power ~seed ()] rescales [task_set]'s cycle counts
     to each utilisation (default [0.3; 0.5; 0.7; 0.9]) and measures the
     improvement of ACS over WCS (default 400 hyper-periods).
-    Utilisations whose scaled set is unschedulable are skipped. *)
+    Utilisations whose scaled set is unschedulable are skipped. [jobs]
+    (default 1) runs the independent utilisation points on up to that
+    many domains; the point list is bit-identical for every value. *)
 
 val to_table : point list -> Lepts_util.Table.t

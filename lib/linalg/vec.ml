@@ -25,6 +25,20 @@ let axpy a x y =
   check_dims "axpy" x y;
   Array.mapi (fun i xi -> (a *. xi) +. y.(i)) x
 
+let axpy_into a x y ~into =
+  check_dims "axpy_into" x y;
+  check_dims "axpy_into" x into;
+  for i = 0 to Array.length x - 1 do
+    into.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let sub_into a b ~into =
+  check_dims "sub_into" a b;
+  check_dims "sub_into" a into;
+  for i = 0 to Array.length a - 1 do
+    into.(i) <- a.(i) -. b.(i)
+  done
+
 let axpy_ip a x ~into =
   check_dims "axpy_ip" x into;
   for i = 0 to Array.length x - 1 do

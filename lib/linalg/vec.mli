@@ -21,6 +21,17 @@ val axpy : float -> t -> t -> t
 val axpy_ip : float -> t -> into:t -> unit
 (** [axpy_ip a x ~into:y] updates [y <- y + a*x]. *)
 
+val axpy_into : float -> t -> t -> into:t -> unit
+(** [axpy_into a x y ~into] writes [a*x + y] into [into] without
+    allocating. [into] may alias [x] or [y]. Componentwise it performs
+    exactly the same operations as {!axpy}, so results are
+    bit-identical. *)
+
+val sub_into : t -> t -> into:t -> unit
+(** [sub_into a b ~into] writes [a - b] into [into] without
+    allocating; bit-identical to {!sub}. [into] may alias [a] or
+    [b]. *)
+
 val dot : t -> t -> float
 val norm2 : t -> float
 (** Euclidean norm. *)

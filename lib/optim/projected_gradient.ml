@@ -8,17 +8,45 @@ type report = {
   converged : bool;
 }
 
-let minimize ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f ~grad ~project ~x0 () =
-  let x = ref (project (Vec.copy x0)) in
+(* Same-module float copies of [Float.max]/[Float.min] (same formulas
+   as the stdlib, so same results): without flambda the cross-module
+   calls box floats on every loop iteration. *)
+let[@inline] fmax (x : float) (y : float) =
+  if y > x || (x <> x && not (y <> y)) then y else x
+
+let[@inline] fmin (x : float) (y : float) =
+  if y < x || (x <> x && not (y <> y)) then y else x
+
+(* Workspace core: all per-iteration vectors (trial point, search
+   direction, gradients, BB difference) live in buffers allocated once
+   here, so a full minimize run performs no per-iteration array
+   allocation as long as [f], [grad_into] and [project_ip] are
+   allocation-free themselves. The arithmetic is exactly the allocating
+   version's, componentwise, so results are bit-identical. *)
+let minimize_ws ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f ~grad_into
+    ~project_ip ~x0 () =
+  let n = Vec.dim x0 in
+  let x = ref (Vec.copy x0) in
+  project_ip !x;
   let fx = ref (Guard.finite ~where:"objective at x0" (f !x)) in
-  let g = ref (Guard.finite_vec ~where:"gradient at x0" (grad !x)) in
+  let g = ref (Vec.zeros n) in
+  grad_into !x ~into:!g;
+  ignore (Guard.finite_vec ~where:"gradient at x0" !g);
+  let xt = ref (Vec.zeros n) and gn = ref (Vec.zeros n) in
+  let d = Vec.zeros n and y = Vec.zeros n in
   let recent = Array.make history !fx in
   let recent_idx = ref 0 in
   let push_value v =
     recent.(!recent_idx) <- v;
     recent_idx := (!recent_idx + 1) mod history
   in
-  let reference () = Array.fold_left Float.max neg_infinity recent in
+  let reference () =
+    let acc = ref neg_infinity in
+    for i = 0 to history - 1 do
+      acc := fmax !acc recent.(i)
+    done;
+    !acc
+  in
   let step = ref (1. /. Float.max 1. (Vec.norm_inf !g)) in
   let iterations = ref 0 in
   let converged = ref false in
@@ -26,41 +54,58 @@ let minimize ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f ~grad ~project 
   while (not !converged) && !iterations < max_iter do
     incr iterations;
     (* Backtrack the trial step until the non-monotone Armijo test
-       passes; the projected difference is the true search direction. *)
+       passes; the projected difference is the true search direction.
+       [xt] and [d] are overwritten on every try. *)
     let rec attempt trial tries =
-      if tries > 60 then None
-      else
-        let x_trial = project (Vec.axpy (-.trial) !g !x) in
-        let d = Vec.sub x_trial !x in
+      if tries > 60 then `Stalled
+      else begin
+        Vec.axpy_into (-.trial) !g !x ~into:!xt;
+        project_ip !xt;
+        Vec.sub_into !xt !x ~into:d;
         let dnorm = Vec.norm2 d in
-        if dnorm = 0. then Some (x_trial, !fx, d, true)
+        if dnorm = 0. then `Zero_step
         else
-          let fx_trial = f x_trial in
+          let fx_trial = f !xt in
           let slope = Vec.dot !g d in
           if Float.is_finite fx_trial
              && fx_trial <= reference () +. (1e-4 *. slope)
-          then Some (x_trial, fx_trial, d, false)
+          then `Accepted (fx_trial, dnorm)
           else attempt (trial /. 2.) (tries + 1)
+      end
     in
     match attempt !step 0 with
-    | None -> converged := true (* no progress possible at this scale *)
-    | Some (_, _, _, true) ->
+    | `Stalled -> converged := true (* no progress possible at this scale *)
+    | `Zero_step ->
       last_step_norm := 0.;
       converged := true
-    | Some (x_next, fx_next, d, false) ->
-      let g_next = Guard.finite_vec ~where:"gradient" (grad x_next) in
+    | `Accepted (fx_next, dnorm) ->
+      grad_into !xt ~into:!gn;
+      ignore (Guard.finite_vec ~where:"gradient" !gn);
       (* Barzilai–Borwein step length for the next iteration. *)
-      let y = Vec.sub g_next !g in
+      Vec.sub_into !gn !g ~into:y;
       let sy = Vec.dot d y and ss = Vec.dot d d in
-      step := (if sy > 1e-16 then ss /. sy else Float.min (2. *. !step) 1e6);
+      step := (if sy > 1e-16 then ss /. sy else fmin (2. *. !step) 1e6);
       if (not (Float.is_finite !step)) || !step <= 0. then step := 1.;
-      x := x_next;
+      let x_prev = !x in
+      x := !xt;
+      xt := x_prev;
+      let g_prev = !g in
+      g := !gn;
+      gn := g_prev;
       fx := fx_next;
-      g := g_next;
       push_value fx_next;
-      last_step_norm := Vec.norm2 d;
-      let scale = Float.max 1. (Vec.norm2 !x) in
+      last_step_norm := dnorm;
+      let scale = fmax 1. (Vec.norm2 !x) in
       if !last_step_norm <= tol *. scale then converged := true
   done;
-  { x = !x; value = !fx; step_norm = !last_step_norm;
+  { x = Vec.copy !x; value = !fx; step_norm = !last_step_norm;
     iterations = !iterations; converged = !converged }
+
+let minimize ?max_iter ?tol ?history ~f ~grad ~project ~x0 () =
+  let n = Vec.dim x0 in
+  let grad_into x ~into = Array.blit (grad x) 0 into 0 n in
+  let project_ip x =
+    let r = project x in
+    if r != x then Array.blit r 0 x 0 n
+  in
+  minimize_ws ?max_iter ?tol ?history ~f ~grad_into ~project_ip ~x0 ()

@@ -37,3 +37,23 @@ val minimize :
     iterating on non-finite values would otherwise silently return a
     garbage minimiser. Non-finite {e trial} objective values during
     backtracking remain non-fatal: the step is simply rejected. *)
+
+val minimize_ws :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?history:int ->
+  f:(Lepts_linalg.Vec.t -> float) ->
+  grad_into:(Lepts_linalg.Vec.t -> into:Lepts_linalg.Vec.t -> unit) ->
+  project_ip:(Lepts_linalg.Vec.t -> unit) ->
+  x0:Lepts_linalg.Vec.t ->
+  unit ->
+  report
+(** Workspace variant of {!minimize}: the gradient is written into a
+    caller-visible buffer by [grad_into] and the projection mutates its
+    argument in place, so the descent loop performs no per-iteration
+    array allocation when [f], [grad_into] and [project_ip] are
+    themselves allocation-free. Iterates, accepted steps and the
+    returned report are bit-identical to {!minimize} with the
+    equivalent functional operators ({!minimize} is implemented as a
+    wrapper over this). The vector passed to [f]/[grad_into] is an
+    internal buffer: read it, never retain it. *)

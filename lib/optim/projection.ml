@@ -11,23 +11,60 @@ let box ~lo ~hi x =
 
 (* Sort-based simplex projection: find the threshold tau such that
    sum max(0, x_i - tau) = total, then shift-and-clip. *)
+let desc a b = Float.compare b a
+
+let tau_of_sorted ~total sorted =
+  let n = Array.length sorted in
+  let cumulative = ref 0. and tau = ref (sorted.(0) -. total) in
+  for i = 0 to n - 1 do
+    cumulative := !cumulative +. sorted.(i);
+    let candidate = (!cumulative -. total) /. float_of_int (i + 1) in
+    if sorted.(i) > candidate then tau := candidate
+  done;
+  !tau
+
 let simplex ~total x =
   if total < 0. then invalid_arg "Projection.simplex: negative total";
   let n = Vec.dim x in
   if n = 0 then invalid_arg "Projection.simplex: empty vector";
   let sorted = Array.copy x in
-  Array.sort (fun a b -> Float.compare b a) sorted;
-  let cumulative = ref 0. and tau = ref ((sorted.(0) -. total)) and k = ref 1 in
-  (for i = 0 to n - 1 do
-     cumulative := !cumulative +. sorted.(i);
-     let candidate = (!cumulative -. total) /. float_of_int (i + 1) in
-     if sorted.(i) > candidate then begin
-       tau := candidate;
-       k := i + 1
-     end
-   done);
-  ignore !k;
-  Array.map (fun v -> Float.max 0. (v -. !tau)) x
+  Array.sort desc sorted;
+  let tau = tau_of_sorted ~total sorted in
+  Array.map (fun v -> Float.max 0. (v -. tau)) x
+
+(* Monomorphic descending insertion sort. [Array.sort desc] on a float
+   array boxes two floats per comparison (polymorphic [get]); this
+   sorts the same comparator's total order with none. The slices
+   projected here are one instance's preempted segments — small — so
+   O(n^2) is fine. Equal keys are bitwise-indistinguishable under
+   [Float.compare]'s total order, so the sorted values are identical
+   to [Array.sort]'s whatever either algorithm does with ties. *)
+let sort_desc_ip (a : float array) n =
+  for i = 1 to n - 1 do
+    let key = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && Float.compare a.(!j) key < 0 do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- key
+  done
+
+let[@inline] fmax (x : float) (y : float) =
+  if y > x || (x <> x && not (y <> y)) then y else x
+
+let simplex_ip ~total ~scratch x =
+  if total < 0. then invalid_arg "Projection.simplex_ip: negative total";
+  let n = Vec.dim x in
+  if n = 0 then invalid_arg "Projection.simplex_ip: empty vector";
+  if Array.length scratch <> n then
+    invalid_arg "Projection.simplex_ip: scratch length mismatch";
+  Array.blit x 0 scratch 0 n;
+  sort_desc_ip scratch n;
+  let tau = tau_of_sorted ~total scratch in
+  for i = 0 to n - 1 do
+    x.(i) <- fmax 0. (x.(i) -. tau)
+  done
 
 let blocks projs ~offsets x =
   if Array.length projs <> Array.length offsets then

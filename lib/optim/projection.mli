@@ -10,6 +10,12 @@ val simplex : total:float -> Lepts_linalg.Vec.t -> Lepts_linalg.Vec.t
     (Held, Wolfe & Crowder; the standard sort-based O(n log n)
     algorithm). Requires [total >= 0.] and a non-empty vector. *)
 
+val simplex_ip : total:float -> scratch:Lepts_linalg.Vec.t -> Lepts_linalg.Vec.t -> unit
+(** In-place {!simplex}: projects [x] onto the scaled simplex without
+    allocating, using [scratch] (same length as [x]) for the sort.
+    Bit-identical to [simplex] — the same descending sort and the same
+    threshold arithmetic, just written back into [x]. *)
+
 val blocks :
   (Lepts_linalg.Vec.t -> Lepts_linalg.Vec.t) array ->
   offsets:(int * int) array ->

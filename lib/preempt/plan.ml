@@ -5,7 +5,22 @@ type t = {
   task_set : Task_set.t;
   order : Sub_instance.t array;
   instance_subs : int array array array;
+  next_in_instance : int array;
 }
+
+(* Successor order-index of each sub-instance within its instance
+   (-1 for the last segment), derived once so runtime consumers (e.g.
+   the solver's feasibility repair) avoid an O(segments) rescan per
+   lookup. *)
+let successor_index ~size instance_subs =
+  let next = Array.make size (-1) in
+  Array.iter
+    (Array.iter (fun idxs ->
+         for pos = 0 to Array.length idxs - 2 do
+           next.(idxs.(pos)) <- idxs.(pos + 1)
+         done))
+    instance_subs;
+  next
 
 (* Split points of instance [j] of task [i]: releases of every
    higher-priority task strictly inside the window, in ticks. *)
@@ -104,7 +119,8 @@ let expand ts =
         (fun j idxs -> instance_subs.(i).(j) <- Array.of_list (List.rev idxs))
         per_instance)
     buckets;
-  { task_set = ts; order; instance_subs }
+  { task_set = ts; order; instance_subs;
+    next_in_instance = successor_index ~size:(Array.length order) instance_subs }
 
 let expand_nonpreemptive ts =
   let n = Task_set.size ts in
@@ -144,7 +160,8 @@ let expand_nonpreemptive ts =
     (fun (s : Sub_instance.t) ->
       instance_subs.(s.task).(s.instance) <- [| s.index |])
     order;
-  { task_set = ts; order; instance_subs }
+  { task_set = ts; order; instance_subs;
+    next_in_instance = successor_index ~size:(Array.length order) instance_subs }
 
 let hyper_period t = float_of_int (Task_set.hyper_period t.task_set)
 let size t = Array.length t.order

@@ -12,6 +12,11 @@ type t = private {
       (** [instance_subs.(i).(j)] lists the order indices of the
           sub-instances of instance [j] of task [i], in segment
           order. *)
+  next_in_instance : int array;
+      (** [next_in_instance.(k)] is the order index of the next segment
+          of [k]'s instance ([-1] when [k] is the instance's last
+          segment) — the O(1) successor lookup behind the solver's
+          feasibility repair. *)
 }
 
 val expand : Lepts_task.Task_set.t -> t

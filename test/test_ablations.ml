@@ -21,7 +21,7 @@ let contains ~affix s =
   go 0
 
 let test_formulations () =
-  match Experiments.Ablations.formulations ~task_set:(ts ()) ~power with
+  match Experiments.Ablations.formulations ~task_set:(ts ()) ~power () with
   | Error e -> Alcotest.failf "formulations: %a" Lepts_core.Solver.pp_error e
   | Ok table ->
     let s = render table in
@@ -51,7 +51,7 @@ let test_quantization () =
       && contains ~affix:"4" s)
 
 let test_structures () =
-  match Experiments.Ablations.structures ~task_set:(ts ()) ~power with
+  match Experiments.Ablations.structures ~task_set:(ts ()) ~power () with
   | Error e -> Alcotest.failf "structures: %a" Lepts_core.Solver.pp_error e
   | Ok table ->
     let s = render table in

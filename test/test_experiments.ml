@@ -3,6 +3,44 @@ module Experiments = Lepts_experiments
 
 let power = Model.ideal ~v_min:0.5 ~v_max:4. ()
 
+let test_sweeps_jobs_bit_identical () =
+  (* Every experiment that takes [jobs] must return structurally equal
+     results at -j 1 and -j 4 (the records are all floats/ints/strings,
+     so [=] is exact). Small round counts: this gates determinism, not
+     statistics. *)
+  let ts = Experiments.Motivation.task_set () in
+  let mpower = Experiments.Motivation.power () in
+  let util jobs =
+    Experiments.Utilization_sweep.run ~utilizations:[ 0.5; 0.7 ] ~rounds:40
+      ~jobs ~task_set:ts ~power:mpower ~seed:11 ()
+  in
+  Alcotest.(check bool) "utilization sweep" true (util 1 = util 4);
+  let trans jobs =
+    Result.get_ok
+      (Experiments.Transition_sweep.run ~overheads:[ 0.; 0.01 ] ~rounds:40 ~jobs
+         ~task_set:ts ~power:mpower ~seed:12 ())
+  in
+  Alcotest.(check bool) "transition sweep" true (trans 1 = trans 4);
+  let dist jobs =
+    Result.get_ok
+      (Experiments.Distribution_sweep.run ~rounds:40 ~jobs ~task_set:ts
+         ~power:mpower ~seed:13 ())
+  in
+  Alcotest.(check bool) "distribution sweep" true (dist 1 = dist 4)
+
+let test_fig6a_jobs_bit_identical () =
+  let config =
+    { Experiments.Fig6a.quick_config with
+      task_counts = [ 2 ]; ratios = [ 0.5 ]; sets_per_point = 3; rounds = 30 }
+  in
+  let run jobs solver_jobs =
+    Experiments.Fig6a.run ~jobs ~solver_jobs config ~power
+  in
+  let base = run 1 1 in
+  Alcotest.(check bool) "set-level jobs" true (base = run 4 1);
+  Alcotest.(check bool) "solver-level jobs" true (base = run 1 4);
+  Alcotest.(check bool) "both levels" true (base = run 2 2)
+
 let test_motivation_reproduces_paper () =
   match Experiments.Motivation.run () with
   | Error e -> Alcotest.failf "motivation failed: %a" Lepts_core.Solver.pp_error e
@@ -107,4 +145,6 @@ let suite =
     ("fig6a tiny sweep", `Slow, test_fig6a_tiny_sweep);
     ("fig6a ratio trend", `Slow, test_fig6a_ratio_trend);
     ("fig6b CNC point", `Slow, test_fig6b_cnc);
-    ("policy ablation", `Quick, test_policies_ablation) ]
+    ("policy ablation", `Quick, test_policies_ablation);
+    ("sweeps bit-identical across jobs", `Slow, test_sweeps_jobs_bit_identical);
+    ("fig6a bit-identical across jobs", `Slow, test_fig6a_jobs_bit_identical) ]

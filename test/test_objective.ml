@@ -192,6 +192,178 @@ let test_instance_totals () =
   Alcotest.(check (float 0.)) "acec" 10. avg.(0).(0);
   Alcotest.(check (float 0.)) "wcec" 20. worst.(2).(0)
 
+(* --- Workspace kernels: bit-for-bit parity with the allocating paths --- *)
+
+let check_bits msg expect got =
+  if not (Int64.equal (Int64.bits_of_float expect) (Int64.bits_of_float got)) then
+    Alcotest.failf "%s: %h <> %h" msg expect got
+
+let check_bits_arr msg expect got =
+  Alcotest.(check int) (msg ^ ": length") (Array.length expect) (Array.length got);
+  Array.iteri
+    (fun i x -> check_bits (Printf.sprintf "%s.(%d)" msg i) x got.(i))
+    expect
+
+let test_ws_eval_bitwise () =
+  let plan = motivation_plan () in
+  let ws = Workspace.create plan in
+  (* Points chosen to walk every branch: greedy/stretched end-times,
+     worst-case totals, a zero quota (skip branch), and — via the
+     separate fixtures below — both voltage clamps and the window
+     floor. *)
+  let points =
+    [ (Objective.Average, [| 20. /. 3.; 40. /. 3.; 20. |], quotas3);
+      (Objective.Average, [| 10.; 15.; 20. |], quotas3);
+      (Objective.Worst, [| 10.; 15.; 20. |], quotas3);
+      (Objective.Average, [| 10.; 15.; 20. |], [| 20.; 0.; 20. |]);
+      (Objective.Average, [| 0.; 15.; 20. |], quotas3) ]
+  in
+  List.iter
+    (fun (mode, e, w_hat) ->
+      let totals = Objective.instance_totals mode plan in
+      let expect = Objective.eval ~plan ~power ~totals ~e ~w_hat in
+      check_bits "eval_ws" expect (Objective.eval_ws ws ~power ~totals ~e ~w_hat);
+      (* Same workspace again: reuse must not leak state between calls. *)
+      check_bits "eval_ws (reused)" expect
+        (Objective.eval_ws ws ~power ~totals ~e ~w_hat))
+    points;
+  (* v_min clamp fixture. *)
+  let tiny =
+    Plan.expand
+      (Task_set.create
+         [ Task.create ~name:"t" ~period:100 ~wcec:1. ~acec:0.5 ~bcec:0. ])
+  in
+  let totals = Objective.instance_totals Objective.Average tiny in
+  let ws = Workspace.create tiny in
+  check_bits "eval_ws (v_min clamp)"
+    (Objective.eval ~plan:tiny ~power ~totals ~e:[| 100. |] ~w_hat:[| 1. |])
+    (Objective.eval_ws ws ~power ~totals ~e:[| 100. |] ~w_hat:[| 1. |])
+
+let test_ws_eval_alpha_bitwise () =
+  let alpha =
+    Model.create ~v_min:1. ~v_max:4.
+      (Model.Alpha { k = 0.5; v_th = 0.4; alpha = 1.6 })
+  in
+  let plan = motivation_plan () in
+  let ws = Workspace.create plan in
+  let totals = Objective.instance_totals Objective.Average plan in
+  let e = [| 10.; 15.; 20. |] in
+  check_bits "alpha eval_ws"
+    (Objective.eval ~plan ~power:alpha ~totals ~e ~w_hat:quotas3)
+    (Objective.eval_ws ws ~power:alpha ~totals ~e ~w_hat:quotas3)
+
+let test_ws_gradient_bitwise_random () =
+  (* Random feasible-ish points on a genuinely preemptive plan: value
+     and both gradient blocks must agree bit-for-bit with the
+     allocating adjoint, with the workspace reused across points. *)
+  let ts =
+    Task_set.create
+      [ Task.with_ratio ~name:"a" ~period:4 ~wcec:3. ~ratio:0.3;
+        Task.with_ratio ~name:"b" ~period:8 ~wcec:5. ~ratio:0.3 ]
+  in
+  let plan = Plan.expand ts in
+  let m = Plan.size plan in
+  let totals = Objective.instance_totals Objective.Average plan in
+  let rng = Lepts_prng.Xoshiro256.create ~seed:99 in
+  let power = Model.ideal ~v_min:0.1 ~v_max:8. () in
+  let ws = Workspace.create plan in
+  let de = Array.make m 0. and dwq = Array.make m 0. in
+  for round = 1 to 30 do
+    match Solver.initial_point ~plan ~power with
+    | Error _ -> Alcotest.fail "schedulable"
+    | Ok (e0, q0) ->
+      let e =
+        Array.mapi
+          (fun k ek ->
+            let b = plan.Plan.order.(k).Lepts_preempt.Sub_instance.boundary in
+            ek +. (Lepts_prng.Xoshiro256.float rng *. 0.7 *. (b -. ek)))
+          e0
+      in
+      (* Every few rounds, force the branch cases: a zeroed quota, a
+         collapsed window (floor guard) and an over-tight window
+         (v_max clamp). *)
+      if round mod 3 = 0 then q0.(round mod m) <- 0.;
+      if round mod 4 = 0 then e.(round mod m) <- 0.;
+      if round mod 5 = 0 then
+        e.(round mod m) <- plan.Plan.order.(round mod m).Lepts_preempt.Sub_instance.release +. 1e-6;
+      let fx, de_ref, dq_ref =
+        Objective.eval_with_gradient ~plan ~power ~totals ~e ~w_hat:q0
+      in
+      let fx_ws =
+        Objective.eval_with_gradient_ws ws ~power ~totals ~e ~w_hat:q0 ~de ~dwq
+      in
+      check_bits "gradient value" fx fx_ws;
+      check_bits_arr "de" de_ref de;
+      check_bits_arr "dwq" dq_ref dwq
+  done
+
+let test_ws_gradient_branch_points_numdiff () =
+  (* Firmly-in-branch points where the objective is locally flat in the
+     branch coordinate, so central differences agree with the one-sided
+     adjoint: a v_min-clamped schedule and a floored window. *)
+  let tiny =
+    Plan.expand
+      (Task_set.create
+         [ Task.create ~name:"t" ~period:100 ~wcec:1. ~acec:0.5 ~bcec:0. ])
+  in
+  let totals = Objective.instance_totals Objective.Average tiny in
+  let check_point plan totals e w_hat =
+    let m = Plan.size plan in
+    let ws = Workspace.create plan in
+    let de = Array.make m 0. and dwq = Array.make m 0. in
+    let fx_ws =
+      Objective.eval_with_gradient_ws ws ~power ~totals ~e ~w_hat ~de ~dwq
+    in
+    let fx, de_ref, dq_ref =
+      Objective.eval_with_gradient ~plan ~power ~totals ~e ~w_hat
+    in
+    check_bits "branch value" fx fx_ws;
+    check_bits_arr "branch de" de_ref de;
+    check_bits_arr "branch dwq" dq_ref dwq;
+    let f x =
+      Objective.eval ~plan ~power ~totals ~e:(Array.sub x 0 m)
+        ~w_hat:(Array.sub x m m)
+    in
+    let num = Lepts_optim.Numdiff.gradient ~h:1e-7 ~f (Array.append e w_hat) in
+    Array.iteri
+      (fun i a ->
+        let rel = Float.abs (a -. num.(i)) /. Float.max 1. (Float.abs num.(i)) in
+        if rel > 1e-5 then Alcotest.failf "branch coord %d: ana %g vs num %g" i a num.(i))
+      (Array.append de dq_ref)
+  in
+  (* v_min clamp: huge window, tiny workload. *)
+  check_point tiny totals [| 100. |] [| 1. |];
+  (* Window floor: end-time far below the release. *)
+  let plan = motivation_plan () in
+  let totals3 = Objective.instance_totals Objective.Average plan in
+  check_point plan totals3 [| -5.; 15.; 20. |] quotas3
+
+let test_ws_error_paths () =
+  let plan = motivation_plan () in
+  let ws = Workspace.create plan in
+  let totals = Objective.instance_totals Objective.Average plan in
+  Alcotest.check_raises "bad lengths"
+    (Invalid_argument "Objective: vector length does not match plan size")
+    (fun () ->
+      ignore (Objective.eval_ws ws ~power ~totals ~e:[| 1. |] ~w_hat:[| 1. |]));
+  Alcotest.check_raises "bad gradient buffers"
+    (Invalid_argument "Objective.eval_with_gradient_ws: gradient buffer length mismatch")
+    (fun () ->
+      ignore
+        (Objective.eval_with_gradient_ws ws ~power ~totals ~e:[| 10.; 15.; 20. |]
+           ~w_hat:quotas3 ~de:[| 0. |] ~dwq:[| 0. |]));
+  let alpha =
+    Model.create ~v_min:1. ~v_max:4.
+      (Model.Alpha { k = 0.5; v_th = 0.4; alpha = 1.6 })
+  in
+  Alcotest.check_raises "no adjoint for alpha"
+    (Invalid_argument "Objective.eval_with_gradient: analytic adjoint requires ideal delay")
+    (fun () ->
+      ignore
+        (Objective.eval_with_gradient_ws ws ~power:alpha ~totals
+           ~e:[| 10.; 15.; 20. |] ~w_hat:quotas3
+           ~de:(Array.make 3 0.) ~dwq:(Array.make 3 0.)))
+
 let suite =
   [ ("Fig 1(b): WCS average energy", `Quick, test_wcs_schedule_average_energy);
     ("Fig 2: ACS average energy", `Quick, test_acs_schedule_average_energy);
@@ -204,4 +376,9 @@ let suite =
     ("adjoint vs numdiff (random feasible)", `Quick, test_gradient_random_feasible_points);
     ("alpha model evaluation", `Quick, test_alpha_model_eval);
     ("length mismatch", `Quick, test_length_mismatch);
-    ("instance totals", `Quick, test_instance_totals) ]
+    ("instance totals", `Quick, test_instance_totals);
+    ("workspace eval bit-identical", `Quick, test_ws_eval_bitwise);
+    ("workspace eval bit-identical (alpha)", `Quick, test_ws_eval_alpha_bitwise);
+    ("workspace adjoint bit-identical (random)", `Quick, test_ws_gradient_bitwise_random);
+    ("workspace adjoint branch points + numdiff", `Quick, test_ws_gradient_branch_points_numdiff);
+    ("workspace error paths", `Quick, test_ws_error_paths) ]

@@ -288,6 +288,71 @@ let test_nlp_max_violation () =
   check_float 1e-12 "feasible" 0. (Nlp.max_violation p [| 2.5 |]);
   check_float 1e-12 "upper violated" 2. (Nlp.max_violation p [| 7. |])
 
+(* --- Workspace variants: bit-for-bit parity ----------------------------- *)
+
+let check_bits msg expect got =
+  if not (Int64.equal (Int64.bits_of_float expect) (Int64.bits_of_float got)) then
+    Alcotest.failf "%s: %h <> %h" msg expect got
+
+let test_simplex_ip_bitwise () =
+  (* Random vectors — duplicates, negatives, zeros, a large block — and
+     assorted totals: the in-place projection (with its monomorphic
+     sort) must return exactly [Projection.simplex]'s values. *)
+  let rng = Lepts_prng.Xoshiro256.create ~seed:1234 in
+  let rand_vec n =
+    Array.init n (fun _ -> (Lepts_prng.Xoshiro256.float rng *. 10.) -. 4.)
+  in
+  let cases =
+    [ ([| 0.5; 0.5 |], 1.); ([| 2.; 0. |], 1.); ([| -1.; 5.; 10. |], 6.);
+      ([| 3.; 3.; 3.; 3. |], 5.); ([| 0.; 0.; 0. |], 2.);
+      (rand_vec 7, 4.2); (rand_vec 19, 0.); (rand_vec 19, 11.5);
+      (rand_vec 64, 30.) ]
+  in
+  List.iter
+    (fun (x, total) ->
+      let expect = Projection.simplex ~total x in
+      let got = Array.copy x in
+      let scratch = Array.make (Array.length x) 0. in
+      Projection.simplex_ip ~total ~scratch got;
+      Array.iteri
+        (fun i v -> check_bits (Printf.sprintf "coord %d" i) v got.(i))
+        expect)
+    cases
+
+let test_minimize_ws_bitwise () =
+  (* The allocating front-end and the workspace core must agree exactly
+     on a projected problem that takes real iterations to solve. *)
+  let c = [| 0.3; 1.4; -0.2; 0.9 |] in
+  let f x = quadratic_bowl c x in
+  let grad x = Vec.scale 2. (Vec.sub x c) in
+  let project x =
+    let out = Array.copy x in
+    let scratch = Array.make (Array.length x) 0. in
+    Projection.simplex_ip ~total:1. ~scratch out;
+    out
+  in
+  let x0 = [| 2.; -1.; 0.5; 3. |] in
+  let r =
+    Projected_gradient.minimize ~max_iter:500 ~f ~grad ~project ~x0 ()
+  in
+  let grad_into x ~into = Array.blit (grad x) 0 into 0 (Array.length x) in
+  let project_ip x =
+    let scratch = Array.make (Array.length x) 0. in
+    Projection.simplex_ip ~total:1. ~scratch x
+  in
+  let r_ws =
+    Projected_gradient.minimize_ws ~max_iter:500 ~f ~grad_into ~project_ip ~x0 ()
+  in
+  Alcotest.(check bool) "converged" true r_ws.Projected_gradient.converged;
+  Alcotest.(check int) "iterations" r.Projected_gradient.iterations
+    r_ws.Projected_gradient.iterations;
+  check_bits "value" r.Projected_gradient.value r_ws.Projected_gradient.value;
+  check_bits "step norm" r.Projected_gradient.step_norm
+    r_ws.Projected_gradient.step_norm;
+  Array.iteri
+    (fun i v -> check_bits (Printf.sprintf "x.(%d)" i) v r_ws.Projected_gradient.x.(i))
+    r.Projected_gradient.x
+
 let suite =
   [ ("numdiff quadratic", `Quick, test_numdiff_quadratic);
     ("numdiff rosenbrock", `Quick, test_numdiff_rosenbrock);
@@ -318,4 +383,6 @@ let suite =
     ("al active inequality", `Quick, test_al_inequality_active);
     ("al inactive inequality", `Quick, test_al_inequality_inactive);
     ("al multiple constraints", `Quick, test_al_multiple_constraints);
-    ("nlp max violation", `Quick, test_nlp_max_violation) ]
+    ("nlp max violation", `Quick, test_nlp_max_violation);
+    ("simplex_ip bit-identical to simplex", `Quick, test_simplex_ip_bitwise);
+    ("minimize_ws bit-identical to minimize", `Quick, test_minimize_ws_bitwise) ]

@@ -164,6 +164,30 @@ let test_pp_timeline_runs () =
   Alcotest.(check bool) "mentions hyper-period" true
     (String.length s > 0 && String.sub s 0 12 = "hyper-period")
 
+let test_next_in_instance () =
+  (* The successor index must agree with a direct walk of
+     [instance_subs] on every plan shape we have: the preemptive
+     three-task plan and the coprime-period one. *)
+  let check plan =
+    let expected = Array.make (Plan.size plan) (-2) in
+    Array.iter
+      (Array.iter (fun idxs ->
+           let n = Array.length idxs in
+           for pos = 0 to n - 1 do
+             expected.(idxs.(pos)) <- (if pos = n - 1 then -1 else idxs.(pos + 1))
+           done))
+      plan.Plan.instance_subs;
+    Array.iteri
+      (fun k exp ->
+        Alcotest.(check int) (Printf.sprintf "successor of %d" k) exp
+          plan.Plan.next_in_instance.(k))
+      expected
+  in
+  check (three_task_plan ());
+  check
+    (Plan.expand
+       (Task_set.create [ mk ~name:"p" ~period:4; mk ~name:"q" ~period:7 ]))
+
 let suite =
   [ ("single task", `Quick, test_single_task);
     ("equal periods unsplit", `Quick, test_equal_periods_no_split);
@@ -175,4 +199,5 @@ let suite =
     ("no HP release inside segments", `Quick, test_no_hp_release_inside_segment);
     ("labels", `Quick, test_label);
     ("coprime periods", `Quick, test_coprime_periods);
-    ("timeline printer", `Quick, test_pp_timeline_runs) ]
+    ("timeline printer", `Quick, test_pp_timeline_runs);
+    ("next_in_instance successor index", `Quick, test_next_in_instance) ]

@@ -184,6 +184,69 @@ let test_alpha_model_solve () =
     Alcotest.(check bool) "feasible under alpha model" true
       (Validate.is_feasible schedule)
 
+let check_bits_arr msg expect got =
+  Alcotest.(check int) (msg ^ ": length") (Array.length expect) (Array.length got);
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float got.(i)))
+      then Alcotest.failf "%s.(%d): %h <> %h" msg i x got.(i))
+    expect
+
+let test_parallel_multistart_bit_identical () =
+  (* Without a wall budget the multi-start is deterministic: every
+     [jobs] value must return exactly the same schedule and stats on
+     both the simple and the preemptive set. *)
+  let run_set ts power =
+    let plan = Plan.expand ts in
+    let solve jobs =
+      let wcs, _ = Result.get_ok (Solver.solve_wcs ~jobs ~plan ~power ()) in
+      let acs, stats =
+        Result.get_ok
+          (Solver.solve_acs ~jobs
+             ~warm_starts:
+               [ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ]
+             ~plan ~power ())
+      in
+      (wcs, acs, stats)
+    in
+    let wcs1, acs1, stats1 = solve 1 in
+    List.iter
+      (fun jobs ->
+        let wcsj, acsj, statsj = solve jobs in
+        check_bits_arr "wcs end-times" wcs1.Static_schedule.end_times
+          wcsj.Static_schedule.end_times;
+        check_bits_arr "wcs quotas" wcs1.Static_schedule.quotas
+          wcsj.Static_schedule.quotas;
+        check_bits_arr "acs end-times" acs1.Static_schedule.end_times
+          acsj.Static_schedule.end_times;
+        check_bits_arr "acs quotas" acs1.Static_schedule.quotas
+          acsj.Static_schedule.quotas;
+        check_bits_arr "objective" [| stats1.Solver.objective |]
+          [| statsj.Solver.objective |];
+        Alcotest.(check int) "outer iterations" stats1.Solver.outer_iterations
+          statsj.Solver.outer_iterations)
+      [ 2; 4 ]
+  in
+  run_set (motivation_ts ()) power;
+  run_set (preemptive_ts ()) (Model.ideal ~v_min:0.5 ~v_max:4. ())
+
+let test_wall_budget_returns () =
+  (* A tiny wall budget must still return a usable schedule (at least
+     one start always runs), and a generous one matches the unbudgeted
+     result. *)
+  let plan = Plan.expand (motivation_ts ()) in
+  (match Solver.solve_acs ~wall_budget:1e-9 ~plan ~power () with
+  | Error e -> Alcotest.failf "budgeted solve failed: %a" Solver.pp_error e
+  | Ok (schedule, _) ->
+    Alcotest.(check bool) "feasible under tiny budget" true
+      (Validate.is_feasible schedule));
+  let unbudgeted, _ = Result.get_ok (Solver.solve_acs ~plan ~power ()) in
+  let generous, _ =
+    Result.get_ok (Solver.solve_acs ~wall_budget:3600. ~plan ~power ())
+  in
+  check_bits_arr "generous budget = no budget"
+    unbudgeted.Static_schedule.end_times generous.Static_schedule.end_times
+
 let test_stats_reported () =
   let plan = Plan.expand (motivation_ts ()) in
   let _, stats = Result.get_ok (Solver.solve_acs ~plan ~power ()) in
@@ -203,4 +266,6 @@ let suite =
     ("random sets solve + validate", `Slow, test_random_sets_solve_and_validate);
     ("tight boundaries stay feasible", `Quick, test_alap_never_infeasible);
     ("alpha-power model solve", `Slow, test_alpha_model_solve);
-    ("stats reported", `Quick, test_stats_reported) ]
+    ("stats reported", `Quick, test_stats_reported);
+    ("parallel multi-start bit-identical", `Slow, test_parallel_multistart_bit_identical);
+    ("wall budget returns a schedule", `Quick, test_wall_budget_returns) ]
