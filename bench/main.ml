@@ -375,6 +375,58 @@ let parallel_solve_measurement () =
   in
   (t_seq, t_par, seq_stats.Solver.objective, identical)
 
+(* Telemetry overhead: the same deterministic ACS solve with and
+   without a convergence sink, best-of-[reps] wall clock each way. The
+   per-iteration cost is the wall-clock delta divided by the number of
+   records actually pushed (every inner iteration of every start), and
+   the two solves are compared bit-for-bit — the capture must be free
+   of observable effect, and CI additionally bounds its cost via
+   [--max-telemetry-overhead-ns]. *)
+let telemetry_overhead_measurement ~quick () =
+  let plan = Lazy.force cnc_plan in
+  let reps = if quick then 3 else 8 in
+  let time ~mk =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to reps do
+      let telemetry = mk () in
+      let t0 = Unix.gettimeofday () in
+      let r = Result.get_ok (Solver.solve_acs ?telemetry ~plan ~power ()) in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some (r, telemetry)
+    done;
+    (!best, Option.get !result)
+  in
+  let off_s, ((off_sched, off_stats), _) = time ~mk:(fun () -> None) in
+  let on_s, ((on_sched, on_stats), sink) =
+    time ~mk:(fun () ->
+        (* Default ring capacity: [pushed] counts every record whether
+           or not the ring wrapped, so the denominator stays exact. *)
+        Some (Lepts_obs.Telemetry.solve_sink ~label:"bench" ()))
+  in
+  let bits = Array.map Int64.bits_of_float in
+  let bit_identical =
+    Int64.bits_of_float off_stats.Solver.objective
+    = Int64.bits_of_float on_stats.Solver.objective
+    && bits off_sched.Static_schedule.end_times
+       = bits on_sched.Static_schedule.end_times
+    && bits off_sched.Static_schedule.quotas = bits on_sched.Static_schedule.quotas
+  in
+  let records =
+    match sink with
+    | None -> 0
+    | Some s ->
+      Array.fold_left
+        (fun acc (st : Lepts_obs.Telemetry.start) ->
+          acc + Lepts_obs.Telemetry.pushed st.Lepts_obs.Telemetry.s_ring)
+        0 s.Lepts_obs.Telemetry.starts
+  in
+  let overhead_ns =
+    (on_s -. off_s) *. 1e9 /. float_of_int (max 1 records)
+  in
+  (off_s, on_s, records, overhead_ns, bit_identical)
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -390,7 +442,8 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.3f" x else "null"
 
-let emit_solver_json ~path ~quick rows (t_seq, t_par, objective, identical) =
+let emit_solver_json ~path ~quick rows (t_seq, t_par, objective, identical)
+    (tel_off_s, tel_on_s, tel_records, tel_overhead_ns, tel_identical) =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -413,6 +466,14 @@ let emit_solver_json ~path ~quick rows (t_seq, t_par, objective, identical) =
   out "    \"speedup\": %s,\n" (json_float (t_seq /. Float.max t_par 1e-9));
   out "    \"objective\": %s,\n" (json_float objective);
   out "    \"bit_identical\": %b\n" identical;
+  out "  },\n";
+  out "  \"telemetry\": {\n";
+  out "    \"plan\": \"CNC (32 subs), ACS solve\",\n";
+  out "    \"off_s\": %s,\n" (json_float tel_off_s);
+  out "    \"on_s\": %s,\n" (json_float tel_on_s);
+  out "    \"records\": %d,\n" tel_records;
+  out "    \"overhead_ns_per_inner_iteration\": %s,\n" (json_float tel_overhead_ns);
+  out "    \"bit_identical\": %b\n" tel_identical;
   out "  }\n";
   out "}\n";
   close_out oc
@@ -425,7 +486,7 @@ let print_solver_kernel_rows rows =
         r.ns_per_op r.minor_words_per_op)
     rows
 
-let run_solver_json ~path ~quick () =
+let run_solver_json ~path ~quick ~max_telemetry_overhead_ns () =
   let rows = run_solver_kernel_benchmarks ~quick () in
   print_solver_kernel_rows rows;
   let par = parallel_solve_measurement () in
@@ -433,22 +494,44 @@ let run_solver_json ~path ~quick () =
   Printf.printf
     "  parallel multi-start: -j 1 %.2fs, -j 4 %.2fs (%.2fx), identical: %b\n%!"
     t_seq t_par (t_seq /. Float.max t_par 1e-9) identical;
-  emit_solver_json ~path ~quick rows par;
-  Printf.printf "wrote %s\n%!" path
+  let tel = telemetry_overhead_measurement ~quick () in
+  let tel_off, tel_on, tel_records, tel_overhead, tel_identical = tel in
+  Printf.printf
+    "  telemetry: off %.3fs, on %.3fs — %.1f ns per inner iteration (%d records), \
+     identical: %b\n%!"
+    tel_off tel_on tel_overhead tel_records tel_identical;
+  emit_solver_json ~path ~quick rows par tel;
+  Printf.printf "wrote %s\n%!" path;
+  if not tel_identical then begin
+    prerr_endline "FAIL: solver results differ with telemetry enabled";
+    exit 1
+  end;
+  match max_telemetry_overhead_ns with
+  | Some budget when tel_overhead > budget ->
+    Printf.eprintf
+      "FAIL: telemetry overhead %.1f ns/inner-iteration exceeds the %.1f ns budget\n%!"
+      tel_overhead budget;
+    exit 1
+  | _ -> ()
 
 let () =
-  (* `--json PATH [--quick]` runs only the solver-kernel group and
-     writes the machine-readable summary (the CI smoke step); no
-     arguments runs the full reproduction + benchmark pipeline. *)
+  (* `--json PATH [--quick] [--max-telemetry-overhead-ns N]` runs only
+     the solver-kernel group and writes the machine-readable summary
+     (the CI smoke step); no arguments runs the full reproduction +
+     benchmark pipeline. *)
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
-  let rec json_path = function
-    | "--json" :: path :: _ -> Some path
-    | _ :: rest -> json_path rest
+  let rec find_opt_value flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> find_opt_value flag rest
     | [] -> None
   in
+  let json_path args = find_opt_value "--json" args in
+  let max_telemetry_overhead_ns =
+    Option.map float_of_string (find_opt_value "--max-telemetry-overhead-ns" args)
+  in
   match json_path args with
-  | Some path -> run_solver_json ~path ~quick ()
+  | Some path -> run_solver_json ~path ~quick ~max_telemetry_overhead_ns ()
   | None ->
     regenerate_motivation ();
     regenerate_fig6a ();

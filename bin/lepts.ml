@@ -60,11 +60,74 @@ let progress line =
 let print_stats ~label stats =
   Format.eprintf "  [%s] %a@." label Lepts_par.Pool.pp_stats stats
 
+(* --- observability ------------------------------------------------------ *)
+
+let telemetry_arg =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry" ] ~docv:"FILE"
+           ~doc:"Write a machine-readable run report here: convergence \
+                 traces of every captured NLP solve, profiling spans and \
+                 the metrics snapshot. Format by suffix: .csv = \
+                 convergence rows, .prom/.txt = Prometheus text, \
+                 anything else = JSON. Capture is observational — \
+                 results are bit-identical with or without it.")
+
+(* Wraps a command body with the observability lifecycle: enable spans,
+   reset the default registry so the report covers exactly this run,
+   hand the body a telemetry collector, then write the report and/or
+   print the span profile. Everything lands on stderr or in FILE —
+   stdout stays byte-identical with an unobserved run (CI diffs stdout
+   across -j values). When neither profiling nor capture is requested
+   this is a pass-through. *)
+let with_observability ~command ~profile ~telemetry_file body =
+  if (not profile) && telemetry_file = None then body None
+  else begin
+    Lepts_obs.Span.set_enabled true;
+    Lepts_obs.Span.reset ();
+    Lepts_obs.Metrics.reset Lepts_obs.Metrics.default;
+    let collector = Lepts_obs.Telemetry.collector () in
+    let t0 = Unix.gettimeofday () in
+    let code = body (Some collector) in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let report =
+      Lepts_obs.Export.report ~command ~argv:(Array.to_list Sys.argv)
+        ~elapsed_s:elapsed ~metrics:Lepts_obs.Metrics.default
+        ~telemetry:collector ()
+    in
+    Option.iter
+      (fun path ->
+        let data =
+          if Filename.check_suffix path ".csv" then
+            Lepts_obs.Export.convergence_csv report
+          else if
+            Filename.check_suffix path ".prom"
+            || Filename.check_suffix path ".txt"
+          then Lepts_obs.Export.to_prometheus report
+          else Lepts_obs.Export.to_json report
+        in
+        let oc = open_out path in
+        output_string oc data;
+        close_out oc;
+        let dropped = report.Lepts_obs.Export.dropped_solves in
+        Printf.eprintf "telemetry: wrote %s (%d solves captured%s)\n%!" path
+          (List.length report.Lepts_obs.Export.solves)
+          (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else ""))
+      telemetry_file;
+    if profile then begin
+      Printf.eprintf "\nprofile: %s (%.2fs wall)\n%!" command elapsed;
+      Format.eprintf "%a%!" Lepts_obs.Span.pp_report
+        report.Lepts_obs.Export.spans
+    end;
+    code
+  end
+
 (* --- motivation -------------------------------------------------------- *)
 
-let motivation_cmd =
+let motivation_cmd ~profile =
   let run verbose =
     setup_logs verbose;
+    with_observability ~command:"motivation" ~profile ~telemetry_file:None
+    @@ fun _telemetry ->
     match Experiments.Motivation.run () with
     | Error e -> Format.printf "error: %a@." Solver.pp_error e; 1
     | Ok report ->
@@ -78,8 +141,8 @@ let motivation_cmd =
 
 (* --- fig6a ------------------------------------------------------------- *)
 
-let fig6a_cmd =
-  let run verbose sets rounds seed jobs solver_jobs v_min v_max =
+let fig6a_cmd ~profile =
+  let run verbose sets rounds seed jobs solver_jobs v_min v_max telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let solver_jobs = resolve_jobs solver_jobs in
@@ -87,8 +150,12 @@ let fig6a_cmd =
     let config =
       { Experiments.Fig6a.paper_config with sets_per_point = sets; rounds; seed }
     in
+    with_observability ~command:"fig6a" ~profile ~telemetry_file
+    @@ fun telemetry ->
     let t0 = Unix.gettimeofday () in
-    let points = Experiments.Fig6a.run ~progress ~jobs ~solver_jobs config ~power in
+    let points =
+      Experiments.Fig6a.run ~progress ~jobs ~solver_jobs ?telemetry config ~power
+    in
     let elapsed = Unix.gettimeofday () -. t0 in
     print_endline "Fig 6(a): ACS improvement over WCS, random task sets:";
     Lepts_util.Table.print (Experiments.Fig6a.to_table points);
@@ -107,19 +174,21 @@ let fig6a_cmd =
   Cmd.v
     (Cmd.info "fig6a" ~doc:"Reproduce Fig 6(a): improvement vs task count and BCEC/WCEC ratio.")
     Term.(const run $ verbose_arg $ sets $ rounds_arg 1000 $ seed_arg $ jobs_arg
-          $ solver_jobs_arg $ v_min_arg $ v_max_arg)
+          $ solver_jobs_arg $ v_min_arg $ v_max_arg $ telemetry_arg)
 
 (* --- fig6b ------------------------------------------------------------- *)
 
-let fig6b_cmd =
-  let run verbose rounds seed jobs v_min v_max no_gap =
+let fig6b_cmd ~profile =
+  let run verbose rounds seed jobs v_min v_max no_gap telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
     let config =
       { Experiments.Fig6b.paper_config with rounds; seed; include_gap = not no_gap }
     in
-    let points = Experiments.Fig6b.run ~progress ~jobs config ~power in
+    with_observability ~command:"fig6b" ~profile ~telemetry_file
+    @@ fun telemetry ->
+    let points = Experiments.Fig6b.run ~progress ~jobs ?telemetry config ~power in
     print_endline "Fig 6(b): ACS improvement over WCS, real-life applications:";
     Lepts_util.Table.print (Experiments.Fig6b.to_table points);
     0
@@ -130,13 +199,15 @@ let fig6b_cmd =
   Cmd.v
     (Cmd.info "fig6b" ~doc:"Reproduce Fig 6(b): improvement on the CNC and GAP task sets.")
     Term.(const run $ verbose_arg $ rounds_arg 1000 $ seed_arg $ jobs_arg $ v_min_arg
-          $ v_max_arg $ no_gap)
+          $ v_max_arg $ no_gap $ telemetry_arg)
 
 (* --- schedule ---------------------------------------------------------- *)
 
-let schedule_cmd =
+let schedule_cmd ~profile =
   let run verbose v_min v_max =
     setup_logs verbose;
+    with_observability ~command:"schedule" ~profile ~telemetry_file:None
+    @@ fun _telemetry ->
     let power = power_of ~v_min ~v_max in
     let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
     let plan = Plan.expand ts in
@@ -160,14 +231,16 @@ let schedule_cmd =
 
 (* --- random ------------------------------------------------------------ *)
 
-let random_cmd =
-  let run verbose n ratio rounds seed jobs solver_jobs v_min v_max =
+let random_cmd ~profile =
+  let run verbose n ratio rounds seed jobs solver_jobs v_min v_max telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let solver_jobs = resolve_jobs solver_jobs in
     let power = power_of ~v_min ~v_max in
     let rng = Lepts_prng.Xoshiro256.create ~seed in
     let config = Lepts_workloads.Random_gen.default_config ~n_tasks:n ~ratio in
+    with_observability ~command:"random" ~profile ~telemetry_file
+    @@ fun telemetry ->
     (* No timing in this output on purpose: CI diffs [-j 1] against
        [-j 4] to enforce the bit-identity guarantee. *)
     (match Lepts_workloads.Random_gen.generate config ~power ~rng with
@@ -175,8 +248,8 @@ let random_cmd =
     | Ok ts -> (
       Format.printf "task set: %a@." Task_set.pp ts;
       match
-        Experiments.Improvement.measure ~rounds ~jobs ~solver_jobs ~task_set:ts ~power
-          ~sim_seed:(seed + 1) ()
+        Experiments.Improvement.measure ~rounds ~jobs ~solver_jobs ?telemetry
+          ~telemetry_tag:"random" ~task_set:ts ~power ~sim_seed:(seed + 1) ()
       with
       | Error e -> Format.printf "error: %a@." Solver.pp_error e
       | Ok r -> Format.printf "%a@." Experiments.Improvement.pp r));
@@ -191,13 +264,15 @@ let random_cmd =
   Cmd.v
     (Cmd.info "random" ~doc:"Generate one random task set and measure ACS vs WCS.")
     Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 1000 $ seed_arg $ jobs_arg
-          $ solver_jobs_arg $ v_min_arg $ v_max_arg)
+          $ solver_jobs_arg $ v_min_arg $ v_max_arg $ telemetry_arg)
 
 (* --- policies ---------------------------------------------------------- *)
 
-let policies_cmd =
+let policies_cmd ~profile =
   let run verbose rounds seed v_min v_max =
     setup_logs verbose;
+    with_observability ~command:"policies" ~profile ~telemetry_file:None
+    @@ fun _telemetry ->
     let power = power_of ~v_min ~v_max in
     let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
     (match Experiments.Policies.run ~rounds ~task_set:ts ~power ~seed () with
@@ -214,10 +289,12 @@ let policies_cmd =
 
 (* --- ablations ---------------------------------------------------------- *)
 
-let ablations_cmd =
+let ablations_cmd ~profile =
   let run verbose rounds seed jobs v_min v_max =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
+    with_observability ~command:"ablations" ~profile ~telemetry_file:None
+    @@ fun _telemetry ->
     let power = power_of ~v_min ~v_max in
     let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
     let show title = function
@@ -258,10 +335,12 @@ let ablations_cmd =
 
 (* --- utilization sweep --------------------------------------------------- *)
 
-let utilization_cmd =
+let utilization_cmd ~profile =
   let run verbose rounds seed jobs v_min v_max =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
+    with_observability ~command:"utilization" ~profile ~telemetry_file:None
+    @@ fun _telemetry ->
     let power = power_of ~v_min ~v_max in
     let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
     let points =
@@ -279,9 +358,9 @@ let utilization_cmd =
 
 (* --- faults ------------------------------------------------------------- *)
 
-let faults_cmd =
+let faults_cmd ~profile =
   let run verbose n ratio rounds seed jobs v_min v_max overrun_prob overrun_factor
-      jitter_prob jitter_frac denial_prob no_shed no_escalate =
+      jitter_prob jitter_frac denial_prob no_shed no_escalate telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
@@ -293,11 +372,13 @@ let faults_cmd =
           (Lepts_workloads.Random_gen.default_config ~n_tasks:n ~ratio)
           ~power ~rng
     in
+    with_observability ~command:"faults" ~profile ~telemetry_file
+    @@ fun telemetry ->
     match workload_result with
     | Error msg -> Format.printf "generation failed: %s@." msg; 1
     | Ok ts -> (
       let plan = Plan.expand ts in
-      match Lepts_robust.Robust_solver.solve ~plan ~power () with
+      match Lepts_robust.Robust_solver.solve ?telemetry ~plan ~power () with
       | Error e -> Format.printf "error: %a@." Solver.pp_error e; 1
       | Ok (schedule, diagnostics) ->
         Format.printf "%a@." Lepts_robust.Robust_solver.pp_diagnostics diagnostics;
@@ -372,13 +453,16 @@ let faults_cmd =
              denied voltage transitions) and print a robustness report.")
     Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 500 $ seed_arg
           $ jobs_arg $ v_min_arg $ v_max_arg $ overrun_prob $ overrun_factor
-          $ jitter_prob $ jitter_frac $ denial_prob $ no_shed $ no_escalate)
+          $ jitter_prob $ jitter_frac $ denial_prob $ no_shed $ no_escalate
+          $ telemetry_arg)
 
 (* --- export -------------------------------------------------------------- *)
 
-let export_cmd =
+let export_cmd ~profile =
   let run verbose n ratio seed v_min v_max out =
     setup_logs verbose;
+    with_observability ~command:"export" ~profile ~telemetry_file:None
+    @@ fun _telemetry ->
     let power = power_of ~v_min ~v_max in
     let ts =
       if n = 0 then Lepts_workloads.Cnc.task_set ~power ~ratio ()
@@ -423,10 +507,26 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export an ACS schedule as CSV (the firmware tables).")
     Term.(const run $ verbose_arg $ n $ ratio $ seed_arg $ v_min_arg $ v_max_arg $ out)
 
+let commands ~profile =
+  [ motivation_cmd ~profile; fig6a_cmd ~profile; fig6b_cmd ~profile;
+    schedule_cmd ~profile; random_cmd ~profile; policies_cmd ~profile;
+    ablations_cmd ~profile; utilization_cmd ~profile; faults_cmd ~profile;
+    export_cmd ~profile ]
+
+(* [lepts profile <cmd> ...] is the whole command tree again, with the
+   span profiler enabled and a per-path wall-clock report printed to
+   stderr on exit. Stdout is unchanged. *)
+let profile_cmd =
+  Cmd.group
+    (Cmd.info "profile"
+       ~doc:"Run any lepts command with hierarchical profiling spans \
+             enabled; a per-phase wall-clock report goes to stderr when \
+             the command finishes.")
+    (commands ~profile:true)
+
 let main_cmd =
   let doc = "low-energy preemptive task scheduling (DATE 2005 reproduction)" in
   Cmd.group (Cmd.info "lepts" ~version:"1.0.0" ~doc)
-    [ motivation_cmd; fig6a_cmd; fig6b_cmd; schedule_cmd; random_cmd; policies_cmd;
-      ablations_cmd; utilization_cmd; faults_cmd; export_cmd ]
+    (commands ~profile:false @ [ profile_cmd ])
 
 let () = exit (Cmd.eval' main_cmd)

@@ -8,6 +8,9 @@ module Projection = Lepts_optim.Projection
 module Pg = Lepts_optim.Projected_gradient
 module Numdiff = Lepts_optim.Numdiff
 module Pool = Lepts_par.Pool
+module Metrics = Lepts_obs.Metrics
+module Telemetry = Lepts_obs.Telemetry
+module Span = Lepts_obs.Span
 
 type error = Unschedulable | Solver_stalled of string
 
@@ -30,6 +33,28 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
    which runs [jobs] times faster than the wall during a parallel
    multi-start and so starved parallel solves of their budget. *)
 let now () = Unix.gettimeofday ()
+
+(* Built-in instrumentation (DESIGN.md §9). Registered in the default
+   registry at module load so every run report carries these series,
+   zero-valued when nothing solved. Counter bumps and histogram
+   observations are atomic adds — strictly observational, no effect on
+   the solver's float operations. *)
+let m_solves =
+  Metrics.counter ~help:"multi-start solves attempted" Metrics.default
+    "lepts_solver_solves_total"
+
+let m_starts =
+  Metrics.counter ~help:"solver start points run" Metrics.default
+    "lepts_solver_starts_total"
+
+let m_start_failures =
+  Metrics.counter ~help:"solver start points that failed" Metrics.default
+    "lepts_solver_start_failures_total"
+
+let h_solve_seconds =
+  Metrics.histogram ~help:"wall-clock seconds per multi-start solve"
+    ~buckets:[| 0.001; 0.01; 0.1; 1.; 10.; 100. |]
+    Metrics.default "lepts_solver_solve_seconds"
 
 (* Worst-case rate-monotonic execution at maximum speed: process the
    total order with a running cursor, filling each sub-instance with as
@@ -243,7 +268,8 @@ let slacks_for (plan : Plan.t) ~t_max ~e ~q =
    their mean runtime energy (a single ACEC or WCEC scenario for the
    deterministic modes, a Monte-Carlo sample for the stochastic
    extension). *)
-let solve_from ?deadline ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~power ~y0 () =
+let solve_from ?deadline ?telemetry ~max_outer ~max_inner ~totals_list
+    ~(plan : Plan.t) ~power ~y0 () =
     let m = Array.length plan.Plan.order in
     let t_max = t_at_vmax power in
     let hyper = Plan.hyper_period plan in
@@ -294,8 +320,14 @@ let solve_from ?deadline ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~po
     let within_deadline () =
       match deadline with None -> true | Some d -> now () < d
     in
+    let ring =
+      match telemetry with
+      | None -> None
+      | Some (slot : Telemetry.start) -> Some slot.Telemetry.s_ring
+    in
     while (not !finished) && !outer < max_outer && within_deadline () do
       incr outer;
+      Option.iter (fun r -> Telemetry.set_phase r !outer) ring;
       let mu_now = !mu in
       let lag y =
         forward_ws ws ~t_max y;
@@ -336,8 +368,8 @@ let solve_from ?deadline ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~po
         else fun y ~into -> Array.blit (Numdiff.gradient ~f:lag y) 0 into 0 (2 * m)
       in
       let r =
-        Pg.minimize_ws ~max_iter:max_inner ~tol:1e-10 ~f:lag ~grad_into ~project_ip
-          ~x0:!x ()
+        Pg.minimize_ws ?telemetry:ring ~max_iter:max_inner ~tol:1e-10 ~f:lag
+          ~grad_into ~project_ip ~x0:!x ()
       in
       inner_total := !inner_total + r.Pg.iterations;
       x := r.Pg.x;
@@ -356,24 +388,35 @@ let solve_from ?deadline ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~po
       else if !violation > 0.5 *. previous_violation then mu := !mu *. 5.
     done;
     forward_ws ws ~t_max !x;
-    (match repair ~plan ~power ~e:ws.Workspace.e ~q:ws.Workspace.q with
-    | Error _ as err -> err
-    | Ok (e, q) ->
-      let schedule = Static_schedule.create ~plan ~power ~end_times:e ~quotas:q in
-      let stats =
-        { objective =
-            List.fold_left
-              (fun acc totals ->
-                acc
-                +. Objective.eval ~plan ~power ~totals ~e:schedule.Static_schedule.end_times
-                     ~w_hat:schedule.Static_schedule.quotas)
-              0. totals_list
-            /. scenario_count;
-          max_violation = !violation;
-          outer_iterations = !outer;
-          inner_iterations = !inner_total }
-      in
-      Ok (schedule, stats))
+    let result =
+      match repair ~plan ~power ~e:ws.Workspace.e ~q:ws.Workspace.q with
+      | Error _ as err -> err
+      | Ok (e, q) ->
+        let schedule = Static_schedule.create ~plan ~power ~end_times:e ~quotas:q in
+        let stats =
+          { objective =
+              List.fold_left
+                (fun acc totals ->
+                  acc
+                  +. Objective.eval ~plan ~power ~totals ~e:schedule.Static_schedule.end_times
+                       ~w_hat:schedule.Static_schedule.quotas)
+                0. totals_list
+              /. scenario_count;
+            max_violation = !violation;
+            outer_iterations = !outer;
+            inner_iterations = !inner_total }
+        in
+        Ok (schedule, stats)
+    in
+    (match telemetry with
+    | None -> ()
+    | Some (slot : Telemetry.start) ->
+      slot.Telemetry.outer_rounds <- !outer;
+      slot.Telemetry.inner_iterations <- !inner_total;
+      (match result with
+      | Ok (_, stats) -> slot.Telemetry.final_objective <- stats.objective
+      | Error err -> slot.Telemetry.failure <- Some (Format.asprintf "%a" pp_error err)));
+    result
 
 (* The NLP is non-convex and piecewise smooth, so a single descent run
    can stall. Each solve therefore starts from several structurally
@@ -385,14 +428,15 @@ let solve_from ?deadline ~max_outer ~max_inner ~totals_list ~(plan : Plan.t) ~po
    indexed by start, and the reduction below scans them in start order
    with a strict-improvement test — so the pick is the same schedule
    for every [jobs] value. *)
-let solve_multi_start ?wall_budget ?(jobs = 1) ~max_outer ~max_inner ~warm_starts
-    ~totals_list ~(plan : Plan.t) ~power () =
+let solve_multi_start ?wall_budget ?telemetry ?(jobs = 1) ~max_outer ~max_inner
+    ~warm_starts ~totals_list ~(plan : Plan.t) ~power () =
   match initial_point ~plan ~power with
   | Error _ as err -> err
   | Ok (e0, q0) ->
     let m = Array.length plan.Plan.order in
     let t_max = t_at_vmax power in
-    let deadline = Option.map (fun b -> now () +. b) wall_budget in
+    let t0 = now () in
+    let deadline = Option.map (fun b -> t0 +. b) wall_budget in
     let point_of_eq (e, q) = Array.append q (slacks_for plan ~t_max ~e ~q) in
     let alap = alap_end_times plan ~t_max ~e:e0 ~q:q0 in
     let candidates =
@@ -401,15 +445,29 @@ let solve_multi_start ?wall_budget ?(jobs = 1) ~max_outer ~max_inner ~warm_start
          :: point_of_eq (alap, q0)
          :: List.map point_of_eq warm_starts)
     in
+    let n_starts = Array.length candidates in
+    Metrics.incr m_solves;
+    Metrics.incr ~by:n_starts m_starts;
+    Option.iter (fun s -> Telemetry.init_starts s ~n:n_starts) telemetry;
+    (* Pool workers start with an empty span stack; capturing the
+       caller's innermost span here and passing it as the explicit
+       parent keeps span paths identical for every [jobs] value. *)
+    let span_parent = match Span.current () with Some p -> p | None -> "" in
     let attempts, (_ : Pool.stats) =
-      Pool.run ~jobs ~n:(Array.length candidates) ~f:(fun start ->
-          try
-            solve_from ?deadline ~max_outer ~max_inner ~totals_list ~plan ~power
-              ~y0:candidates.(start) ()
-          with Lepts_optim.Guard.Non_finite what ->
-            Error
-              (Solver_stalled (Printf.sprintf "non-finite evaluation (%s)" what)))
+      Pool.run ~jobs ~n:n_starts ~f:(fun start ->
+          Span.with_ ~parent:span_parent ~name:"start" (fun () ->
+              let telemetry =
+                Option.map (fun s -> Telemetry.start_slot s start) telemetry
+              in
+              try
+                solve_from ?deadline ?telemetry ~max_outer ~max_inner
+                  ~totals_list ~plan ~power ~y0:candidates.(start) ()
+              with Lepts_optim.Guard.Non_finite what ->
+                Error
+                  (Solver_stalled
+                     (Printf.sprintf "non-finite evaluation (%s)" what))))
     in
+    Metrics.observe h_solve_seconds (now () -. t0);
     let best = ref None in
     (* Keep the most recent failure: when every start fails, the final
        error must say why instead of a generic stall message. *)
@@ -418,6 +476,7 @@ let solve_multi_start ?wall_budget ?(jobs = 1) ~max_outer ~max_inner ~warm_start
       (fun start attempt ->
         match attempt with
         | Error err ->
+          Metrics.incr m_start_failures;
           Log.debug (fun f -> f "start %d failed: %a" start pp_error err);
           last_error := Some err
         | Ok (schedule, stats) -> (
@@ -437,14 +496,20 @@ let solve_multi_start ?wall_budget ?(jobs = 1) ~max_outer ~max_inner ~warm_start
       Error
         (Solver_stalled ("no start point produced a feasible schedule" ^ detail)))
 
-let solve ?wall_budget ?jobs ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = [])
-    ~mode ~(plan : Plan.t) ~power () =
-  let totals_list = [ Objective.instance_totals mode plan ] in
-  solve_multi_start ?wall_budget ?jobs ~max_outer ~max_inner ~warm_starts ~totals_list
-    ~plan ~power ()
+let solve ?wall_budget ?telemetry ?jobs ?(max_outer = 30) ?(max_inner = 2000)
+    ?(warm_starts = []) ~mode ~(plan : Plan.t) ~power () =
+  let span_name =
+    match mode with
+    | Objective.Average -> "solve:acs"
+    | Objective.Worst -> "solve:wcs"
+  in
+  Span.with_ ~name:span_name (fun () ->
+      let totals_list = [ Objective.instance_totals mode plan ] in
+      solve_multi_start ?wall_budget ?telemetry ?jobs ~max_outer ~max_inner
+        ~warm_starts ~totals_list ~plan ~power ())
 
-let solve_stochastic ?jobs ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts = [])
-    ?(scenarios = 16) ?(seed = 1) ~(plan : Plan.t) ~power () =
+let solve_stochastic ?telemetry ?jobs ?(max_outer = 30) ?(max_inner = 2000)
+    ?(warm_starts = []) ?(scenarios = 16) ?(seed = 1) ~(plan : Plan.t) ~power () =
   if scenarios <= 0 then invalid_arg "Solver.solve_stochastic: scenarios";
   let rng = Lepts_prng.Xoshiro256.create ~seed in
   let sample () =
@@ -460,12 +525,16 @@ let solve_stochastic ?jobs ?(max_outer = 30) ?(max_inner = 2000) ?(warm_starts =
       plan.Plan.instance_subs
   in
   let totals_list = List.init scenarios (fun _ -> sample ()) in
-  solve_multi_start ?jobs ~max_outer ~max_inner ~warm_starts ~totals_list ~plan ~power ()
+  Span.with_ ~name:"solve:stochastic" (fun () ->
+      solve_multi_start ?telemetry ?jobs ~max_outer ~max_inner ~warm_starts
+        ~totals_list ~plan ~power ())
 
-let solve_acs ?wall_budget ?jobs ?max_outer ?max_inner ?warm_starts ~plan ~power () =
-  solve ?wall_budget ?jobs ?max_outer ?max_inner ?warm_starts ~mode:Objective.Average
-    ~plan ~power ()
+let solve_acs ?wall_budget ?telemetry ?jobs ?max_outer ?max_inner ?warm_starts
+    ~plan ~power () =
+  solve ?wall_budget ?telemetry ?jobs ?max_outer ?max_inner ?warm_starts
+    ~mode:Objective.Average ~plan ~power ()
 
-let solve_wcs ?wall_budget ?jobs ?max_outer ?max_inner ?warm_starts ~plan ~power () =
-  solve ?wall_budget ?jobs ?max_outer ?max_inner ?warm_starts ~mode:Objective.Worst
-    ~plan ~power ()
+let solve_wcs ?wall_budget ?telemetry ?jobs ?max_outer ?max_inner ?warm_starts
+    ~plan ~power () =
+  solve ?wall_budget ?telemetry ?jobs ?max_outer ?max_inner ?warm_starts
+    ~mode:Objective.Worst ~plan ~power ()

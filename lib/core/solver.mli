@@ -58,6 +58,7 @@ val repair :
 
 val solve :
   ?wall_budget:float ->
+  ?telemetry:Lepts_obs.Telemetry.solve ->
   ?jobs:int ->
   ?max_outer:int ->
   ?max_inner:int ->
@@ -92,10 +93,21 @@ val solve :
     values. Non-finite objective or gradient evaluations (see
     {!Lepts_optim.Guard}) abort the offending start with a
     [Solver_stalled] error instead of iterating on garbage; when every
-    start fails, the final error reports the last failure's cause. *)
+    start fails, the final error reports the last failure's cause.
+
+    [telemetry] captures per-start convergence traces (one
+    {!Lepts_obs.Telemetry.ring} per start, allocated once the start
+    count is known) plus each start's outcome into the given sink.
+    Capture is strictly observational — the returned schedule and stats
+    are bit-identical with telemetry on or off, for every [jobs] value
+    (asserted by the test suite). Solves are also timed under
+    {!Lepts_obs.Span} paths ([solve:acs/start], ...) when spans are
+    enabled, and always counted in {!Lepts_obs.Metrics.default}
+    ([lepts_solver_*] series). *)
 
 val solve_acs :
   ?wall_budget:float ->
+  ?telemetry:Lepts_obs.Telemetry.solve ->
   ?jobs:int ->
   ?max_outer:int ->
   ?max_inner:int ->
@@ -108,6 +120,7 @@ val solve_acs :
 
 val solve_wcs :
   ?wall_budget:float ->
+  ?telemetry:Lepts_obs.Telemetry.solve ->
   ?jobs:int ->
   ?max_outer:int ->
   ?max_inner:int ->
@@ -119,6 +132,7 @@ val solve_wcs :
 (** [solve ~mode:Worst] — the baseline that only considers WCEC. *)
 
 val solve_stochastic :
+  ?telemetry:Lepts_obs.Telemetry.solve ->
   ?jobs:int ->
   ?max_outer:int ->
   ?max_inner:int ->

@@ -24,12 +24,20 @@ type point = {
   total_misses : int;
 }
 
-let run_point ?(jobs = 1) ?(solver_jobs = 1) config ~power ~n_tasks ~ratio =
+let run_point ?(jobs = 1) ?(solver_jobs = 1) ?telemetry config ~power ~n_tasks
+    ~ratio =
+  Lepts_obs.Span.with_ ~name:"fig6a:point" @@ fun () ->
+  (* Pool workers open their spans with the point's path as explicit
+     parent, so the merged span tree is identical for every [jobs]. *)
+  let span_parent =
+    match Lepts_obs.Span.current () with Some p -> p | None -> ""
+  in
   (* Task sets are independent (per-set seeds), so the whole
      generate → solve → simulate pipeline of each set can run on its
      own domain; results come back indexed by set, and the reduction
      below walks them in set order — bit-identical for every [jobs]. *)
   let one_set set =
+    Lepts_obs.Span.with_ ~parent:span_parent ~name:"set" @@ fun () ->
     (* One generator stream per (n, ratio, set) triple so points are
        independent and reproducible. *)
     let gen_seed =
@@ -42,8 +50,10 @@ let run_point ?(jobs = 1) ?(solver_jobs = 1) config ~power ~n_tasks ~ratio =
     | Error _ -> None
     | Ok task_set -> (
       match
-        Improvement.measure ~rounds:config.rounds ~solver_jobs ~task_set ~power
-          ~sim_seed:(gen_seed + 7919) ()
+        Improvement.measure ~rounds:config.rounds ~solver_jobs ?telemetry
+          ~telemetry_tag:
+            (Printf.sprintf "fig6a:n%d:r%.1f:set%d" n_tasks ratio set)
+          ~task_set ~power ~sim_seed:(gen_seed + 7919) ()
       with
       | Error _ -> None
       | Ok r -> Some r)
@@ -62,12 +72,15 @@ let run_point ?(jobs = 1) ?(solver_jobs = 1) config ~power ~n_tasks ~ratio =
     sets_measured = Array.length arr;
     total_misses = misses }
 
-let run ?(progress = fun _ -> ()) ?(jobs = 1) ?(solver_jobs = 1) config ~power =
+let run ?(progress = fun _ -> ()) ?(jobs = 1) ?(solver_jobs = 1) ?telemetry config
+    ~power =
   List.concat_map
     (fun n_tasks ->
       List.map
         (fun ratio ->
-          let point = run_point ~jobs ~solver_jobs config ~power ~n_tasks ~ratio in
+          let point =
+            run_point ~jobs ~solver_jobs ?telemetry config ~power ~n_tasks ~ratio
+          in
           progress
             (Printf.sprintf "fig6a: n=%d ratio=%.1f -> %.1f%% (%d sets)" n_tasks
                ratio point.mean_improvement_pct point.sets_measured);

@@ -34,6 +34,7 @@ val run :
   ?progress:(string -> unit) ->
   ?jobs:int ->
   ?solver_jobs:int ->
+  ?telemetry:Lepts_obs.Telemetry.collector ->
   config ->
   power:Lepts_power.Model.t ->
   point list
@@ -46,7 +47,12 @@ val run :
     multi-start solves ({!Lepts_core.Solver.solve}); also
     bit-identical for every value. Prefer [jobs] (coarser units) when
     there are many sets; [solver_jobs] helps when a few large sets
-    dominate. *)
+    dominate.
+
+    [telemetry] captures convergence traces of the per-set NLP solves
+    (labels like [acs:fig6a:n4:r0.5:set2]); the sweep also runs under
+    [fig6a:point] / [fig6a:point/set] profiling spans whose merged tree
+    is identical for every [jobs] value. *)
 
 val to_table : point list -> Lepts_util.Table.t
 (** Rows: one per (task count, ratio) — the series of the paper's

@@ -17,16 +17,19 @@ let applications config =
      [ ("GAP", fun ~power ~ratio -> Lepts_workloads.Gap.task_set ~power ~ratio ()) ]
    else [])
 
-let run ?(progress = fun _ -> ()) ?(jobs = 1) config ~power =
+let run ?(progress = fun _ -> ()) ?(jobs = 1) ?telemetry config ~power =
   (* Few points here (two applications, three ratios): parallelism
      lives inside each measurement, across its simulation rounds. *)
   List.concat_map
     (fun (name, build) ->
       List.filter_map
         (fun ratio ->
+          Lepts_obs.Span.with_ ~name:"fig6b:point" @@ fun () ->
           let task_set = build ~power ~ratio in
           match
-            Improvement.measure ~rounds:config.rounds ~jobs ~task_set ~power
+            Improvement.measure ~rounds:config.rounds ~jobs ?telemetry
+              ~telemetry_tag:(Printf.sprintf "fig6b:%s:r%.1f" name ratio)
+              ~task_set ~power
               ~sim_seed:(config.seed + int_of_float (ratio *. 1000.)) ()
           with
           | Error _ ->

@@ -23,10 +23,13 @@ type point = {
 val run :
   ?progress:(string -> unit) ->
   ?jobs:int ->
+  ?telemetry:Lepts_obs.Telemetry.collector ->
   config ->
   power:Lepts_power.Model.t ->
   point list
 (** [jobs] (default 1) parallelises each measurement's simulation
-    rounds; results are bit-identical for every value. *)
+    rounds; results are bit-identical for every value. [telemetry]
+    captures convergence traces of the NLP solves (labels like
+    [acs:fig6b:CNC:r0.5]); points run under [fig6b:point] spans. *)
 
 val to_table : point list -> Lepts_util.Table.t

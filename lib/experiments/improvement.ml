@@ -31,16 +31,28 @@ let refine_with_literal ~mode ~plan ~power (best : Lepts_core.Static_schedule.t)
       else best
 
 let measure ?(rounds = 1000) ?(jobs = 1) ?(solver_jobs = 1) ?(strong_baseline = false)
-    ~task_set ~power ~sim_seed () =
+    ?telemetry ?(telemetry_tag = "") ~task_set ~power ~sim_seed () =
+  (* One convergence sink per NLP this measurement runs, labelled by
+     the caller's tag so a sweep's solves stay distinguishable. *)
+  let sink kind =
+    match telemetry with
+    | None -> None
+    | Some collector ->
+      Lepts_obs.Telemetry.register collector
+        ~label:(if telemetry_tag = "" then kind else kind ^ ":" ^ telemetry_tag)
+  in
   let plan = Plan.expand task_set in
-  match Solver.solve_wcs ~jobs:solver_jobs ~plan ~power () with
+  match Solver.solve_wcs ?telemetry:(sink "wcs") ~jobs:solver_jobs ~plan ~power () with
   | Error _ as err -> err
   | Ok (wcs, _) -> (
     let wcs = refine_with_literal ~mode:Lepts_core.Objective.Worst ~plan ~power wcs in
     let warm =
       [ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ]
     in
-    match Solver.solve_acs ~jobs:solver_jobs ~warm_starts:warm ~plan ~power () with
+    match
+      Solver.solve_acs ?telemetry:(sink "acs") ~jobs:solver_jobs ~warm_starts:warm
+        ~plan ~power ()
+    with
     | Error _ as err -> err
     | Ok (acs, _) ->
       let acs =

@@ -20,6 +20,8 @@ val measure :
   ?jobs:int ->
   ?solver_jobs:int ->
   ?strong_baseline:bool ->
+  ?telemetry:Lepts_obs.Telemetry.collector ->
+  ?telemetry_tag:string ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
   sim_seed:int ->
@@ -39,6 +41,12 @@ val measure :
     The default matches the paper's baseline — a worst-case-only solve
     whose average-case behaviour is incidental; the strong variant
     removes that arbitrariness and measures only the gain from knowing
-    the workload distribution (see EXPERIMENTS.md). *)
+    the workload distribution (see EXPERIMENTS.md).
+
+    [telemetry] registers one convergence sink per NLP solve this
+    measurement runs (labels ["wcs"] / ["acs"], suffixed with
+    [":" ^ telemetry_tag] when a tag is given so sweep callers can tell
+    their solves apart). Strictly observational — results are
+    bit-identical with or without it. *)
 
 val pp : Format.formatter -> t -> unit

@@ -23,8 +23,8 @@ let[@inline] fmin (x : float) (y : float) =
    allocation as long as [f], [grad_into] and [project_ip] are
    allocation-free themselves. The arithmetic is exactly the allocating
    version's, componentwise, so results are bit-identical. *)
-let minimize_ws ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f ~grad_into
-    ~project_ip ~x0 () =
+let minimize_ws ?telemetry ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f
+    ~grad_into ~project_ip ~x0 () =
   let n = Vec.dim x0 in
   let x = ref (Vec.copy x0) in
   project_ip !x;
@@ -57,28 +57,44 @@ let minimize_ws ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f ~grad_into
        passes; the projected difference is the true search direction.
        [xt] and [d] are overwritten on every try. *)
     let rec attempt trial tries =
-      if tries > 60 then `Stalled
+      if tries > 60 then `Stalled tries
       else begin
         Vec.axpy_into (-.trial) !g !x ~into:!xt;
         project_ip !xt;
         Vec.sub_into !xt !x ~into:d;
         let dnorm = Vec.norm2 d in
-        if dnorm = 0. then `Zero_step
+        if dnorm = 0. then `Zero_step tries
         else
           let fx_trial = f !xt in
           let slope = Vec.dot !g d in
           if Float.is_finite fx_trial
              && fx_trial <= reference () +. (1e-4 *. slope)
-          then `Accepted (fx_trial, dnorm)
+          then `Accepted (fx_trial, dnorm, trial, tries)
           else attempt (trial /. 2.) (tries + 1)
       end
     in
+    (* Observational only: telemetry pushes store already-computed
+       scalars, so the float operations — and hence the iterates — are
+       bit-identical with telemetry on or off. *)
+    let observe ~objective ~step ~step_norm ~backtracks ~projections =
+      match telemetry with
+      | None -> ()
+      | Some ring ->
+        Lepts_obs.Telemetry.push ring ~iteration:!iterations ~objective ~step
+          ~step_norm ~backtracks ~projections
+    in
     match attempt !step 0 with
-    | `Stalled -> converged := true (* no progress possible at this scale *)
-    | `Zero_step ->
+    | `Stalled tries ->
+      (* no progress possible at this scale *)
+      converged := true;
+      observe ~objective:!fx ~step:!step ~step_norm:!last_step_norm
+        ~backtracks:tries ~projections:tries
+    | `Zero_step tries ->
       last_step_norm := 0.;
-      converged := true
-    | `Accepted (fx_next, dnorm) ->
+      converged := true;
+      observe ~objective:!fx ~step:!step ~step_norm:0. ~backtracks:tries
+        ~projections:(tries + 1)
+    | `Accepted (fx_next, dnorm, trial, tries) ->
       grad_into !xt ~into:!gn;
       ignore (Guard.finite_vec ~where:"gradient" !gn);
       (* Barzilai–Borwein step length for the next iteration. *)
@@ -96,7 +112,9 @@ let minimize_ws ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f ~grad_into
       push_value fx_next;
       last_step_norm := dnorm;
       let scale = fmax 1. (Vec.norm2 !x) in
-      if !last_step_norm <= tol *. scale then converged := true
+      if !last_step_norm <= tol *. scale then converged := true;
+      observe ~objective:fx_next ~step:trial ~step_norm:dnorm
+        ~backtracks:tries ~projections:(tries + 1)
   done;
   { x = Vec.copy !x; value = !fx; step_norm = !last_step_norm;
     iterations = !iterations; converged = !converged }

@@ -39,6 +39,7 @@ val minimize :
     backtracking remain non-fatal: the step is simply rejected. *)
 
 val minimize_ws :
+  ?telemetry:Lepts_obs.Telemetry.ring ->
   ?max_iter:int ->
   ?tol:float ->
   ?history:int ->
@@ -56,4 +57,10 @@ val minimize_ws :
     returned report are bit-identical to {!minimize} with the
     equivalent functional operators ({!minimize} is implemented as a
     wrapper over this). The vector passed to [f]/[grad_into] is an
-    internal buffer: read it, never retain it. *)
+    internal buffer: read it, never retain it.
+
+    [?telemetry] captures one {!Lepts_obs.Telemetry.record} per
+    iteration (accepted steps and the terminal stalled/zero-step
+    iteration) into the given ring. Capture is strictly observational:
+    the performed float operations are identical with or without it,
+    so the returned report is bit-identical either way. *)

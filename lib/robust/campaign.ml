@@ -7,6 +7,7 @@ module Model = Lepts_power.Model
 module Rng = Lepts_prng.Xoshiro256
 module Pool = Lepts_par.Pool
 module Table = Lepts_util.Table
+module Span = Lepts_obs.Span
 
 type arm = {
   label : string;
@@ -38,7 +39,10 @@ let run ?(rounds = 500) ?(jobs = 1) ?on_stats ?dist
      response differs. Every round gets its own fault/containment
      counters and containment hook, so rounds are independent — safe to
      run on any domain — and the totals are merged in round order. *)
+  (* Arms run on the caller's domain (only their rounds fan out), so a
+     plain span per arm is enough for the campaign profile. *)
   let arm label ~contained =
+    Span.with_ ~name:("arm:" ^ label) @@ fun () ->
     let one_round r =
       let rng = Runner.round_rng ~rng:base ~round:r in
       let totals = Sampler.instance_totals ?dist plan ~rng in
@@ -74,8 +78,9 @@ let run ?(rounds = 500) ?(jobs = 1) ?on_stats ?dist
       containment = (if contained then Some ccounters else None) }
   in
   let clean =
-    Runner.simulate ~rounds ~jobs ?on_stats:(stats_for "fault-free") ?dist ~schedule
-      ~policy ~rng:base ()
+    Span.with_ ~name:"arm:fault-free" (fun () ->
+        Runner.simulate ~rounds ~jobs ?on_stats:(stats_for "fault-free") ?dist
+          ~schedule ~policy ~rng:base ())
   in
   let faulty = arm "faults" ~contained:false in
   let contained = arm "faults + containment" ~contained:true in

@@ -1,6 +1,9 @@
 module Solver = Lepts_core.Solver
 module Validate = Lepts_core.Validate
 module Static_schedule = Lepts_core.Static_schedule
+module Metrics = Lepts_obs.Metrics
+module Span = Lepts_obs.Span
+module Telemetry = Lepts_obs.Telemetry
 
 let log_src = Logs.Src.create "lepts.robust.solver" ~doc:"resilient solve pipeline"
 
@@ -17,6 +20,43 @@ let default_config = { acs = default_budget; wcs = default_budget }
 type stage = Acs | Wcs | Rm_vmax
 
 let stage_name = function Acs -> "acs" | Wcs -> "wcs" | Rm_vmax -> "rm-vmax"
+
+(* Pipeline health counters in the default registry (DESIGN.md §9).
+   Registering all (stage) label combinations at module load keeps the
+   full matrix visible — a report showing zero degradations is evidence
+   of health, an absent series is not. *)
+let m_attempts =
+  let make stage =
+    Metrics.counter ~help:"pipeline stage attempts"
+      ~labels:[ ("stage", stage_name stage) ]
+      Metrics.default "lepts_pipeline_attempts_total"
+  in
+  fun stage -> make stage
+
+let m_failures stage =
+  Metrics.counter ~help:"pipeline stage failures"
+    ~labels:[ ("stage", stage_name stage) ]
+    Metrics.default "lepts_pipeline_failures_total"
+
+let m_chosen stage =
+  Metrics.counter ~help:"pipeline solves won by this stage"
+    ~labels:[ ("stage", stage_name stage) ]
+    Metrics.default "lepts_pipeline_chosen_total"
+
+let m_degradations =
+  Metrics.counter
+    ~help:"pipeline solves that fell back below ACS (degraded schedule)"
+    Metrics.default "lepts_pipeline_degradations_total"
+
+let () =
+  (* Pre-register the whole label matrix. *)
+  List.iter
+    (fun stage ->
+      ignore (m_attempts stage);
+      ignore (m_failures stage);
+      ignore (m_chosen stage))
+    [ Acs; Wcs; Rm_vmax ];
+  ignore m_degradations
 
 type diagnostics = {
   attempts : (stage * string) list;
@@ -71,32 +111,47 @@ let attempt_rm ~plan ~power =
         (Printf.sprintf "canonical RM schedule failed validation (%s)"
            (violations_string vs)))
 
-let solve ?(config = default_config) ~plan ~power () =
+let solve ?(config = default_config) ?telemetry ~plan ~power () =
   let failures = ref [] in
   let run stage attempt =
-    match attempt () with
+    Metrics.incr (m_attempts stage);
+    match Span.with_ ~name:("pipeline:" ^ stage_name stage) attempt with
     | Ok (schedule, stats) ->
       Log.debug (fun f -> f "%s succeeded" (stage_name stage));
+      Metrics.incr (m_chosen stage);
+      (* Anything below ACS is a degraded (still safe) schedule. *)
+      if stage <> Acs then Metrics.incr m_degradations;
       Some
         (schedule, { attempts = List.rev !failures; chosen = stage; stats })
     | Error why ->
       Log.info (fun f -> f "%s failed: %s" (stage_name stage) why);
+      Metrics.incr (m_failures stage);
       failures := (stage, why) :: !failures;
       None
   in
   let ( <|> ) previous (stage, attempt) =
     match previous with Some _ -> previous | None -> run stage attempt
   in
+  (* A fresh sink per attempted NLP stage, registered only when the
+     stage actually runs so collectors are not polluted by skipped
+     fallbacks. [register] returns [None] on a full collector. *)
+  let sink label =
+    match telemetry with
+    | None -> None
+    | Some collector -> Telemetry.register collector ~label
+  in
   let result =
     run Acs (fun () ->
         attempt_nlp ~budget:config.acs
           ~solve:(fun ?wall_budget ~max_outer ~max_inner () ->
-            Solver.solve_acs ?wall_budget ~max_outer ~max_inner ~plan ~power ()))
+            Solver.solve_acs ?wall_budget ?telemetry:(sink "pipeline:acs")
+              ~max_outer ~max_inner ~plan ~power ()))
     <|> ( Wcs,
           fun () ->
             attempt_nlp ~budget:config.wcs
               ~solve:(fun ?wall_budget ~max_outer ~max_inner () ->
-                Solver.solve_wcs ?wall_budget ~max_outer ~max_inner ~plan ~power ()) )
+                Solver.solve_wcs ?wall_budget ?telemetry:(sink "pipeline:wcs")
+                  ~max_outer ~max_inner ~plan ~power ()) )
     <|> (Rm_vmax, fun () -> attempt_rm ~plan ~power)
   in
   match result with

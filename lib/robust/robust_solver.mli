@@ -47,6 +47,7 @@ type diagnostics = {
 
 val solve :
   ?config:config ->
+  ?telemetry:Lepts_obs.Telemetry.collector ->
   plan:Lepts_preempt.Plan.t ->
   power:Lepts_power.Model.t ->
   unit ->
@@ -56,6 +57,14 @@ val solve :
     with diagnostics naming any stages that failed. [Error] means the
     whole chain failed — [Unschedulable] when any stage reported the
     task set unschedulable, otherwise [Solver_stalled] carrying every
-    stage's failure reason. *)
+    stage's failure reason.
+
+    Observability: every stage attempt, failure, win and degradation
+    (a win by any stage below ACS) is counted in
+    {!Lepts_obs.Metrics.default} under [lepts_pipeline_*] with a
+    [stage] label, and each stage runs under a
+    [pipeline:<stage>] {!Lepts_obs.Span} when spans are enabled.
+    [telemetry] registers one convergence sink per NLP stage actually
+    attempted (labels [pipeline:acs] / [pipeline:wcs]). *)
 
 val pp_diagnostics : Format.formatter -> diagnostics -> unit

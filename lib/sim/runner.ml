@@ -1,5 +1,22 @@
 module Rng = Lepts_prng.Xoshiro256
 module Pool = Lepts_par.Pool
+module Metrics = Lepts_obs.Metrics
+
+(* Built-in instrumentation: aggregate simulation counters in the
+   default registry (DESIGN.md §9). Bumped once per [simulate] call
+   from the caller's domain, after the pool has joined — the per-round
+   hot path is untouched. *)
+let m_rounds =
+  Metrics.counter ~help:"simulation rounds executed" Metrics.default
+    "lepts_sim_rounds_total"
+
+let m_misses =
+  Metrics.counter ~help:"deadline misses across all simulated rounds"
+    Metrics.default "lepts_sim_deadline_misses_total"
+
+let m_shed =
+  Metrics.counter ~help:"instances shed by containment across all rounds"
+    Metrics.default "lepts_sim_shed_instances_total"
 
 type summary = {
   rounds : int;
@@ -57,7 +74,11 @@ let simulate ?(rounds = 1000) ?(jobs = 1) ?on_stats ?dist ?scenario ?control ~sc
   in
   let results, stats = Pool.run ~jobs ~n:rounds ~f:one_round in
   Option.iter (fun f -> f stats) on_stats;
-  summarize results
+  let summary = summarize results in
+  Metrics.incr ~by:summary.rounds m_rounds;
+  Metrics.incr ~by:summary.deadline_misses m_misses;
+  Metrics.incr ~by:summary.shed_instances m_shed;
+  summary
 
 let pp_summary ppf s =
   Format.fprintf ppf

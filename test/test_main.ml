@@ -25,4 +25,5 @@ let () =
       ("nonpreemptive", Test_nonpreemptive.suite);
       ("export", Test_export.suite);
       ("properties", Test_properties.suite);
-      ("ablations", Test_ablations.suite) ]
+      ("ablations", Test_ablations.suite);
+      ("obs", Test_obs.suite) ]

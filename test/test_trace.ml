@@ -73,6 +73,48 @@ let test_gantt_rendering () =
     (String.exists (fun c -> c >= '1' && c <= '9') out);
   Alcotest.(check bool) "idle cells present" true (String.contains out '.')
 
+let test_spans_well_formed_under_faults () =
+  (* Regression guard for span construction under the harshest
+     conditions at once: release jitter, WCEC overruns past the budget,
+     transition stalls, and denied voltage switches. Every span must
+     still have positive length and the list must stay ordered. The
+     horizon is deliberately NOT an upper bound here: with
+     [enforce_budget = false] the overrun residue may execute past the
+     hyper-period. *)
+  let acs = fixture () in
+  let totals =
+    Array.map
+      (Array.map (fun w -> 1.5 *. w))
+      (Sampler.fixed acs.Static_schedule.plan ~value:`Wcec)
+  in
+  let faults =
+    { Event_sim.release_offsets =
+        Array.map (Array.mapi (fun j _ -> if j mod 2 = 0 then 0.3 else 0.)) totals;
+      enforce_budget = false;
+      deny_transition =
+        (fun ~task:_ ~instance:_ ~sub:_ ~now:_ ~requested:_ -> true) }
+  in
+  let transition = { Event_sim.time_per_volt = 0.05; energy_per_volt = 0.1 } in
+  let _, trace =
+    Event_sim.run_traced ~transition ~faults ~schedule:acs ~policy:Policy.Greedy
+      ~totals ()
+  in
+  Alcotest.(check bool) "nonempty" true (List.length trace.Trace.spans > 0);
+  let rec check = function
+    | (a : Trace.span) :: (b :: _ as rest) ->
+      Alcotest.(check bool) "ordered under faults" true
+        (a.Trace.to_time <= b.Trace.from_time +. 1e-9);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check trace.Trace.spans;
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check bool) "positive length under faults" true
+        (s.Trace.to_time > s.Trace.from_time);
+      Alcotest.(check bool) "starts after time zero" true (s.Trace.from_time >= 0.))
+    trace.Trace.spans
+
 let test_empty_trace () =
   let t = { Trace.spans = []; horizon = 0. } in
   Alcotest.(check (float 0.)) "no busy time" 0. (Trace.busy_time t);
@@ -85,4 +127,5 @@ let suite =
     ("trace energy cross-check", `Quick, test_trace_energy_crosscheck);
     ("busy-time bounds", `Quick, test_busy_time_bounds);
     ("gantt rendering", `Quick, test_gantt_rendering);
+    ("spans well-formed under faults", `Quick, test_spans_well_formed_under_faults);
     ("empty trace", `Quick, test_empty_trace) ]
