@@ -60,6 +60,65 @@ let progress line =
 let print_stats ~label stats =
   Format.eprintf "  [%s] %a@." label Lepts_par.Pool.pp_stats stats
 
+(* --- checkpoint / resume ------------------------------------------------ *)
+
+module Checkpoint = Lepts_robust.Checkpoint
+module Drain = Lepts_serve.Drain
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Save completed work units here as the run progresses \
+                 (atomic write-rename). If FILE already holds a \
+                 checkpoint of the same run, its units are reused. \
+                 SIGTERM/SIGINT drain gracefully: save, then exit 3.")
+
+let resume_arg =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Resume from the checkpoint in FILE (error if absent or \
+                 written by a run with different parameters) and keep \
+                 checkpointing to it. The completed run's output is \
+                 bit-identical to an uninterrupted one's.")
+
+(* Open the checkpoint session a command's [--checkpoint]/[--resume]
+   flags ask for. The fingerprint pins every result-affecting
+   parameter, so [--resume] with different flags is refused instead of
+   splicing incompatible result streams. Returns the session (if any)
+   paired with its path, for the drain message. *)
+let session_of ~checkpoint ~resume ~fingerprint =
+  match (checkpoint, resume) with
+  | None, None -> Ok None
+  | Some _, Some _ ->
+    Error "--checkpoint and --resume are mutually exclusive (--resume \
+           alone both loads and keeps saving)"
+  | Some path, None ->
+    Result.map (fun s -> Some (s, path))
+      (Checkpoint.start ~path ~resume:false ~fingerprint)
+  | None, Some path ->
+    Result.map (fun s -> Some (s, path))
+      (Checkpoint.start ~path ~resume:true ~fingerprint)
+
+(* Run a checkpointable command body: open the session, arm the drain
+   flag when checkpointing, and map a graceful drain to exit 3. The
+   body receives the optional session and a [should_stop] poll. *)
+let with_session ~checkpoint ~resume ~fingerprint body =
+  match session_of ~checkpoint ~resume ~fingerprint with
+  | Error msg ->
+    Printf.eprintf "checkpoint: %s\n%!" msg;
+    2
+  | Ok None -> (
+    try body None (fun () -> false)
+    with Checkpoint.Drained -> 3)
+  | Ok (Some (session, path)) -> (
+    Drain.install ();
+    try body (Some session) Drain.requested
+    with Checkpoint.Drained ->
+      Printf.eprintf
+        "drained: checkpoint saved to %s; continue with --resume %s\n%!" path
+        path;
+      3)
+
 (* --- observability ------------------------------------------------------ *)
 
 let telemetry_arg =
@@ -142,7 +201,8 @@ let motivation_cmd ~profile =
 (* --- fig6a ------------------------------------------------------------- *)
 
 let fig6a_cmd ~profile =
-  let run verbose sets rounds seed jobs solver_jobs v_min v_max telemetry_file =
+  let run verbose sets rounds seed jobs solver_jobs v_min v_max checkpoint resume
+      telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let solver_jobs = resolve_jobs solver_jobs in
@@ -150,11 +210,20 @@ let fig6a_cmd ~profile =
     let config =
       { Experiments.Fig6a.paper_config with sets_per_point = sets; rounds; seed }
     in
+    let fingerprint =
+      Checkpoint.fingerprint
+        ~parts:
+          [ "fig6a"; string_of_int sets; string_of_int rounds;
+            string_of_int seed; string_of_float v_min; string_of_float v_max ]
+    in
     with_observability ~command:"fig6a" ~profile ~telemetry_file
     @@ fun telemetry ->
+    with_session ~checkpoint ~resume ~fingerprint
+    @@ fun session should_stop ->
     let t0 = Unix.gettimeofday () in
     let points =
-      Experiments.Fig6a.run ~progress ~jobs ~solver_jobs ?telemetry config ~power
+      Experiments.Fig6a.run ~progress ~jobs ~solver_jobs ?telemetry
+        ?checkpoint:session ~should_stop config ~power
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     print_endline "Fig 6(a): ACS improvement over WCS, random task sets:";
@@ -174,21 +243,35 @@ let fig6a_cmd ~profile =
   Cmd.v
     (Cmd.info "fig6a" ~doc:"Reproduce Fig 6(a): improvement vs task count and BCEC/WCEC ratio.")
     Term.(const run $ verbose_arg $ sets $ rounds_arg 1000 $ seed_arg $ jobs_arg
-          $ solver_jobs_arg $ v_min_arg $ v_max_arg $ telemetry_arg)
+          $ solver_jobs_arg $ v_min_arg $ v_max_arg $ checkpoint_arg $ resume_arg
+          $ telemetry_arg)
 
 (* --- fig6b ------------------------------------------------------------- *)
 
 let fig6b_cmd ~profile =
-  let run verbose rounds seed jobs v_min v_max no_gap telemetry_file =
+  let run verbose rounds seed jobs v_min v_max no_gap checkpoint resume
+      telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
     let config =
       { Experiments.Fig6b.paper_config with rounds; seed; include_gap = not no_gap }
     in
+    let fingerprint =
+      Checkpoint.fingerprint
+        ~parts:
+          [ "fig6b"; string_of_int rounds; string_of_int seed;
+            string_of_bool (not no_gap); string_of_float v_min;
+            string_of_float v_max ]
+    in
     with_observability ~command:"fig6b" ~profile ~telemetry_file
     @@ fun telemetry ->
-    let points = Experiments.Fig6b.run ~progress ~jobs ?telemetry config ~power in
+    with_session ~checkpoint ~resume ~fingerprint
+    @@ fun session should_stop ->
+    let points =
+      Experiments.Fig6b.run ~progress ~jobs ?telemetry ?checkpoint:session
+        ~should_stop config ~power
+    in
     print_endline "Fig 6(b): ACS improvement over WCS, real-life applications:";
     Lepts_util.Table.print (Experiments.Fig6b.to_table points);
     0
@@ -199,7 +282,7 @@ let fig6b_cmd ~profile =
   Cmd.v
     (Cmd.info "fig6b" ~doc:"Reproduce Fig 6(b): improvement on the CNC and GAP task sets.")
     Term.(const run $ verbose_arg $ rounds_arg 1000 $ seed_arg $ jobs_arg $ v_min_arg
-          $ v_max_arg $ no_gap $ telemetry_arg)
+          $ v_max_arg $ no_gap $ checkpoint_arg $ resume_arg $ telemetry_arg)
 
 (* --- schedule ---------------------------------------------------------- *)
 
@@ -232,15 +315,25 @@ let schedule_cmd ~profile =
 (* --- random ------------------------------------------------------------ *)
 
 let random_cmd ~profile =
-  let run verbose n ratio rounds seed jobs solver_jobs v_min v_max telemetry_file =
+  let run verbose n ratio rounds seed jobs solver_jobs v_min v_max checkpoint
+      resume telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let solver_jobs = resolve_jobs solver_jobs in
     let power = power_of ~v_min ~v_max in
     let rng = Lepts_prng.Xoshiro256.create ~seed in
     let config = Lepts_workloads.Random_gen.default_config ~n_tasks:n ~ratio in
+    let fingerprint =
+      Checkpoint.fingerprint
+        ~parts:
+          [ "random"; string_of_int n; string_of_float ratio;
+            string_of_int rounds; string_of_int seed; string_of_float v_min;
+            string_of_float v_max ]
+    in
     with_observability ~command:"random" ~profile ~telemetry_file
     @@ fun telemetry ->
+    with_session ~checkpoint ~resume ~fingerprint
+    @@ fun session should_stop ->
     (* No timing in this output on purpose: CI diffs [-j 1] against
        [-j 4] to enforce the bit-identity guarantee. *)
     (match Lepts_workloads.Random_gen.generate config ~power ~rng with
@@ -249,7 +342,8 @@ let random_cmd ~profile =
       Format.printf "task set: %a@." Task_set.pp ts;
       match
         Experiments.Improvement.measure ~rounds ~jobs ~solver_jobs ?telemetry
-          ~telemetry_tag:"random" ~task_set:ts ~power ~sim_seed:(seed + 1) ()
+          ~telemetry_tag:"random" ?checkpoint:session ~should_stop ~task_set:ts
+          ~power ~sim_seed:(seed + 1) ()
       with
       | Error e -> Format.printf "error: %a@." Solver.pp_error e
       | Ok r -> Format.printf "%a@." Experiments.Improvement.pp r));
@@ -264,7 +358,8 @@ let random_cmd ~profile =
   Cmd.v
     (Cmd.info "random" ~doc:"Generate one random task set and measure ACS vs WCS.")
     Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 1000 $ seed_arg $ jobs_arg
-          $ solver_jobs_arg $ v_min_arg $ v_max_arg $ telemetry_arg)
+          $ solver_jobs_arg $ v_min_arg $ v_max_arg $ checkpoint_arg $ resume_arg
+          $ telemetry_arg)
 
 (* --- policies ---------------------------------------------------------- *)
 
@@ -360,7 +455,8 @@ let utilization_cmd ~profile =
 
 let faults_cmd ~profile =
   let run verbose n ratio rounds seed jobs v_min v_max overrun_prob overrun_factor
-      jitter_prob jitter_frac denial_prob no_shed no_escalate telemetry_file =
+      jitter_prob jitter_frac denial_prob no_shed no_escalate fail_on_degraded
+      checkpoint resume telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
@@ -393,16 +489,43 @@ let faults_cmd ~profile =
         Format.printf "fault spec: %a@.containment: %a@."
           Lepts_robust.Fault_injector.pp_spec spec
           Lepts_robust.Containment.pp_config containment;
+        (* The schedule itself is part of the fingerprint: resuming a
+           campaign against a different schedule (changed solver, say)
+           must be refused, not silently spliced. *)
+        let fingerprint =
+          Checkpoint.fingerprint
+            ~parts:
+              [ "faults"; string_of_int n; string_of_float ratio;
+                string_of_int rounds; string_of_int seed;
+                string_of_float overrun_prob; string_of_float overrun_factor;
+                string_of_float jitter_prob; string_of_float jitter_frac;
+                string_of_float denial_prob; string_of_bool (not no_shed);
+                string_of_bool (not no_escalate);
+                Checkpoint.hash_floats schedule.Static_schedule.end_times;
+                Checkpoint.hash_floats schedule.Static_schedule.quotas ]
+        in
+        with_session ~checkpoint ~resume ~fingerprint
+        @@ fun session should_stop ->
         Printf.eprintf "campaign throughput (-j %d):\n%!" jobs;
         let report =
           Lepts_robust.Campaign.run ~rounds ~jobs ~on_stats:print_stats
-            ~containment ~spec ~schedule ~policy:Lepts_dvs.Policy.Greedy
-            ~seed:(seed + 1) ()
+            ~containment ?checkpoint:session ~should_stop ~spec ~schedule
+            ~policy:Lepts_dvs.Policy.Greedy ~seed:(seed + 1) ()
         in
         Printf.printf "\nRobustness report (%d rounds per arm, greedy policy):\n"
           rounds;
         Lepts_util.Table.print (Lepts_robust.Campaign.to_table report);
-        0)
+        if fail_on_degraded
+           && diagnostics.Lepts_robust.Robust_solver.chosen
+              <> Lepts_robust.Robust_solver.Acs
+        then begin
+          Printf.eprintf
+            "fail-on-degraded: schedule came from %s, not acs\n%!"
+            (Lepts_robust.Robust_solver.stage_name
+               diagnostics.Lepts_robust.Robust_solver.chosen);
+          4
+        end
+        else 0)
   in
   let n =
     Arg.(value & opt int 0
@@ -447,6 +570,15 @@ let faults_cmd ~profile =
          & info [ "no-escalate" ]
              ~doc:"Containment only acts once the budget is fully exhausted.")
   in
+  let fail_on_degraded =
+    Arg.(value & flag
+         & info [ "fail-on-degraded" ]
+             ~doc:"Exit with code 4 when the solve pipeline fell through to \
+                   a WCS or RM fallback schedule (the campaign still runs \
+                   and the report is still printed). For CI gates that must \
+                   distinguish a degraded-but-running system from a healthy \
+                   one.")
+  in
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Run a fault-injection campaign (WCEC overruns, release jitter, \
@@ -454,7 +586,123 @@ let faults_cmd ~profile =
     Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 500 $ seed_arg
           $ jobs_arg $ v_min_arg $ v_max_arg $ overrun_prob $ overrun_factor
           $ jitter_prob $ jitter_frac $ denial_prob $ no_shed $ no_escalate
-          $ telemetry_arg)
+          $ fail_on_degraded $ checkpoint_arg $ resume_arg $ telemetry_arg)
+
+(* --- serve --------------------------------------------------------------- *)
+
+let serve_cmd ~profile =
+  let run verbose input jobs high_water wave max_retries backoff max_crashes
+      threshold cooldown probes v_min v_max fail_on_degraded telemetry_file =
+    setup_logs verbose;
+    let jobs = resolve_jobs jobs in
+    let power = power_of ~v_min ~v_max in
+    with_observability ~command:"serve" ~profile ~telemetry_file
+    @@ fun _telemetry ->
+    let lines =
+      let ic = match input with None -> stdin | Some path -> open_in path in
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let lines = read [] in
+      (match input with Some _ -> close_in ic | None -> ());
+      List.filter (fun l -> String.trim l <> "") lines
+    in
+    Drain.install ();
+    let config =
+      { Lepts_serve.Service.jobs; high_water; wave; max_retries;
+        backoff_base = backoff; max_worker_crashes = max_crashes;
+        breaker =
+          { Lepts_serve.Breaker.failure_threshold = threshold; cooldown;
+            probes } }
+    in
+    let report =
+      Lepts_serve.Service.run ~config ~power ~should_stop:Drain.requested
+        ~lines ()
+    in
+    Lepts_serve.Service.print_report report;
+    if report.Lepts_serve.Service.drained then 3
+    else if
+      fail_on_degraded
+      && (report.Lepts_serve.Service.degraded
+         || List.exists
+              (fun (o : Lepts_serve.Service.outcome) ->
+                o.Lepts_serve.Service.degraded)
+              report.Lepts_serve.Service.outcomes)
+    then 4
+    else 0
+  in
+  let input =
+    Arg.(value & opt (some string) None
+         & info [ "input"; "i" ] ~docv:"FILE"
+             ~doc:"Read NDJSON requests from FILE (default: stdin). One \
+                   flat JSON object per line, e.g. \
+                   {\"id\":\"r1\",\"tasks\":4,\"ratio\":0.3,\"seed\":7}.")
+  in
+  let high_water =
+    Arg.(value & opt int 64
+         & info [ "high-water" ] ~docv:"N"
+             ~doc:"Admission high-water mark: requests beyond the first N \
+                   valid ones are load-shed.")
+  in
+  let wave =
+    Arg.(value & opt int 8
+         & info [ "wave" ] ~docv:"N"
+             ~doc:"Requests solved between circuit-breaker folds. Part of \
+                   the service semantics, so results are identical for \
+                   every -j value.")
+  in
+  let max_retries =
+    Arg.(value & opt int 1
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:"Solver-failure retries per request.")
+  in
+  let backoff =
+    Arg.(value & opt float 0.
+         & info [ "backoff" ] ~docv:"SECONDS"
+             ~doc:"Base retry delay, doubled per retry with deterministic \
+                   per-request jitter; 0 disables sleeping.")
+  in
+  let max_crashes =
+    Arg.(value & opt int 2
+         & info [ "max-crashes" ] ~docv:"N"
+             ~doc:"Worker restarts granted per request before it is failed \
+                   and the service marked degraded.")
+  in
+  let threshold =
+    Arg.(value & opt int 3
+         & info [ "breaker-threshold" ] ~docv:"N"
+             ~doc:"Consecutive ACS failures that open the circuit.")
+  in
+  let cooldown =
+    Arg.(value & opt int 8
+         & info [ "breaker-cooldown" ] ~docv:"N"
+             ~doc:"Requests an open circuit waits before half-open probing.")
+  in
+  let probes =
+    Arg.(value & opt int 1
+         & info [ "breaker-probes" ] ~docv:"N"
+             ~doc:"ACS probe slots per half-open episode.")
+  in
+  let fail_on_degraded =
+    Arg.(value & flag
+         & info [ "fail-on-degraded" ]
+             ~doc:"Exit with code 4 when any request was served by a \
+                   WCS/RM fallback schedule or the service exhausted a \
+                   request's worker restarts.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a batch of NDJSON solve requests through the supervised \
+             pipeline: admission control above a high-water mark, bounded \
+             retries with backoff, a circuit breaker around the ACS stage, \
+             and graceful drain on SIGTERM/SIGINT (exit 3). Output is one \
+             JSON line per request plus a summary, byte-identical for \
+             every -j value.")
+    Term.(const run $ verbose_arg $ input $ jobs_arg $ high_water $ wave
+          $ max_retries $ backoff $ max_crashes $ threshold $ cooldown $ probes
+          $ v_min_arg $ v_max_arg $ fail_on_degraded $ telemetry_arg)
 
 (* --- export -------------------------------------------------------------- *)
 
@@ -511,7 +759,7 @@ let commands ~profile =
   [ motivation_cmd ~profile; fig6a_cmd ~profile; fig6b_cmd ~profile;
     schedule_cmd ~profile; random_cmd ~profile; policies_cmd ~profile;
     ablations_cmd ~profile; utilization_cmd ~profile; faults_cmd ~profile;
-    export_cmd ~profile ]
+    serve_cmd ~profile; export_cmd ~profile ]
 
 (* [lepts profile <cmd> ...] is the whole command tree again, with the
    span profiler enabled and a per-path wall-clock report printed to

@@ -1,5 +1,6 @@
 module Rng = Lepts_prng.Xoshiro256
 module Random_gen = Lepts_workloads.Random_gen
+module Checkpoint = Lepts_robust.Checkpoint
 
 type config = {
   task_counts : int list;
@@ -24,8 +25,34 @@ type point = {
   total_misses : int;
 }
 
-let run_point ?(jobs = 1) ?(solver_jobs = 1) ?telemetry config ~power ~n_tasks
-    ~ratio =
+(* Checkpoint codec for one set's measurement: absent (generation or
+   solve failed) or the full Improvement record, floats bit-exact. *)
+let set_fields = function
+  | None -> [ "none" ]
+  | Some (r : Improvement.t) ->
+    [ "ok";
+      Checkpoint.float_field r.Improvement.wcs_energy;
+      Checkpoint.float_field r.Improvement.acs_energy;
+      Checkpoint.float_field r.Improvement.improvement_pct;
+      string_of_int r.Improvement.wcs_misses;
+      string_of_int r.Improvement.acs_misses;
+      string_of_int r.Improvement.sub_instances ]
+
+let set_of_fields = function
+  | [ "none" ] -> None
+  | [ "ok"; we; ae; imp; wm; am; subs ] ->
+    Some
+      { Improvement.wcs_energy = Checkpoint.float_of_field we;
+        acs_energy = Checkpoint.float_of_field ae;
+        improvement_pct = Checkpoint.float_of_field imp;
+        wcs_misses = int_of_string wm; acs_misses = int_of_string am;
+        sub_instances = int_of_string subs }
+  | fields ->
+    failwith
+      (Printf.sprintf "Fig6a: set entry has %d fields" (List.length fields))
+
+let run_point ?(jobs = 1) ?(solver_jobs = 1) ?telemetry ?checkpoint ?should_stop
+    config ~power ~n_tasks ~ratio =
   Lepts_obs.Span.with_ ~name:"fig6a:point" @@ fun () ->
   (* Pool workers open their spans with the point's path as explicit
      parent, so the merged span tree is identical for every [jobs]. *)
@@ -58,7 +85,17 @@ let run_point ?(jobs = 1) ?(solver_jobs = 1) ?telemetry config ~power ~n_tasks
       | Error _ -> None
       | Ok r -> Some r)
   in
-  let results, _ = Lepts_par.Pool.run ~jobs ~n:config.sets_per_point ~f:one_set in
+  (* Sets flow through the checkpointable driver, one section per
+     (task count, ratio) point so keys never collide across points.
+     [chunk:1] saves after every completed set — a set is the expensive
+     unit here (generate + two NLP solves + simulations), so a crash
+     loses at most one. *)
+  let results =
+    Checkpoint.map_indices ?session:checkpoint ?should_stop ~chunk:1
+      ~section:(Printf.sprintf "set:n%d:r%g" n_tasks ratio)
+      ~encode:set_fields ~decode:set_of_fields ~jobs ~n:config.sets_per_point
+      ~f:one_set ()
+  in
   let measured = List.filter_map Fun.id (Array.to_list results) in
   let arr = Array.of_list (List.map (fun r -> r.Improvement.improvement_pct) measured) in
   let misses =
@@ -72,14 +109,15 @@ let run_point ?(jobs = 1) ?(solver_jobs = 1) ?telemetry config ~power ~n_tasks
     sets_measured = Array.length arr;
     total_misses = misses }
 
-let run ?(progress = fun _ -> ()) ?(jobs = 1) ?(solver_jobs = 1) ?telemetry config
-    ~power =
+let run ?(progress = fun _ -> ()) ?(jobs = 1) ?(solver_jobs = 1) ?telemetry
+    ?checkpoint ?should_stop config ~power =
   List.concat_map
     (fun n_tasks ->
       List.map
         (fun ratio ->
           let point =
-            run_point ~jobs ~solver_jobs ?telemetry config ~power ~n_tasks ~ratio
+            run_point ~jobs ~solver_jobs ?telemetry ?checkpoint ?should_stop
+              config ~power ~n_tasks ~ratio
           in
           progress
             (Printf.sprintf "fig6a: n=%d ratio=%.1f -> %.1f%% (%d sets)" n_tasks

@@ -35,6 +35,8 @@ val run :
   ?jobs:int ->
   ?solver_jobs:int ->
   ?telemetry:Lepts_obs.Telemetry.collector ->
+  ?checkpoint:Lepts_robust.Checkpoint.session ->
+  ?should_stop:(unit -> bool) ->
   config ->
   power:Lepts_power.Model.t ->
   point list
@@ -52,7 +54,14 @@ val run :
     [telemetry] captures convergence traces of the per-set NLP solves
     (labels like [acs:fig6a:n4:r0.5:set2]); the sweep also runs under
     [fig6a:point] / [fig6a:point/set] profiling spans whose merged tree
-    is identical for every [jobs] value. *)
+    is identical for every [jobs] value.
+
+    [checkpoint] makes the sweep crash-safe at set granularity: every
+    completed set's measurement is saved (section [set:n<N>:r<R>], one
+    save per set), and a resumed sweep recomputes only the missing
+    sets — the final points are bit-identical to an uninterrupted
+    run's. [should_stop] is polled between sets; when it fires the
+    session is saved and {!Lepts_robust.Checkpoint.Drained} raised. *)
 
 val to_table : point list -> Lepts_util.Table.t
 (** Rows: one per (task count, ratio) — the series of the paper's

@@ -22,6 +22,8 @@ val measure :
   ?strong_baseline:bool ->
   ?telemetry:Lepts_obs.Telemetry.collector ->
   ?telemetry_tag:string ->
+  ?checkpoint:Lepts_robust.Checkpoint.session ->
+  ?should_stop:(unit -> bool) ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
   sim_seed:int ->
@@ -47,6 +49,15 @@ val measure :
     measurement runs (labels ["wcs"] / ["acs"], suffixed with
     [":" ^ telemetry_tag] when a tag is given so sweep callers can tell
     their solves apart). Strictly observational — results are
-    bit-identical with or without it. *)
+    bit-identical with or without it.
+
+    [checkpoint] persists completed simulation rounds (sections
+    ["wcs-rounds"] / ["acs-rounds"]) so a killed measurement resumes
+    without recomputing them; the NLP solves rerun on resume but are
+    deterministic, so the resumed result is bit-identical. Do {e not}
+    share one session between several [measure] calls — the sections
+    would collide; sweeps checkpoint at their own unit instead
+    ({!Fig6a}, {!Fig6b}). [should_stop] is polled between chunks and
+    raises {!Lepts_robust.Checkpoint.Drained} after saving. *)
 
 val pp : Format.formatter -> t -> unit

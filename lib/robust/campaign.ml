@@ -5,7 +5,6 @@ module Outcome = Lepts_sim.Outcome
 module Static_schedule = Lepts_core.Static_schedule
 module Model = Lepts_power.Model
 module Rng = Lepts_prng.Xoshiro256
-module Pool = Lepts_par.Pool
 module Table = Lepts_util.Table
 module Span = Lepts_obs.Span
 
@@ -24,8 +23,45 @@ type report = {
   rounds : int;
 }
 
+(* Checkpoint codecs: one entry per round per arm. The fault and
+   containment counters are part of the entry — a resumed campaign must
+   restore them exactly, not only the energy figures. *)
+let encode_arm ~contained ((r : Runner.round_result), (fc : Fault_injector.counters), cc) =
+  Checkpoint.round_result_fields r
+  @ [ string_of_int fc.Fault_injector.overruns;
+      string_of_int fc.Fault_injector.jitters;
+      string_of_int fc.Fault_injector.denials ]
+  @
+  if not contained then []
+  else
+    match cc with
+    | None -> failwith "Campaign: contained round without containment counters"
+    | Some (c : Containment.counters) ->
+      [ string_of_int c.Containment.escalated_dispatches;
+        string_of_int c.Containment.escalated_instances;
+        string_of_int c.Containment.shed_instances ]
+
+let decode_arm ~contained fields =
+  match (contained, fields) with
+  | false, [ e; m; s; ov; ji; de ] ->
+    ( Checkpoint.round_result_of_fields [ e; m; s ],
+      { Fault_injector.overruns = int_of_string ov; jitters = int_of_string ji;
+        denials = int_of_string de },
+      None )
+  | true, [ e; m; s; ov; ji; de; ed; ei; si ] ->
+    ( Checkpoint.round_result_of_fields [ e; m; s ],
+      { Fault_injector.overruns = int_of_string ov; jitters = int_of_string ji;
+        denials = int_of_string de },
+      Some
+        { Containment.escalated_dispatches = int_of_string ed;
+          escalated_instances = int_of_string ei;
+          shed_instances = int_of_string si } )
+  | _ ->
+    failwith
+      (Printf.sprintf "Campaign: arm entry has %d fields" (List.length fields))
+
 let run ?(rounds = 500) ?(jobs = 1) ?on_stats ?dist
-    ?(containment = Containment.default_config) ~spec
+    ?(containment = Containment.default_config) ?checkpoint ?should_stop ~spec
     ~(schedule : Static_schedule.t) ~policy ~seed () =
   Fault_injector.validate spec;
   let plan = schedule.Static_schedule.plan in
@@ -34,14 +70,18 @@ let run ?(rounds = 500) ?(jobs = 1) ?on_stats ?dist
   let stats_for label = Option.map (fun f s -> f ~label s) on_stats in
   (* Each arm replays the identical workload draws (the per-round
      generator is [Runner.round_rng ~rng:base], exactly what the clean
-     [Runner.simulate] arm derives) and the identical fault scenarios
-     (same injector spec and per-round seeds); only the runtime
-     response differs. Every round gets its own fault/containment
-     counters and containment hook, so rounds are independent — safe to
-     run on any domain — and the totals are merged in round order. *)
+     arm derives) and the identical fault scenarios (same injector spec
+     and per-round seeds); only the runtime response differs. Every
+     round gets its own fault/containment counters and containment
+     hook, so rounds are independent — safe to run on any domain — and
+     the totals are merged in round order. Rounds flow through
+     {!Checkpoint.map_indices}: without a session that is one pool run,
+     with one it reuses every round already on disk and persists new
+     rounds chunk by chunk — the merged report is bit-identical either
+     way, which is what makes kill-9-and-resume exact. *)
   (* Arms run on the caller's domain (only their rounds fan out), so a
      plain span per arm is enough for the campaign profile. *)
-  let arm label ~contained =
+  let arm label ~section ~contained =
     Span.with_ ~name:("arm:" ^ label) @@ fun () ->
     let one_round r =
       let rng = Runner.round_rng ~rng:base ~round:r in
@@ -63,8 +103,11 @@ let run ?(rounds = 500) ?(jobs = 1) ?on_stats ?dist
           shed = outcome.Outcome.shed_instances },
         fc, cc )
     in
-    let results, pstats = Pool.run ~jobs ~n:rounds ~f:one_round in
-    Option.iter (fun f -> f pstats) (stats_for label);
+    let results =
+      Checkpoint.map_indices ?session:checkpoint ?should_stop
+        ?on_stats:(stats_for label) ~section ~encode:(encode_arm ~contained)
+        ~decode:(decode_arm ~contained) ~jobs ~n:rounds ~f:one_round ()
+    in
     let fcounters = Fault_injector.fresh_counters () in
     let ccounters = Containment.fresh_counters () in
     Array.iter
@@ -79,11 +122,22 @@ let run ?(rounds = 500) ?(jobs = 1) ?on_stats ?dist
   in
   let clean =
     Span.with_ ~name:"arm:fault-free" (fun () ->
-        Runner.simulate ~rounds ~jobs ?on_stats:(stats_for "fault-free") ?dist
-          ~schedule ~policy ~rng:base ())
+        let one_round r =
+          Runner.round ?dist ~schedule ~policy ~rng:base ~round:r ()
+        in
+        let results =
+          Checkpoint.map_indices ?session:checkpoint ?should_stop
+            ?on_stats:(stats_for "fault-free") ~section:"clean"
+            ~encode:Checkpoint.round_result_fields
+            ~decode:Checkpoint.round_result_of_fields ~jobs ~n:rounds
+            ~f:one_round ()
+        in
+        let summary = Runner.summarize results in
+        Runner.record_metrics summary;
+        summary)
   in
-  let faulty = arm "faults" ~contained:false in
-  let contained = arm "faults + containment" ~contained:true in
+  let faulty = arm "faults" ~section:"faults" ~contained:false in
+  let contained = arm "faults + containment" ~section:"contained" ~contained:true in
   { clean; faulty; contained; spec; rounds }
 
 let to_table r =

@@ -35,6 +35,8 @@ val run :
   ?on_stats:(label:string -> Lepts_par.Pool.stats -> unit) ->
   ?dist:Lepts_sim.Sampler.distribution ->
   ?containment:Containment.config ->
+  ?checkpoint:Checkpoint.session ->
+  ?should_stop:(unit -> bool) ->
   spec:Fault_injector.spec ->
   schedule:Lepts_core.Static_schedule.t ->
   policy:Lepts_dvs.Policy.t ->
@@ -47,7 +49,16 @@ val run :
     ({!Lepts_sim.Runner.round_rng}), fault counters and containment
     hook, and per-round outcomes and counters are reduced in round
     order, so the report is bit-identical whatever the domain count.
-    [on_stats] receives one throughput/utilization report per arm. *)
+    [on_stats] receives one throughput/utilization report per arm (per
+    chunk when checkpointing).
+
+    [checkpoint] makes the campaign crash-safe: per-round results and
+    counters of each arm land in the session (sections ["clean"],
+    ["faults"], ["contained"]) as chunks complete, and a resumed run
+    reuses every round on disk — the final report is bit-identical to
+    an uninterrupted run's. [should_stop] is the graceful-drain hook:
+    polled between chunks; when it fires the campaign saves and raises
+    {!Checkpoint.Drained}. *)
 
 val to_table : report -> Lepts_util.Table.t
 (** Robustness report: one row per arm with miss / shed / escalation

@@ -1,0 +1,228 @@
+module Pool = Lepts_par.Pool
+module Metrics = Lepts_obs.Metrics
+
+let version = "lepts-checkpoint/1"
+
+exception Drained
+
+(* Resume/save accounting in the default registry: a resumed run is
+   visible in the exported metrics (tentpole requirement — every
+   recovery action is counted). *)
+let m_saves =
+  Metrics.counter ~help:"checkpoint snapshots written" Metrics.default
+    "lepts_checkpoint_saves_total"
+
+let m_resumed =
+  Metrics.counter ~help:"work units reused from a checkpoint instead of recomputed"
+    Metrics.default "lepts_checkpoint_entries_resumed_total"
+
+(* --- FNV-1a 64-bit -------------------------------------------------------- *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int b)) fnv_prime
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+let hex64 h = Printf.sprintf "%016Lx" h
+
+let fingerprint ~parts = hex64 (fnv_string fnv_offset (String.concat "\n" parts))
+
+let hash_floats a =
+  let h = ref fnv_offset in
+  Array.iter
+    (fun x ->
+      let bits = Int64.bits_of_float x in
+      for byte = 0 to 7 do
+        h :=
+          fnv_byte !h
+            (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * byte)) 0xffL))
+      done)
+    a;
+  hex64 !h
+
+(* --- field codecs --------------------------------------------------------- *)
+
+let float_field x = Printf.sprintf "%Lx" (Int64.bits_of_float x)
+
+let float_of_field s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some bits -> Int64.float_of_bits bits
+  | None -> failwith (Printf.sprintf "Checkpoint: malformed float field %S" s)
+
+let int_of_field s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "Checkpoint: malformed int field %S" s)
+
+let round_result_fields (r : Lepts_sim.Runner.round_result) =
+  [ float_field r.Lepts_sim.Runner.energy;
+    string_of_int r.Lepts_sim.Runner.misses;
+    string_of_int r.Lepts_sim.Runner.shed ]
+
+let round_result_of_fields = function
+  | [ energy; misses; shed ] ->
+    { Lepts_sim.Runner.energy = float_of_field energy;
+      misses = int_of_field misses; shed = int_of_field shed }
+  | fields ->
+    failwith
+      (Printf.sprintf "Checkpoint: round entry has %d fields, expected 3"
+         (List.length fields))
+
+(* --- store ---------------------------------------------------------------- *)
+
+type session = {
+  path : string;
+  fp : string;
+  entries : (string * int, string list) Hashtbl.t;
+}
+
+let entries t ~section =
+  Hashtbl.fold (fun (s, _) _ acc -> if s = section then acc + 1 else acc) t.entries 0
+
+let token_ok s =
+  s <> ""
+  && String.for_all (fun c -> c <> ' ' && c <> '\n' && c <> '\r' && c <> '\t') s
+
+let render t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf version;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf ("fingerprint " ^ t.fp ^ "\n");
+  let sorted =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.entries [])
+  in
+  List.iter
+    (fun ((section, key), fields) ->
+      Buffer.add_string buf
+        (Printf.sprintf "entry %s %d %s\n" section key (String.concat " " fields)))
+    sorted;
+  let payload = Buffer.contents buf in
+  payload ^ "checksum " ^ hex64 (fnv_string fnv_offset payload) ^ "\n"
+
+let save t =
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (render t);
+  close_out oc;
+  Sys.rename tmp t.path;
+  Metrics.incr m_saves
+
+let parse ~path contents =
+  let err fmt = Printf.ksprintf (fun m -> Error (path ^ ": " ^ m)) fmt in
+  match String.split_on_char '\n' contents with
+  | [] -> err "empty file"
+  | v :: _ when v <> version -> err "unsupported version %S (expected %s)" v version
+  | v :: rest -> (
+    (* The checksum line covers every byte before it, including the
+       trailing newline of the last entry. *)
+    match List.rev rest with
+    | "" :: checksum_line :: body_rev -> (
+      match String.split_on_char ' ' checksum_line with
+      | [ "checksum"; given ] ->
+        let payload = String.concat "\n" (v :: List.rev body_rev) ^ "\n" in
+        if hex64 (fnv_string fnv_offset payload) <> given then
+          err "checksum mismatch (file corrupt or truncated)"
+        else begin
+          let entries = Hashtbl.create 256 in
+          let fp = ref None in
+          let bad = ref None in
+          List.iter
+            (fun line ->
+              if !bad = None then
+                match String.split_on_char ' ' line with
+                | [ "fingerprint"; f ] when !fp = None -> fp := Some f
+                | "entry" :: section :: key :: fields -> (
+                  match int_of_string_opt key with
+                  | Some k -> Hashtbl.replace entries (section, k) fields
+                  | None -> bad := Some line)
+                | _ -> bad := Some line)
+            (List.rev body_rev);
+          match (!bad, !fp) with
+          | Some line, _ -> err "malformed line %S" line
+          | None, None -> err "missing fingerprint line"
+          | None, Some fp -> Ok (fp, entries)
+        end
+      | _ -> err "missing checksum trailer")
+    | _ -> err "missing checksum trailer")
+
+let start ~path ~resume ~fingerprint:fp =
+  if not (Sys.file_exists path) then
+    if resume then Error (path ^ ": no checkpoint to resume")
+    else Ok { path; fp; entries = Hashtbl.create 256 }
+  else
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    match parse ~path contents with
+    | Error _ as e -> e
+    | Ok (file_fp, entries) ->
+      if file_fp <> fp then
+        Error
+          (Printf.sprintf
+             "%s: checkpoint fingerprint %s does not match this run (%s) — \
+              the run parameters differ from the ones that wrote it"
+             path file_fp fp)
+      else Ok { path; fp; entries }
+
+(* --- resumable index driver ----------------------------------------------- *)
+
+let map_indices ?session ?(chunk = 50) ?(should_stop = fun () -> false) ?on_stats
+    ~section ~encode ~decode ~jobs ~n ~f () =
+  if chunk <= 0 then invalid_arg "Checkpoint.map_indices: chunk must be positive";
+  if not (token_ok section) then
+    invalid_arg "Checkpoint.map_indices: section must be a whitespace-free token";
+  let out = Array.make n None in
+  (match session with
+  | None -> ()
+  | Some t ->
+    for i = 0 to n - 1 do
+      match Hashtbl.find_opt t.entries (section, i) with
+      | None -> ()
+      | Some fields ->
+        out.(i) <- Some (decode fields);
+        Metrics.incr m_resumed
+    done);
+  let missing = ref [] in
+  for i = n - 1 downto 0 do
+    if out.(i) = None then missing := i :: !missing
+  done;
+  let missing = Array.of_list !missing in
+  let total = Array.length missing in
+  let record lo hi =
+    (* Indices [lo, hi) of [missing] just computed: stash in the store
+       and snapshot, so a crash loses at most one chunk. *)
+    match session with
+    | None -> ()
+    | Some t ->
+      for k = lo to hi - 1 do
+        let i = missing.(k) in
+        let fields = encode (Option.get out.(i)) in
+        if not (List.for_all token_ok fields) then
+          invalid_arg "Checkpoint.map_indices: encoded fields must be non-empty tokens";
+        Hashtbl.replace t.entries (section, i) fields
+      done;
+      save t
+  in
+  let drain () =
+    Option.iter save session;
+    raise Drained
+  in
+  if should_stop () && total > 0 then drain ();
+  let pos = ref 0 in
+  while !pos < total do
+    let hi = min total (!pos + if session = None then total else chunk) in
+    let lo = !pos in
+    let results, stats = Pool.run ~jobs ~n:(hi - lo) ~f:(fun k -> f missing.(lo + k)) in
+    Array.iteri (fun k r -> out.(missing.(lo + k)) <- Some r) results;
+    Option.iter (fun g -> g stats) on_stats;
+    record lo hi;
+    pos := hi;
+    if should_stop () && !pos < total then drain ()
+  done;
+  Array.map Option.get out

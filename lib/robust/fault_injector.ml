@@ -20,18 +20,26 @@ let zero =
 let is_zero spec =
   spec.overrun_prob <= 0. && spec.jitter_prob <= 0. && spec.denial_prob <= 0.
 
+(* Per-field validation with the offending value in the message, and
+   written so that NaN fails every check: a negated [>=]-conjunction
+   rejects NaN, where the naive [p < 0. || p > 1.] would let it
+   through and poison every downstream draw. *)
 let validate spec =
-  let prob name p =
-    if not (p >= 0. && p <= 1.) then
-      invalid_arg (Printf.sprintf "Fault_injector: %s must be in [0, 1]" name)
+  let reject field value rule =
+    invalid_arg
+      (Printf.sprintf "Fault_injector: %s = %s must be %s" field
+         (string_of_float value) rule)
+  in
+  let prob field p =
+    if not (p >= 0. && p <= 1.) then reject field p "in [0, 1]"
   in
   prob "overrun_prob" spec.overrun_prob;
   prob "jitter_prob" spec.jitter_prob;
   prob "denial_prob" spec.denial_prob;
-  if spec.overrun_factor < 1. then
-    invalid_arg "Fault_injector: overrun_factor must be >= 1";
-  if spec.jitter_frac < 0. || spec.jitter_frac >= 1. then
-    invalid_arg "Fault_injector: jitter_frac must be in [0, 1)"
+  if not (Float.is_finite spec.overrun_factor && spec.overrun_factor >= 1.) then
+    reject "overrun_factor" spec.overrun_factor "finite and >= 1";
+  if not (spec.jitter_frac >= 0. && spec.jitter_frac < 1.) then
+    reject "jitter_frac" spec.jitter_frac "in [0, 1)"
 
 let pp_spec ppf s =
   Format.fprintf ppf

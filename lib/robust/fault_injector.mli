@@ -82,5 +82,10 @@ val trace : scenario -> event list
     denial events). *)
 
 val validate : spec -> unit
+(** Per-field range checks. Raises [Invalid_argument] naming the
+    offending field and its value — probabilities must lie in
+    [[0, 1]], [overrun_factor] must be finite and >= 1, [jitter_frac]
+    in [[0, 1)]. Every check rejects NaN. *)
+
 val pp_spec : Format.formatter -> spec -> unit
 val pp_event : Format.formatter -> event -> unit

@@ -48,6 +48,17 @@ let m_degradations =
     ~help:"pipeline solves that fell back below ACS (degraded schedule)"
     Metrics.default "lepts_pipeline_degradations_total"
 
+let m_budget_expired stage =
+  Metrics.counter
+    ~help:"pipeline stage failures with the stage's wall budget expired"
+    ~labels:[ ("stage", stage_name stage) ]
+    Metrics.default "lepts_pipeline_budget_expired_total"
+
+let m_skipped =
+  Metrics.counter
+    ~help:"pipeline solves that skipped the ACS stage (circuit open)"
+    Metrics.default "lepts_pipeline_acs_skipped_total"
+
 let () =
   (* Pre-register the whole label matrix. *)
   List.iter
@@ -56,7 +67,10 @@ let () =
       ignore (m_failures stage);
       ignore (m_chosen stage))
     [ Acs; Wcs; Rm_vmax ];
-  ignore m_degradations
+  (* Only the NLP stages take a wall budget. *)
+  List.iter (fun stage -> ignore (m_budget_expired stage)) [ Acs; Wcs ];
+  ignore m_degradations;
+  ignore m_skipped
 
 type diagnostics = {
   attempts : (stage * string) list;
@@ -111,10 +125,11 @@ let attempt_rm ~plan ~power =
         (Printf.sprintf "canonical RM schedule failed validation (%s)"
            (violations_string vs)))
 
-let solve ?(config = default_config) ?telemetry ~plan ~power () =
+let solve ?(config = default_config) ?(skip_acs = false) ?telemetry ~plan ~power () =
   let failures = ref [] in
-  let run stage attempt =
+  let run ?budget stage attempt =
     Metrics.incr (m_attempts stage);
+    let t0 = Unix.gettimeofday () in
     match Span.with_ ~name:("pipeline:" ^ stage_name stage) attempt with
     | Ok (schedule, stats) ->
       Log.debug (fun f -> f "%s succeeded" (stage_name stage));
@@ -124,13 +139,27 @@ let solve ?(config = default_config) ?telemetry ~plan ~power () =
       Some
         (schedule, { attempts = List.rev !failures; chosen = stage; stats })
     | Error why ->
+      (* When the failing stage had a wall budget and it is spent, say
+         so in the diagnostic itself: the last-error report of a
+         multi-stage solve must not lose which stage timed out, or how
+         far over budget it ran. *)
+      let why =
+        match budget with
+        | Some { wall_budget = Some b; _ } ->
+          let elapsed = Unix.gettimeofday () -. t0 in
+          if elapsed >= b then begin
+            Metrics.incr (m_budget_expired stage);
+            Printf.sprintf
+              "%s [%s wall budget expired: %.3fs elapsed of %.3fs budget]" why
+              (stage_name stage) elapsed b
+          end
+          else why
+        | Some { wall_budget = None; _ } | None -> why
+      in
       Log.info (fun f -> f "%s failed: %s" (stage_name stage) why);
       Metrics.incr (m_failures stage);
       failures := (stage, why) :: !failures;
       None
-  in
-  let ( <|> ) previous (stage, attempt) =
-    match previous with Some _ -> previous | None -> run stage attempt
   in
   (* A fresh sink per attempted NLP stage, registered only when the
      stage actually runs so collectors are not polluted by skipped
@@ -140,28 +169,49 @@ let solve ?(config = default_config) ?telemetry ~plan ~power () =
     | None -> None
     | Some collector -> Telemetry.register collector ~label
   in
+  let ( <|>? ) previous (stage, budget, attempt) =
+    match previous with
+    | Some _ -> previous
+    | None -> run ?budget stage attempt
+  in
+  let acs_result =
+    if skip_acs then begin
+      (* Circuit-open routing ({!Lepts_serve.Breaker}): go straight to
+         the fallback chain without burning an ACS attempt. Recorded in
+         the diagnostics so a degraded schedule still says why. *)
+      Metrics.incr m_skipped;
+      failures := (Acs, "skipped (circuit open)") :: !failures;
+      None
+    end
+    else
+      run ~budget:config.acs Acs (fun () ->
+          attempt_nlp ~budget:config.acs
+            ~solve:(fun ?wall_budget ~max_outer ~max_inner () ->
+              Solver.solve_acs ?wall_budget ?telemetry:(sink "pipeline:acs")
+                ~max_outer ~max_inner ~plan ~power ()))
+  in
   let result =
-    run Acs (fun () ->
-        attempt_nlp ~budget:config.acs
-          ~solve:(fun ?wall_budget ~max_outer ~max_inner () ->
-            Solver.solve_acs ?wall_budget ?telemetry:(sink "pipeline:acs")
-              ~max_outer ~max_inner ~plan ~power ()))
-    <|> ( Wcs,
-          fun () ->
-            attempt_nlp ~budget:config.wcs
-              ~solve:(fun ?wall_budget ~max_outer ~max_inner () ->
-                Solver.solve_wcs ?wall_budget ?telemetry:(sink "pipeline:wcs")
-                  ~max_outer ~max_inner ~plan ~power ()) )
-    <|> (Rm_vmax, fun () -> attempt_rm ~plan ~power)
+    acs_result
+    <|>? ( Wcs,
+           Some config.wcs,
+           fun () ->
+             attempt_nlp ~budget:config.wcs
+               ~solve:(fun ?wall_budget ~max_outer ~max_inner () ->
+                 Solver.solve_wcs ?wall_budget ?telemetry:(sink "pipeline:wcs")
+                   ~max_outer ~max_inner ~plan ~power ()) )
+    <|>? (Rm_vmax, None, fun () -> attempt_rm ~plan ~power)
   in
   match result with
   | Some ok -> Ok ok
   | None ->
     (* Even the canonical RM point failed: either truly unschedulable,
-       or every stage stalled — report the full chain. *)
+       or every stage stalled — report the full chain. The budget
+       annotation appends to the message, so match on the prefix. *)
     let unschedulable =
+      let u = error_string Solver.Unschedulable in
       List.exists
-        (fun (_, why) -> why = error_string Solver.Unschedulable)
+        (fun (_, why) -> String.length why >= String.length u
+                         && String.sub why 0 (String.length u) = u)
         !failures
     in
     if unschedulable then Error Solver.Unschedulable

@@ -47,6 +47,7 @@ type diagnostics = {
 
 val solve :
   ?config:config ->
+  ?skip_acs:bool ->
   ?telemetry:Lepts_obs.Telemetry.collector ->
   plan:Lepts_preempt.Plan.t ->
   power:Lepts_power.Model.t ->
@@ -58,6 +59,20 @@ val solve :
     whole chain failed — [Unschedulable] when any stage reported the
     task set unschedulable, otherwise [Solver_stalled] carrying every
     stage's failure reason.
+
+    [skip_acs] (default [false]) starts the chain at WCS — the route a
+    {!Lepts_serve.Breaker} takes while its circuit is open. The skip is
+    recorded in [diagnostics.attempts] as
+    [(Acs, "skipped (circuit open)")] and counted in
+    [lepts_pipeline_acs_skipped_total].
+
+    When a failing NLP stage had a wall budget and it is spent, the
+    failure reason in [diagnostics.attempts] (and in the
+    [Solver_stalled] chain) carries a
+    ["[<stage> wall budget expired: <elapsed>s elapsed of <budget>s
+    budget]"] suffix, and [lepts_pipeline_budget_expired_total{stage}]
+    is bumped — so a multi-stage report never loses which stage timed
+    out, or by how much.
 
     Observability: every stage attempt, failure, win and degradation
     (a win by any stage below ACS) is counted in

@@ -1,0 +1,28 @@
+let log_src = Logs.Src.create "lepts.serve.drain" ~doc:"graceful drain flag"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let flag = Atomic.make false
+let installed = ref false
+
+let requested () = Atomic.get flag
+let request () = Atomic.set flag true
+let reset () = Atomic.set flag false
+
+let handle signal =
+  (* Async-signal-safe: set the flag, restore default disposition so a
+     second signal kills the process outright. Logging here would not
+     be safe; the engines log when they notice the flag. *)
+  Atomic.set flag true;
+  Sys.set_signal signal Sys.Signal_default
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    List.iter
+      (fun s ->
+        try Sys.set_signal s (Sys.Signal_handle handle)
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigterm; Sys.sigint ];
+    Log.debug (fun f -> f "drain handlers installed (SIGTERM, SIGINT)")
+  end

@@ -1,0 +1,401 @@
+module Pool = Lepts_par.Pool
+module Rng = Lepts_prng.Xoshiro256
+module Model = Lepts_power.Model
+module Plan = Lepts_preempt.Plan
+module Runner = Lepts_sim.Runner
+module Robust_solver = Lepts_robust.Robust_solver
+module Metrics = Lepts_obs.Metrics
+module Span = Lepts_obs.Span
+
+let log_src = Logs.Src.create "lepts.serve" ~doc:"scheduling service engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  jobs : int;
+  high_water : int;
+  wave : int;
+  max_retries : int;
+  backoff_base : float;
+  max_worker_crashes : int;
+  breaker : Breaker.config;
+}
+
+let default_config =
+  { jobs = 1; high_water = 64; wave = 8; max_retries = 1; backoff_base = 0.;
+    max_worker_crashes = 2; breaker = Breaker.default_config }
+
+type status =
+  | Done of { stage : string; mean_energy : float option }
+  | Failed of string
+  | Rejected of string
+  | Shed
+  | Drained
+
+type outcome = {
+  id : string;
+  status : status;
+  attempts : int;
+  crashes : int;
+  routed_acs : bool;
+  degraded : bool;
+}
+
+type report = {
+  outcomes : outcome list;
+  admitted : int;
+  processed : int;
+  shed : int;
+  rejected : int;
+  drained : bool;
+  degraded : bool;
+  transitions : (int * Breaker.state) list;
+}
+
+(* Service counters (DESIGN.md §9). *)
+let m_requests =
+  Metrics.counter ~help:"request lines received" Metrics.default
+    "lepts_serve_requests_total"
+
+let m_rejected =
+  Metrics.counter ~help:"request lines rejected by the parser"
+    Metrics.default "lepts_serve_rejected_total"
+
+let m_admitted =
+  Metrics.counter ~help:"requests admitted below the high-water mark"
+    Metrics.default "lepts_serve_admitted_total"
+
+let m_shed =
+  Metrics.counter ~help:"requests load-shed at admission" Metrics.default
+    "lepts_serve_shed_total"
+
+let m_processed =
+  Metrics.counter ~help:"requests processed to completion" Metrics.default
+    "lepts_serve_processed_total"
+
+let m_retries =
+  Metrics.counter ~help:"solver-failure retries" Metrics.default
+    "lepts_serve_retries_total"
+
+let m_restarts =
+  Metrics.counter ~help:"worker restarts after a crash" Metrics.default
+    "lepts_serve_worker_restarts_total"
+
+let m_degraded =
+  Metrics.counter ~help:"requests completed by a stage below ACS"
+    Metrics.default "lepts_serve_degraded_total"
+
+let m_drained =
+  Metrics.counter ~help:"admitted requests left unprocessed by a drain"
+    Metrics.default "lepts_serve_drained_total"
+
+(* Per-request execution result, before the breaker fold. *)
+type exec = {
+  e_status : status;
+  e_attempts : int;
+  e_crashes : int;
+  e_acs_ok : bool;  (* the ACS stage itself produced the schedule *)
+  e_degraded : bool;
+  e_crashed_out : bool;  (* exhausted its worker restarts *)
+}
+
+let backoff ~config ~attempt (req : Request.t) =
+  if config.backoff_base > 0. then begin
+    (* Exponential backoff with deterministic jitter: the jitter stream
+       is keyed off the request id and attempt number, so two runs of
+       the same batch sleep identically — and distinct requests never
+       thunder in lockstep. *)
+    let rng = Rng.split_key (Rng.create ~seed:(Hashtbl.hash req.Request.id)) ~key:attempt in
+    let scale = 0.5 +. Rng.float rng in
+    let delay =
+      config.backoff_base *. (2. ** float_of_int (attempt - 1)) *. scale
+    in
+    Unix.sleepf (Float.min delay 5.)
+  end
+
+let solve_once ~power ~before_solve ~skip_acs ~attempt (req : Request.t) =
+  Option.iter (fun f -> f ~attempt req) before_solve;
+  let workload =
+    if req.Request.tasks = 0 then
+      Ok (Lepts_workloads.Cnc.task_set ~power ~ratio:req.Request.ratio ())
+    else
+      let rng = Rng.create ~seed:req.Request.seed in
+      Lepts_workloads.Random_gen.generate
+        (Lepts_workloads.Random_gen.default_config ~n_tasks:req.Request.tasks
+           ~ratio:req.Request.ratio)
+        ~power ~rng
+  in
+  match workload with
+  | Error msg -> Error ("generation failed: " ^ msg)
+  | Ok ts -> (
+    let plan = Plan.expand ts in
+    let wall =
+      Option.map (fun ms -> float_of_int ms /. 1000.) req.Request.budget_ms
+    in
+    let stage_budget ?max_outer () =
+      { Robust_solver.default_budget with
+        max_outer =
+          Option.value max_outer
+            ~default:Robust_solver.default_budget.Robust_solver.max_outer;
+        wall_budget =
+          (match wall with
+          | Some _ -> wall
+          | None -> Robust_solver.default_budget.Robust_solver.wall_budget) }
+    in
+    let solver_config =
+      { Robust_solver.acs = stage_budget ?max_outer:req.Request.acs_max_outer ();
+        wcs = stage_budget () }
+    in
+    match Robust_solver.solve ~config:solver_config ~skip_acs ~plan ~power () with
+    | Error e ->
+      Error (Format.asprintf "%a" Lepts_core.Solver.pp_error e)
+    | Ok (schedule, diagnostics) ->
+      let mean_energy =
+        if req.Request.rounds = 0 then None
+        else
+          let rng = Rng.create ~seed:req.Request.seed in
+          let summary =
+            Runner.simulate ~rounds:req.Request.rounds ~schedule
+              ~policy:Lepts_dvs.Policy.Greedy ~rng ()
+          in
+          Some summary.Runner.mean_energy
+      in
+      Ok (diagnostics, mean_energy))
+
+let process ~config ~power ~before_solve ~skip_acs (req : Request.t) =
+  Span.with_ ~name:("serve:" ^ req.Request.id) @@ fun () ->
+  let rec go ~attempt ~crashes =
+    let result =
+      try `R (solve_once ~power ~before_solve ~skip_acs ~attempt req)
+      with e -> `Crash (Printexc.to_string e)
+    in
+    match result with
+    | `Crash msg ->
+      Log.warn (fun f ->
+          f "%s: worker crashed on attempt %d: %s" req.Request.id attempt msg);
+      if crashes >= config.max_worker_crashes then
+        { e_status = Failed ("worker crashed: " ^ msg); e_attempts = attempt;
+          e_crashes = crashes + 1; e_acs_ok = false; e_degraded = true;
+          e_crashed_out = true }
+      else begin
+        Metrics.incr m_restarts;
+        go ~attempt:(attempt + 1) ~crashes:(crashes + 1)
+      end
+    | `R (Error msg) ->
+      if attempt <= config.max_retries then begin
+        Metrics.incr m_retries;
+        Log.info (fun f ->
+            f "%s: attempt %d failed (%s), retrying" req.Request.id attempt msg);
+        backoff ~config ~attempt req;
+        go ~attempt:(attempt + 1) ~crashes
+      end
+      else
+        { e_status = Failed msg; e_attempts = attempt; e_crashes = crashes;
+          e_acs_ok = false; e_degraded = true; e_crashed_out = false }
+    | `R (Ok (diagnostics, mean_energy)) ->
+      let chosen = diagnostics.Robust_solver.chosen in
+      let degraded = chosen <> Robust_solver.Acs in
+      { e_status =
+          Done { stage = Robust_solver.stage_name chosen; mean_energy };
+        e_attempts = attempt; e_crashes = crashes;
+        e_acs_ok = (chosen = Robust_solver.Acs); e_degraded = degraded;
+        e_crashed_out = false }
+  in
+  go ~attempt:1 ~crashes:0
+
+let no_exec = (* placeholder for requests a drain left unprocessed *)
+  { e_status = Drained; e_attempts = 0; e_crashes = 0; e_acs_ok = false;
+    e_degraded = false; e_crashed_out = false }
+
+let run ?(config = default_config) ?(power = Model.ideal ())
+    ?before_solve ?(should_stop = fun () -> false) ~lines () =
+  if config.jobs < 1 then invalid_arg "Service.run: jobs must be >= 1";
+  if config.high_water < 1 then
+    invalid_arg "Service.run: high_water must be >= 1";
+  if config.wave < 1 then invalid_arg "Service.run: wave must be >= 1";
+  if config.max_retries < 0 then
+    invalid_arg "Service.run: max_retries must be >= 0";
+  if config.max_worker_crashes < 0 then
+    invalid_arg "Service.run: max_worker_crashes must be >= 0";
+  Span.with_ ~name:"serve:batch" @@ fun () ->
+  (* Admission: parse every line, admit the first [high_water] valid
+     requests, shed the rest. One pass, in input order. *)
+  let parsed =
+    List.mapi
+      (fun i line ->
+        Metrics.incr m_requests;
+        match Request.of_json line with
+        | Ok req -> `Request (i, req)
+        | Error msg ->
+          Metrics.incr m_rejected;
+          Log.info (fun f -> f "line %d rejected: %s" (i + 1) msg);
+          `Rejected (i, msg))
+      lines
+  in
+  let valid =
+    List.filter_map
+      (function `Request (i, r) -> Some (i, r) | `Rejected _ -> None)
+      parsed
+  in
+  let admitted_list, shed_list =
+    let rec split k acc = function
+      | [] -> (List.rev acc, [])
+      | rest when k = 0 -> (List.rev acc, rest)
+      | x :: rest -> split (k - 1) (x :: acc) rest
+    in
+    split config.high_water [] valid
+  in
+  Metrics.incr ~by:(List.length admitted_list) m_admitted;
+  Metrics.incr ~by:(List.length shed_list) m_shed;
+  if shed_list <> [] then
+    Log.warn (fun f ->
+        f "load shedding: %d request(s) above the high-water mark (%d)"
+          (List.length shed_list) config.high_water);
+  let admitted = Array.of_list admitted_list in
+  let n = Array.length admitted in
+  (* Wave loop. The logical clock ticks once per folded request; routes
+     for a wave are planned before it runs, from the breaker state the
+     previous fold left behind — identical whatever [jobs] is. *)
+  let breaker = Breaker.create ~config:config.breaker () in
+  let clock = ref 0 in
+  let results = Array.make n no_exec in
+  let routed = Array.make n false in
+  let processed = ref 0 in
+  let drained = ref false in
+  let i = ref 0 in
+  while !i < n && not !drained do
+    if should_stop () then begin
+      drained := true;
+      Log.warn (fun f ->
+          f "drain requested: %d request(s) left unprocessed" (n - !i))
+    end
+    else begin
+      let w = Int.min config.wave (n - !i) in
+      let routes = Array.make w true in
+      for k = 0 to w - 1 do
+        routes.(k) <- Breaker.plan_route breaker ~now:!clock
+      done;
+      let execs, _stats =
+        Pool.run ~jobs:config.jobs ~n:w ~f:(fun k ->
+            let _, req = admitted.(!i + k) in
+            process ~config ~power ~before_solve ~skip_acs:(not routes.(k)) req)
+      in
+      for k = 0 to w - 1 do
+        incr clock;
+        let e = execs.(k) in
+        Breaker.observe breaker ~now:!clock ~routed_acs:routes.(k)
+          ~ok:e.e_acs_ok;
+        if e.e_degraded && not e.e_crashed_out then Metrics.incr m_degraded;
+        results.(!i + k) <- e;
+        routed.(!i + k) <- routes.(k);
+        incr processed
+      done;
+      i := !i + w
+    end
+  done;
+  Metrics.incr ~by:!processed m_processed;
+  Metrics.incr ~by:(n - !processed) m_drained;
+  (* Reassemble one outcome per input line, in input order. *)
+  let admitted_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun slot (line_idx, _) -> Hashtbl.replace admitted_index line_idx slot)
+    admitted;
+  let shed_lines =
+    List.fold_left
+      (fun acc (line_idx, _) -> line_idx :: acc)
+      [] shed_list
+  in
+  let outcomes =
+    List.map
+      (function
+        | `Rejected (i, msg) ->
+          { id = Printf.sprintf "line-%d" (i + 1); status = Rejected msg;
+            attempts = 0; crashes = 0; routed_acs = false; degraded = false }
+        | `Request (i, (req : Request.t)) -> (
+          match Hashtbl.find_opt admitted_index i with
+          | None ->
+            assert (List.mem i shed_lines);
+            { id = req.Request.id; status = Shed; attempts = 0; crashes = 0;
+              routed_acs = false; degraded = false }
+          | Some slot ->
+            let e = results.(slot) in
+            { id = req.Request.id; status = e.e_status;
+              attempts = e.e_attempts; crashes = e.e_crashes;
+              routed_acs = routed.(slot); degraded = e.e_degraded }))
+      parsed
+  in
+  let degraded_service =
+    Array.exists (fun e -> e.e_crashed_out) results
+  in
+  { outcomes; admitted = n; processed = !processed;
+    shed = List.length shed_list;
+    rejected = List.length parsed - List.length valid;
+    drained = !drained; degraded = degraded_service;
+    transitions = Breaker.transitions breaker }
+
+let pp_status ppf = function
+  | Done { stage; mean_energy } ->
+    Format.fprintf ppf "done (%s%t)" stage (fun ppf ->
+        Option.iter (fun e -> Format.fprintf ppf ", mean %.6g" e) mean_energy)
+  | Failed msg -> Format.fprintf ppf "failed: %s" msg
+  | Rejected msg -> Format.fprintf ppf "rejected: %s" msg
+  | Shed -> Format.pp_print_string ppf "shed"
+  | Drained -> Format.pp_print_string ppf "drained"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let outcome_json (o : outcome) =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (Printf.sprintf "{\"id\":\"%s\"" (json_escape o.id));
+  (match o.status with
+  | Done { stage; mean_energy } ->
+    Buffer.add_string b (Printf.sprintf ",\"status\":\"done\",\"stage\":\"%s\"" stage);
+    Option.iter
+      (fun e -> Buffer.add_string b (Printf.sprintf ",\"mean_energy\":%.12g" e))
+      mean_energy
+  | Failed msg ->
+    Buffer.add_string b
+      (Printf.sprintf ",\"status\":\"failed\",\"reason\":\"%s\"" (json_escape msg))
+  | Rejected msg ->
+    Buffer.add_string b
+      (Printf.sprintf ",\"status\":\"rejected\",\"reason\":\"%s\"" (json_escape msg))
+  | Shed -> Buffer.add_string b ",\"status\":\"shed\""
+  | Drained -> Buffer.add_string b ",\"status\":\"drained\"");
+  (match o.status with
+  | Done _ | Failed _ ->
+    Buffer.add_string b
+      (Printf.sprintf ",\"route\":\"%s\",\"attempts\":%d,\"crashes\":%d"
+         (if o.routed_acs then "acs" else "fallback")
+         o.attempts o.crashes);
+    if o.degraded then Buffer.add_string b ",\"degraded\":true"
+  | Rejected _ | Shed | Drained -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let print_report ?(oc = stdout) r =
+  List.iter (fun o -> output_string oc (outcome_json o ^ "\n")) r.outcomes;
+  let transitions =
+    String.concat ","
+      (List.map
+         (fun (t, s) -> Printf.sprintf "[%d,\"%s\"]" t (Breaker.state_name s))
+         r.transitions)
+  in
+  output_string oc
+    (Printf.sprintf
+       "{\"summary\":{\"requests\":%d,\"admitted\":%d,\"processed\":%d,\
+        \"shed\":%d,\"rejected\":%d,\"drained\":%b,\"degraded\":%b,\
+        \"breaker\":[%s]}}\n"
+       (List.length r.outcomes) r.admitted r.processed r.shed r.rejected
+       r.drained r.degraded transitions);
+  flush oc

@@ -1,0 +1,119 @@
+(** The scheduling service: a supervised, admission-controlled queue of
+    solve jobs in front of the resilient pipeline.
+
+    Requests arrive as NDJSON lines ({!Request}), are admitted up to a
+    high-water mark (the rest are shed — predictable degradation beats
+    an unbounded queue), and are processed in fixed-size {e waves}:
+
+    + routes are planned for the whole wave from the {!Breaker} state,
+      in request order;
+    + the wave's solves run on a {!Lepts_par.Pool} of [jobs] domains —
+      each solve is a pure function of (request, route);
+    + outcomes are folded back into the breaker in request order, one
+      logical-clock tick per request.
+
+    Because routing reads only pre-wave breaker state and folding is
+    sequential, the report is {e bit-identical for every [jobs]
+    value} — the property the CI determinism job diffs for.
+
+    Supervision: a worker exception (the solve must never take the
+    service down) is caught, counted, and the request retried up to
+    [max_worker_crashes] times before it is failed and the service
+    marked degraded. Solver-level failures are retried up to
+    [max_retries] times with exponential backoff and deterministic
+    per-request jitter. A drain request ([should_stop], typically
+    {!Drain.requested}) is honoured at the next wave boundary; the
+    unprocessed tail is reported as such, never silently dropped. *)
+
+type config = {
+  jobs : int;  (** worker domains per wave; >= 1 *)
+  high_water : int;
+      (** admission high-water mark: requests beyond the first
+          [high_water] valid ones are shed; >= 1 *)
+  wave : int;
+      (** wave size — requests solved between breaker folds; >= 1.
+          Part of the service semantics (routes are planned per wave),
+          so it is {e not} derived from [jobs]. *)
+  max_retries : int;  (** solver-failure retries per request; >= 0 *)
+  backoff_base : float;
+      (** base retry delay, seconds; doubled per retry, scaled by a
+          deterministic per-request jitter in [[0.5, 1.5)]. [0]
+          disables sleeping (tests, CI). *)
+  max_worker_crashes : int;
+      (** worker restarts granted per request before it is failed and
+          the service marked degraded; >= 0 *)
+  breaker : Breaker.config;
+}
+
+val default_config : config
+(** [jobs = 1], [high_water = 64], [wave = 8], [max_retries = 1],
+    [backoff_base = 0.], [max_worker_crashes = 2],
+    {!Breaker.default_config}. *)
+
+type status =
+  | Done of { stage : string; mean_energy : float option }
+      (** solved; [stage] is the winning pipeline stage, [mean_energy]
+          the post-solve simulation mean when [rounds > 0] *)
+  | Failed of string  (** all retries/restarts exhausted *)
+  | Rejected of string  (** malformed NDJSON line (never admitted) *)
+  | Shed  (** load-shed at admission (above the high-water mark) *)
+  | Drained  (** admitted but unprocessed when a drain arrived *)
+
+type outcome = {
+  id : string;
+      (** request id, or ["line-<n>"] for lines that did not parse *)
+  status : status;
+  attempts : int;  (** solve attempts made; 0 when never processed *)
+  crashes : int;  (** worker crashes absorbed by this request *)
+  routed_acs : bool;  (** whether the wave plan routed it to ACS *)
+  degraded : bool;
+      (** processed but not by ACS (fallback schedule or failure) *)
+}
+
+type report = {
+  outcomes : outcome list;  (** one per input line, in input order *)
+  admitted : int;
+  processed : int;
+  shed : int;
+  rejected : int;
+  drained : bool;  (** a drain interrupted processing *)
+  degraded : bool;  (** some request exhausted its worker restarts *)
+  transitions : (int * Breaker.state) list;
+      (** the breaker's transition log, logical-clock stamped *)
+}
+
+val run :
+  ?config:config ->
+  ?power:Lepts_power.Model.t ->
+  ?before_solve:(attempt:int -> Request.t -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  lines:string list ->
+  unit ->
+  report
+(** [run ~lines ()] serves one batch of NDJSON request lines.
+
+    [power] defaults to {!Lepts_power.Model.ideal}. [before_solve] is
+    the supervision test hook, called on the worker domain before every
+    solve attempt (attempts count from 1 across retries and restarts);
+    an exception it raises is handled exactly like a worker crash, so
+    it must be domain-safe. [should_stop] (default: never) is polled
+    at wave boundaries.
+
+    Deterministic in (config minus [jobs], lines) — and bit-identical
+    across [jobs] — provided the requests themselves solve
+    deterministically (no [budget_ms] wall caps racing real time).
+
+    Counters in {!Lepts_obs.Metrics.default}:
+    [lepts_serve_requests_total], [..._rejected_total],
+    [..._admitted_total], [..._shed_total], [..._processed_total],
+    [..._retries_total], [..._worker_restarts_total],
+    [..._degraded_total], [..._drained_total] — plus the breaker's
+    [lepts_breaker_transitions_total{to}]. *)
+
+val print_report : ?oc:out_channel -> report -> unit
+(** NDJSON: one object per outcome in input order, then one
+    [{"summary": ...}] trailer with the admission counts and breaker
+    transition log. Contains no timing, so two runs over the same
+    input are byte-identical whatever [jobs] was. *)
+
+val pp_status : Format.formatter -> status -> unit

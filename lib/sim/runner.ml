@@ -52,32 +52,36 @@ let summarize results =
     deadline_misses = misses;
     shed_instances = shed }
 
+let round ?dist ?scenario ?control ~schedule ~policy ~rng ~round:r () =
+  (* The round's generator depends only on ([rng]'s state, r), so the
+     energies array is identical whichever domain computes which
+     round — the parallel path is bit-identical by construction. *)
+  let plan = schedule.Lepts_core.Static_schedule.plan in
+  let round_rng = round_rng ~rng ~round:r in
+  let totals = Sampler.instance_totals ?dist plan ~rng:round_rng in
+  let totals, faults =
+    match scenario with
+    | None -> (totals, None)
+    | Some perturb -> perturb ~round:r ~totals
+  in
+  let outcome = Event_sim.run ?faults ?control ~schedule ~policy ~totals () in
+  { energy = outcome.Outcome.energy;
+    misses = outcome.Outcome.deadline_misses;
+    shed = outcome.Outcome.shed_instances }
+
+let record_metrics summary =
+  Metrics.incr ~by:summary.rounds m_rounds;
+  Metrics.incr ~by:summary.deadline_misses m_misses;
+  Metrics.incr ~by:summary.shed_instances m_shed
+
 let simulate ?(rounds = 1000) ?(jobs = 1) ?on_stats ?dist ?scenario ?control ~schedule
     ~policy ~rng () =
   if rounds <= 0 then invalid_arg "Runner.simulate: rounds must be positive";
-  let plan = schedule.Lepts_core.Static_schedule.plan in
-  let one_round r =
-    (* The round's generator depends only on ([rng]'s state, r), so the
-       energies array is identical whichever domain computes which
-       round — the parallel path is bit-identical by construction. *)
-    let round_rng = round_rng ~rng ~round:r in
-    let totals = Sampler.instance_totals ?dist plan ~rng:round_rng in
-    let totals, faults =
-      match scenario with
-      | None -> (totals, None)
-      | Some perturb -> perturb ~round:r ~totals
-    in
-    let outcome = Event_sim.run ?faults ?control ~schedule ~policy ~totals () in
-    { energy = outcome.Outcome.energy;
-      misses = outcome.Outcome.deadline_misses;
-      shed = outcome.Outcome.shed_instances }
-  in
+  let one_round r = round ?dist ?scenario ?control ~schedule ~policy ~rng ~round:r () in
   let results, stats = Pool.run ~jobs ~n:rounds ~f:one_round in
   Option.iter (fun f -> f stats) on_stats;
   let summary = summarize results in
-  Metrics.incr ~by:summary.rounds m_rounds;
-  Metrics.incr ~by:summary.deadline_misses m_misses;
-  Metrics.incr ~by:summary.shed_instances m_shed;
+  record_metrics summary;
   summary
 
 let pp_summary ppf s =

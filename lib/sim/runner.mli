@@ -48,6 +48,34 @@ val summarize : round_result array -> summary
 (** Ordered reduction of per-round outcomes (index = round) into a
     {!summary}. Raises [Invalid_argument] on an empty array. *)
 
+val round :
+  ?dist:Sampler.distribution ->
+  ?scenario:
+    (round:int ->
+    totals:float array array ->
+    float array array * Event_sim.faults option) ->
+  ?control:(Event_sim.dispatch -> Event_sim.action) ->
+  schedule:Lepts_core.Static_schedule.t ->
+  policy:Lepts_dvs.Policy.t ->
+  rng:Lepts_prng.Xoshiro256.t ->
+  round:int ->
+  unit ->
+  round_result
+(** One hyper-period, exactly as {!simulate} would run round [round]:
+    a pure function of ([rng]'s state, arguments). Exposed so
+    checkpointed drivers ({!Lepts_robust.Checkpoint.map_indices}) can
+    compute individual rounds and resume a campaign from the units
+    already on disk. Does not touch the built-in metrics — callers
+    assembling a summary themselves should pass it to
+    {!record_metrics} once. *)
+
+val record_metrics : summary -> unit
+(** Bump the built-in simulation counters ([lepts_sim_rounds_total],
+    misses, shed) by a summary's totals — what {!simulate} does
+    internally. For drivers that obtain rounds via {!round} (including
+    checkpoint-resumed ones, so a resumed run reports the same
+    aggregate counters as an uninterrupted one). *)
+
 val simulate :
   ?rounds:int ->
   ?jobs:int ->

@@ -17,6 +17,8 @@ let () =
       ("dvs", Test_dvs.suite);
       ("sim", Test_sim.suite);
       ("robust", Test_robust.suite);
+      ("checkpoint", Test_checkpoint.suite);
+      ("serve", Test_serve.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("extensions", Test_extensions.suite);

@@ -91,6 +91,43 @@ let test_injector_validates_spec () =
        false
      with Invalid_argument _ -> true)
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_injector_validation_names_each_field () =
+  (* Every field has its own rejection, the message names the offending
+     field, and NaN never slips through a comparison. *)
+  let rejected ~field spec =
+    match Fault_injector.validate spec with
+    | () -> Alcotest.failf "field %s: bad value accepted" field
+    | exception Invalid_argument msg ->
+      if not (contains ~sub:field msg) then
+        Alcotest.failf "field %s: message %S does not name it" field msg
+  in
+  let nan = Float.nan in
+  rejected ~field:"overrun_prob" { moderate_spec with overrun_prob = -0.1 };
+  rejected ~field:"overrun_prob" { moderate_spec with overrun_prob = 1.1 };
+  rejected ~field:"overrun_prob" { moderate_spec with overrun_prob = nan };
+  rejected ~field:"jitter_prob" { moderate_spec with jitter_prob = -1. };
+  rejected ~field:"jitter_prob" { moderate_spec with jitter_prob = 2. };
+  rejected ~field:"jitter_prob" { moderate_spec with jitter_prob = nan };
+  rejected ~field:"denial_prob" { moderate_spec with denial_prob = -0.5 };
+  rejected ~field:"denial_prob" { moderate_spec with denial_prob = 1.5 };
+  rejected ~field:"denial_prob" { moderate_spec with denial_prob = nan };
+  rejected ~field:"overrun_factor" { moderate_spec with overrun_factor = 0.5 };
+  rejected ~field:"overrun_factor" { moderate_spec with overrun_factor = -1. };
+  rejected ~field:"overrun_factor" { moderate_spec with overrun_factor = infinity };
+  rejected ~field:"overrun_factor" { moderate_spec with overrun_factor = nan };
+  rejected ~field:"jitter_frac" { moderate_spec with jitter_frac = -0.1 };
+  rejected ~field:"jitter_frac" { moderate_spec with jitter_frac = 1. };
+  rejected ~field:"jitter_frac" { moderate_spec with jitter_frac = nan };
+  (* Boundary values are legal. *)
+  Fault_injector.validate
+    { moderate_spec with overrun_prob = 0.; jitter_prob = 1.; denial_prob = 1.;
+      overrun_factor = 1.; jitter_frac = 0. }
+
 (* --- Zero-rate scenario is bit-identical --------------------------------- *)
 
 let test_runner_zero_spec_identity () =
@@ -178,6 +215,76 @@ let test_containment_escalates_recoverable_overrun () =
   Alcotest.(check int) "no misses" 0 o.Outcome.deadline_misses;
   Alcotest.(check bool) "overrun was escalated" true
     (counters.Containment.escalated_instances >= 1)
+
+(* A one-task schedule isolates containment boundary behaviour from
+   preemption effects: the task owns the whole frame. *)
+let solo_acs () =
+  let ts =
+    Task_set.scale_wcec_to_utilization
+      (Task_set.create [ Task.with_ratio ~name:"solo" ~period:4 ~wcec:2. ~ratio:0.5 ])
+      ~power ~target:0.5
+  in
+  let plan = Plan.expand ts in
+  let acs, _ = Result.get_ok (Solver.solve_acs ~plan ~power ()) in
+  (plan, acs)
+
+let no_faults totals =
+  { Event_sim.release_offsets = Array.map (Array.map (fun _ -> 0.)) totals;
+    enforce_budget = false;
+    deny_transition = (fun ~task:_ ~instance:_ ~sub:_ ~now:_ ~requested:_ -> false) }
+
+let test_containment_overrun_on_deadline_tick () =
+  (* Boundary between escalation and shedding: an overrun whose total
+     work at v_max completes exactly on the deadline tick. It is not
+     hopeless (v_max still makes the deadline), so it must be escalated
+     and finish — not shed, not counted as a miss. *)
+  let plan, acs = solo_acs () in
+  let totals = Sampler.fixed plan ~value:`Wcec in
+  let t_cycle = Model.cycle_time power ~v:power.Model.v_max in
+  totals.(0).(0) <- 4.0 /. t_cycle;
+  (* the entire [0, 4) frame at v_max *)
+  let counters = Containment.fresh_counters () in
+  let control = Containment.control ~power ~counters () in
+  let o =
+    Event_sim.run ~faults:(no_faults totals) ~control ~schedule:acs
+      ~policy:Policy.Greedy ~totals ()
+  in
+  Alcotest.(check int) "exact-deadline overrun is not shed" 0
+    o.Outcome.shed_instances;
+  Alcotest.(check int) "and does not miss" 0 o.Outcome.deadline_misses;
+  Alcotest.(check bool) "but is escalated to v_max" true
+    (counters.Containment.escalated_instances >= 1);
+  (* One cycle more and the instance is hopeless: shed, and only that
+     instance misses. *)
+  let totals = Sampler.fixed plan ~value:`Wcec in
+  totals.(0).(0) <- (4.0 /. t_cycle) +. 1.;
+  let counters = Containment.fresh_counters () in
+  let control = Containment.control ~power ~counters () in
+  let o =
+    Event_sim.run ~faults:(no_faults totals) ~control ~schedule:acs
+      ~policy:Policy.Greedy ~totals ()
+  in
+  Alcotest.(check int) "past the tick it is shed" 1 o.Outcome.shed_instances;
+  Alcotest.(check int) "the shed instance is the only miss" 1
+    o.Outcome.deadline_misses
+
+let test_containment_zero_work_instance () =
+  (* The other boundary: a sub-instance whose actual workload is zero
+     (a degenerate ACEC draw). It completes at its release, consumes no
+     energy, and must trigger neither escalation nor shedding. *)
+  let plan, acs = solo_acs () in
+  let totals = Sampler.fixed plan ~value:`Wcec in
+  totals.(0).(0) <- 0.;
+  let counters = Containment.fresh_counters () in
+  let control = Containment.control ~power ~counters () in
+  let o =
+    Event_sim.run ~faults:(no_faults totals) ~control ~schedule:acs
+      ~policy:Policy.Greedy ~totals ()
+  in
+  Alcotest.(check int) "no misses" 0 o.Outcome.deadline_misses;
+  Alcotest.(check int) "nothing shed" 0 o.Outcome.shed_instances;
+  Alcotest.(check int) "nothing escalated" 0
+    counters.Containment.escalated_instances
 
 (* --- Campaign ------------------------------------------------------------- *)
 
@@ -324,10 +431,43 @@ let test_robust_solver_unschedulable () =
   | Error Solver.Unschedulable -> ()
   | Error e -> Alcotest.failf "expected Unschedulable, got %a" Solver.pp_error e
 
-let contains ~sub s =
-  let n = String.length sub and m = String.length s in
-  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-  go 0
+let test_robust_solver_budget_expiry_annotated () =
+  (* A failing stage whose wall budget is spent must say so in its own
+     diagnostic — stage name plus elapsed/budget seconds — so a
+     multi-stage report never loses which stage timed out. A zero wall
+     budget is deterministically spent by the time the failure is
+     recorded. *)
+  let plan, _ = preemptive_acs () in
+  let config =
+    { Robust_solver.default_config with
+      acs = { Robust_solver.max_outer = 0; max_inner = 0; wall_budget = Some 0. } }
+  in
+  match Robust_solver.solve ~config ~plan ~power () with
+  | Error _ -> Alcotest.fail "pipeline must survive the expired stage"
+  | Ok (_, d) ->
+    Alcotest.(check bool) "wcs chosen" true (d.Robust_solver.chosen = Robust_solver.Wcs);
+    let acs_reason =
+      match List.assoc_opt Robust_solver.Acs d.Robust_solver.attempts with
+      | Some why -> why
+      | None -> Alcotest.fail "ACS failure missing from diagnostics"
+    in
+    Alcotest.(check bool) "diagnostic names the expired stage" true
+      (contains ~sub:"[acs wall budget expired" acs_reason);
+    Alcotest.(check bool) "and the budget" true
+      (contains ~sub:"of 0.000s budget]" acs_reason)
+
+let test_robust_solver_skip_acs () =
+  (* The circuit-open route: the chain starts at WCS and the skip is
+     recorded so a degraded schedule still says why. *)
+  let plan, _ = preemptive_acs () in
+  match Robust_solver.solve ~skip_acs:true ~plan ~power () with
+  | Error _ -> Alcotest.fail "skip_acs must still solve via WCS"
+  | Ok (s, d) ->
+    Alcotest.(check bool) "wcs chosen" true (d.Robust_solver.chosen = Robust_solver.Wcs);
+    Alcotest.(check bool) "skip recorded in diagnostics" true
+      (d.Robust_solver.attempts
+      = [ (Robust_solver.Acs, "skipped (circuit open)") ]);
+    Alcotest.(check bool) "feasible" true (Validate.is_feasible s)
 
 let test_diagnostics_printer () =
   let d =
@@ -343,9 +483,14 @@ let suite =
     ("zero spec is identity", `Quick, test_injector_zero_is_identity);
     ("overruns scale WCEC", `Quick, test_injector_overruns_exceed_wcec);
     ("spec validation", `Quick, test_injector_validates_spec);
+    ("spec validation names each field", `Quick,
+     test_injector_validation_names_each_field);
     ("zero spec runner identity", `Quick, test_runner_zero_spec_identity);
     ("containment reduces misses", `Quick, test_containment_fewer_misses);
     ("recoverable overrun escalated", `Quick, test_containment_escalates_recoverable_overrun);
+    ("overrun on the deadline tick", `Quick,
+     test_containment_overrun_on_deadline_tick);
+    ("zero-work instance benign", `Quick, test_containment_zero_work_instance);
     ("campaign determinism", `Quick, test_campaign_deterministic);
     ("campaign arms share draws", `Quick, test_campaign_arms_share_draws);
     ("campaign parallel bit-identical", `Quick, test_campaign_parallel_bit_identical);
@@ -355,4 +500,6 @@ let suite =
     ("fallback to RM", `Quick, test_robust_solver_falls_back_to_rm);
     ("feasible on seed workloads", `Quick, test_robust_solver_feasible_on_all_seed_workloads);
     ("unschedulable reported", `Quick, test_robust_solver_unschedulable);
+    ("budget expiry annotated", `Quick, test_robust_solver_budget_expiry_annotated);
+    ("skip_acs records the skip", `Quick, test_robust_solver_skip_acs);
     ("diagnostics printer", `Quick, test_diagnostics_printer) ]

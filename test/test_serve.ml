@@ -1,0 +1,351 @@
+module Model = Lepts_power.Model
+module Breaker = Lepts_serve.Breaker
+module Request = Lepts_serve.Request
+module Service = Lepts_serve.Service
+module Drain = Lepts_serve.Drain
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* --- circuit breaker (logical-clock state machine) ------------------------- *)
+
+let small_breaker = { Breaker.failure_threshold = 2; cooldown = 3; probes = 1 }
+
+let test_breaker_pinned_transitions () =
+  (* The acceptance sequence: trip on consecutive failures, cool down,
+     half-open a probe, close on its success — at exact logical times. *)
+  let b = Breaker.create ~config:small_breaker () in
+  Alcotest.(check bool) "closed routes to ACS" true (Breaker.plan_route b ~now:0);
+  Breaker.observe b ~now:1 ~routed_acs:true ~ok:false;
+  Alcotest.(check bool) "one failure stays closed" true
+    (Breaker.state b = Breaker.Closed);
+  Alcotest.(check bool) "still routes to ACS" true (Breaker.plan_route b ~now:1);
+  Breaker.observe b ~now:2 ~routed_acs:true ~ok:false;
+  Alcotest.(check bool) "threshold trips the circuit" true
+    (Breaker.state b = Breaker.Open);
+  Alcotest.(check bool) "open routes to fallback" false
+    (Breaker.plan_route b ~now:3);
+  Alcotest.(check bool) "still cooling down" false (Breaker.plan_route b ~now:4);
+  Alcotest.(check bool) "cooldown elapsed: probe granted" true
+    (Breaker.plan_route b ~now:5);
+  Alcotest.(check bool) "probe budget spent: fallback" false
+    (Breaker.plan_route b ~now:5);
+  Breaker.observe b ~now:6 ~routed_acs:true ~ok:true;
+  Alcotest.(check bool) "successful probe closes" true
+    (Breaker.state b = Breaker.Closed);
+  Alcotest.(check bool) "closed again routes to ACS" true
+    (Breaker.plan_route b ~now:7);
+  Alcotest.(check bool) "transition log pinned" true
+    (Breaker.transitions b
+    = [ (2, Breaker.Open); (5, Breaker.Half_open); (6, Breaker.Closed) ])
+
+let test_breaker_failed_probe_reopens () =
+  let b = Breaker.create ~config:small_breaker () in
+  Breaker.observe b ~now:1 ~routed_acs:true ~ok:false;
+  Breaker.observe b ~now:2 ~routed_acs:true ~ok:false;
+  Alcotest.(check bool) "half-open after cooldown" true
+    (Breaker.plan_route b ~now:5);
+  Breaker.observe b ~now:6 ~routed_acs:true ~ok:false;
+  Alcotest.(check bool) "failed probe reopens" true
+    (Breaker.state b = Breaker.Open);
+  (* The new episode cools down from the re-open time, not the first. *)
+  Alcotest.(check bool) "cooldown restarts" false (Breaker.plan_route b ~now:8);
+  Alcotest.(check bool) "second probe after second cooldown" true
+    (Breaker.plan_route b ~now:9);
+  Breaker.observe b ~now:10 ~routed_acs:true ~ok:true;
+  Alcotest.(check bool) "recovers on the second probe" true
+    (Breaker.transitions b
+    = [ (2, Breaker.Open); (5, Breaker.Half_open); (6, Breaker.Open);
+        (9, Breaker.Half_open); (10, Breaker.Closed) ])
+
+let test_breaker_success_resets_failure_streak () =
+  let b = Breaker.create ~config:small_breaker () in
+  Breaker.observe b ~now:1 ~routed_acs:true ~ok:false;
+  Breaker.observe b ~now:2 ~routed_acs:true ~ok:true;
+  Breaker.observe b ~now:3 ~routed_acs:true ~ok:false;
+  Alcotest.(check bool) "non-consecutive failures do not trip" true
+    (Breaker.state b = Breaker.Closed);
+  Breaker.observe b ~now:4 ~routed_acs:true ~ok:false;
+  Alcotest.(check bool) "consecutive ones do" true
+    (Breaker.state b = Breaker.Open)
+
+let test_breaker_ignores_fallback_outcomes () =
+  (* Requests routed around ACS say nothing about the stage: their
+     outcomes must not move the state machine. *)
+  let b = Breaker.create ~config:small_breaker () in
+  for now = 1 to 10 do
+    Breaker.observe b ~now ~routed_acs:false ~ok:false
+  done;
+  Alcotest.(check bool) "fallback failures carry no signal" true
+    (Breaker.state b = Breaker.Closed && Breaker.transitions b = [])
+
+let test_breaker_rejects_bad_config () =
+  List.iter
+    (fun config ->
+      Alcotest.(check bool) "non-positive config field rejected" true
+        (try ignore (Breaker.create ~config ()); false
+         with Invalid_argument _ -> true))
+    [ { small_breaker with Breaker.failure_threshold = 0 };
+      { small_breaker with Breaker.cooldown = 0 };
+      { small_breaker with Breaker.probes = 0 } ]
+
+(* --- request parser -------------------------------------------------------- *)
+
+let test_request_defaults () =
+  match Request.of_json {|{"id": "x"}|} with
+  | Error msg -> Alcotest.failf "minimal request rejected: %s" msg
+  | Ok r ->
+    Alcotest.(check string) "id" "x" r.Request.id;
+    Alcotest.(check int) "tasks default" 0 r.Request.tasks;
+    Alcotest.(check (float 0.)) "ratio default" 0.1 r.Request.ratio;
+    Alcotest.(check int) "seed default" 0 r.Request.seed;
+    Alcotest.(check int) "rounds default" 0 r.Request.rounds;
+    Alcotest.(check bool) "no budget" true (r.Request.budget_ms = None);
+    Alcotest.(check bool) "no override" true (r.Request.acs_max_outer = None)
+
+let test_request_roundtrip () =
+  let r =
+    { Request.id = "rnd-7"; tasks = 3; ratio = 0.5; seed = 7; rounds = 10;
+      budget_ms = Some 100; acs_max_outer = Some 5 }
+  in
+  (match Request.of_json (Request.to_json r) with
+  | Error msg -> Alcotest.failf "re-encoding rejected: %s" msg
+  | Ok r' -> Alcotest.(check bool) "full request round-trips" true (r = r'));
+  let minimal = { r with Request.tasks = 0; ratio = 0.1; seed = 0; rounds = 0;
+                  budget_ms = None; acs_max_outer = None } in
+  Alcotest.(check string) "defaults omitted on the wire"
+    {|{"id":"rnd-7"}|} (Request.to_json minimal)
+
+let test_request_rejections_name_the_field () =
+  (* One rejected line per rule; the reason must name what was wrong —
+     operators debug shed requests from these strings. *)
+  List.iter
+    (fun (line, field) ->
+      match Request.of_json line with
+      | Ok _ -> Alcotest.failf "accepted %s" line
+      | Error msg ->
+        if not (contains ~sub:field msg) then
+          Alcotest.failf "%s: reason %S does not mention %S" line msg field)
+    [ ({|{}|}, "id");
+      ({|{"id": ""}|}, "id");
+      ({|{"id": "x", "tasks": 65}|}, "tasks");
+      ({|{"id": "x", "tasks": -1}|}, "tasks");
+      ({|{"id": "x", "tasks": 2.5}|}, "tasks");
+      ({|{"id": "x", "ratio": 1.5}|}, "ratio");
+      ({|{"id": "x", "ratio": -0.1}|}, "ratio");
+      ({|{"id": "x", "rounds": -1}|}, "rounds");
+      ({|{"id": "x", "budget_ms": 0}|}, "budget_ms");
+      ({|{"id": "x", "acs_max_outer": -1}|}, "acs_max_outer");
+      ({|{"id": "x", "typo": 1}|}, "typo");
+      ({|{"id": "x", "id": "y"}|}, "duplicate");
+      ({|{"id": "x"} trailing|}, "trailing");
+      ({|not json at all|}, "expected") ]
+
+(* --- service engine -------------------------------------------------------- *)
+
+let power = Model.ideal ~v_min:0.5 ~v_max:4. ()
+
+let quick_config =
+  { Service.default_config with
+    Service.wave = 1;
+    breaker = { Breaker.failure_threshold = 2; cooldown = 2; probes = 1 } }
+
+let stage_of o =
+  match o.Service.status with
+  | Service.Done { stage; _ } -> stage
+  | _ -> "?"
+
+let test_service_breaker_sequence () =
+  (* End-to-end acceptance: injected ACS faults (acs_max_outer = 0)
+     trip the breaker, the cooldown routes requests to the fallback,
+     and a healthy probe closes it — the whole sequence pinned. *)
+  let lines =
+    [ {|{"id": "f1", "acs_max_outer": 0}|};
+      {|{"id": "f2", "acs_max_outer": 0}|};
+      {|{"id": "f3", "acs_max_outer": 0}|};
+      {|{"id": "f4", "acs_max_outer": 0}|};
+      {|{"id": "ok5"}|};
+      {|{"id": "ok6"}|} ]
+  in
+  let r = Service.run ~config:quick_config ~power ~lines () in
+  Alcotest.(check bool) "transition sequence pinned" true
+    (r.Service.transitions
+    = [ (2, Breaker.Open); (4, Breaker.Half_open); (5, Breaker.Closed) ]);
+  Alcotest.(check (list bool)) "routes follow the breaker"
+    [ true; true; false; false; true; true ]
+    (List.map (fun o -> o.Service.routed_acs) r.Service.outcomes);
+  Alcotest.(check (list string)) "fallback requests still solved"
+    [ "wcs"; "wcs"; "wcs"; "wcs"; "acs"; "acs" ]
+    (List.map stage_of r.Service.outcomes);
+  Alcotest.(check (list bool)) "degradation tracked per request"
+    [ true; true; true; true; false; false ]
+    (List.map (fun (o : Service.outcome) -> o.Service.degraded) r.Service.outcomes);
+  Alcotest.(check int) "all processed" 6 r.Service.processed;
+  Alcotest.(check bool) "no drain, service healthy" true
+    ((not r.Service.drained) && not r.Service.degraded)
+
+let test_service_admission_shed () =
+  let config = { quick_config with Service.high_water = 2; wave = 8 } in
+  let lines =
+    [ "nonsense"; {|{"id": "a"}|}; {|{"id": "b"}|}; {|{"id": "c"}|} ]
+  in
+  let r = Service.run ~config ~power ~lines () in
+  Alcotest.(check int) "rejected" 1 r.Service.rejected;
+  Alcotest.(check int) "admitted" 2 r.Service.admitted;
+  Alcotest.(check int) "shed" 1 r.Service.shed;
+  (match r.Service.outcomes with
+  | [ bad; a; b; c ] ->
+    Alcotest.(check string) "rejected lines get positional ids" "line-1"
+      bad.Service.id;
+    Alcotest.(check bool) "rejection reason kept" true
+      (match bad.Service.status with Service.Rejected _ -> true | _ -> false);
+    Alcotest.(check bool) "admitted requests solved" true
+      (stage_of a = "acs" && stage_of b = "acs");
+    Alcotest.(check bool) "overflow shed, not failed" true
+      (c.Service.status = Service.Shed && c.Service.attempts = 0)
+  | _ -> Alcotest.fail "expected one outcome per input line")
+
+let test_service_jobs_bit_identical () =
+  let lines =
+    [ {|{"id": "f1", "acs_max_outer": 0}|};
+      {|{"id": "f2", "acs_max_outer": 0}|};
+      {|{"id": "sim3", "rounds": 5, "seed": 3}|};
+      {|{"id": "sim4", "rounds": 5, "seed": 4}|} ]
+  in
+  let run jobs =
+    Service.run
+      ~config:{ quick_config with Service.jobs; wave = 2 }
+      ~power ~lines ()
+  in
+  let seq = run 1 in
+  (* The simulated requests exercise the mean-energy path too. *)
+  Alcotest.(check bool) "rounds > 0 reports energy" true
+    (List.exists
+       (fun o ->
+         match o.Service.status with
+         | Service.Done { mean_energy = Some _; _ } -> true
+         | _ -> false)
+       seq.Service.outcomes);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "report identical at jobs=%d" jobs)
+        true (seq = run jobs))
+    [ 2; 4 ]
+
+let test_service_retries_then_fails () =
+  (* A 64-task request cannot satisfy the random generator's
+     sub-instance cap (any short period splits every lower-priority
+     instance, blowing far past 1000 sub-instances), so every solve
+     attempt fails in-band — the deterministic trigger for the
+     bounded-retry path. *)
+  let attempts_seen = ref [] in
+  let before_solve ~attempt (req : Request.t) =
+    attempts_seen := (req.Request.id, attempt) :: !attempts_seen
+  in
+  let config = { quick_config with Service.max_retries = 2 } in
+  let r =
+    Service.run ~config ~power ~before_solve
+      ~lines:[ {|{"id": "doomed", "tasks": 64, "seed": 1}|} ] ()
+  in
+  (match r.Service.outcomes with
+  | [ o ] ->
+    Alcotest.(check bool) "failed after exhausting retries" true
+      (match o.Service.status with Service.Failed _ -> true | _ -> false);
+    Alcotest.(check int) "initial attempt plus two retries" 3
+      o.Service.attempts;
+    Alcotest.(check int) "no crashes involved" 0 o.Service.crashes;
+    Alcotest.(check bool) "request degraded" true o.Service.degraded
+  | _ -> Alcotest.fail "expected one outcome");
+  Alcotest.(check bool) "every attempt went through the hook" true
+    (List.rev !attempts_seen = [ ("doomed", 1); ("doomed", 2); ("doomed", 3) ]);
+  Alcotest.(check bool) "solver failure is not service degradation" false
+    r.Service.degraded
+
+let test_service_worker_restart_recovers () =
+  (* Supervision: two induced worker crashes are absorbed by restarts
+     and the third attempt completes the request. *)
+  let before_solve ~attempt (req : Request.t) =
+    if req.Request.id = "crashy" && attempt <= 2 then failwith "induced crash"
+  in
+  let r =
+    Service.run ~config:quick_config ~power ~before_solve
+      ~lines:[ {|{"id": "crashy"}|} ] ()
+  in
+  match r.Service.outcomes with
+  | [ o ] ->
+    Alcotest.(check string) "recovered and solved" "acs" (stage_of o);
+    Alcotest.(check int) "two restarts absorbed" 2 o.Service.crashes;
+    Alcotest.(check int) "three attempts" 3 o.Service.attempts;
+    Alcotest.(check bool) "service not degraded" false r.Service.degraded
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_service_worker_crashout_degrades () =
+  let before_solve ~attempt:_ (_ : Request.t) = failwith "always crashes" in
+  let config = { quick_config with Service.max_worker_crashes = 1 } in
+  let r =
+    Service.run ~config ~power ~before_solve ~lines:[ {|{"id": "hopeless"}|} ] ()
+  in
+  match r.Service.outcomes with
+  | [ o ] ->
+    Alcotest.(check bool) "failed as a crash" true
+      (match o.Service.status with
+      | Service.Failed msg -> contains ~sub:"crash" msg
+      | _ -> false);
+    Alcotest.(check int) "restart budget spent" 2 o.Service.crashes;
+    Alcotest.(check bool) "service marked degraded" true r.Service.degraded
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_service_drain_keeps_tail () =
+  let polls = ref 0 in
+  let should_stop () = incr polls; !polls >= 2 in
+  let config = { quick_config with Service.wave = 2 } in
+  let lines =
+    [ {|{"id": "a"}|}; {|{"id": "b"}|}; {|{"id": "c"}|}; {|{"id": "d"}|} ]
+  in
+  let r = Service.run ~config ~power ~should_stop ~lines () in
+  Alcotest.(check bool) "drain recorded" true r.Service.drained;
+  Alcotest.(check int) "first wave processed" 2 r.Service.processed;
+  Alcotest.(check (list bool)) "tail drained, in order"
+    [ false; false; true; true ]
+    (List.map
+       (fun o -> o.Service.status = Service.Drained)
+       r.Service.outcomes);
+  Alcotest.(check bool) "drained requests were never attempted" true
+    (List.for_all
+       (fun o ->
+         o.Service.status <> Service.Drained || o.Service.attempts = 0)
+       r.Service.outcomes)
+
+let test_drain_flag () =
+  Drain.reset ();
+  Alcotest.(check bool) "starts clear" false (Drain.requested ());
+  Drain.request ();
+  Alcotest.(check bool) "sticky once requested" true (Drain.requested ());
+  Drain.reset ();
+  Alcotest.(check bool) "reset clears" false (Drain.requested ())
+
+let suite =
+  [ ("breaker pinned transitions", `Quick, test_breaker_pinned_transitions);
+    ("breaker failed probe reopens", `Quick, test_breaker_failed_probe_reopens);
+    ("breaker success resets streak", `Quick,
+     test_breaker_success_resets_failure_streak);
+    ("breaker ignores fallback outcomes", `Quick,
+     test_breaker_ignores_fallback_outcomes);
+    ("breaker config validated", `Quick, test_breaker_rejects_bad_config);
+    ("request defaults", `Quick, test_request_defaults);
+    ("request round-trip", `Quick, test_request_roundtrip);
+    ("request rejections name the field", `Quick,
+     test_request_rejections_name_the_field);
+    ("service breaker sequence", `Quick, test_service_breaker_sequence);
+    ("service admission shed", `Quick, test_service_admission_shed);
+    ("service jobs bit-identical", `Quick, test_service_jobs_bit_identical);
+    ("service retries then fails", `Quick, test_service_retries_then_fails);
+    ("service worker restart recovers", `Quick,
+     test_service_worker_restart_recovers);
+    ("service worker crash-out degrades", `Quick,
+     test_service_worker_crashout_degrades);
+    ("service drain keeps tail", `Quick, test_service_drain_keeps_tail);
+    ("drain flag", `Quick, test_drain_flag) ]
