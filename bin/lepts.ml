@@ -591,47 +591,68 @@ let faults_cmd ~profile =
 (* --- serve --------------------------------------------------------------- *)
 
 let serve_cmd ~profile =
-  let run verbose input jobs high_water wave max_retries backoff max_crashes
-      threshold cooldown probes v_min v_max fail_on_degraded telemetry_file =
+  let run verbose input jobs shards high_water wave max_retries backoff
+      max_crashes threshold cooldown probes v_min v_max cache_path
+      snapshot_every health_every chaos_spec fail_on_degraded telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
-    with_observability ~command:"serve" ~profile ~telemetry_file
-    @@ fun _telemetry ->
-    let lines =
-      let ic = match input with None -> stdin | Some path -> open_in path in
-      let rec read acc =
-        match input_line ic with
-        | line -> read (line :: acc)
-        | exception End_of_file -> List.rev acc
+    let chaos =
+      match chaos_spec with
+      | None -> Ok None
+      | Some spec ->
+        Result.map
+          (fun p -> Some (Lepts_serve.Chaos.create ~profile:p))
+          (Lepts_serve.Chaos.of_string spec)
+    in
+    match chaos with
+    | Error msg ->
+      prerr_endline ("lepts serve: " ^ msg);
+      2
+    | Ok chaos ->
+      with_observability ~command:"serve" ~profile ~telemetry_file
+      @@ fun _telemetry ->
+      let lines =
+        let ic = match input with None -> stdin | Some path -> open_in path in
+        let rec read acc =
+          match input_line ic with
+          | line -> read (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        let lines = read [] in
+        (match input with Some _ -> close_in ic | None -> ());
+        List.filter (fun l -> String.trim l <> "") lines
       in
-      let lines = read [] in
-      (match input with Some _ -> close_in ic | None -> ());
-      List.filter (fun l -> String.trim l <> "") lines
-    in
-    Drain.install ();
-    let config =
-      { Lepts_serve.Service.jobs; high_water; wave; max_retries;
-        backoff_base = backoff; max_worker_crashes = max_crashes;
-        breaker =
-          { Lepts_serve.Breaker.failure_threshold = threshold; cooldown;
-            probes } }
-    in
-    let report =
-      Lepts_serve.Service.run ~config ~power ~should_stop:Drain.requested
-        ~lines ()
-    in
-    Lepts_serve.Service.print_report report;
-    if report.Lepts_serve.Service.drained then 3
-    else if
-      fail_on_degraded
-      && (report.Lepts_serve.Service.degraded
-         || List.exists
-              (fun (o : Lepts_serve.Service.outcome) ->
-                o.Lepts_serve.Service.degraded)
-              report.Lepts_serve.Service.outcomes)
-    then 4
-    else 0
+      Drain.install ();
+      let config =
+        { Lepts_serve.Daemon.service =
+            { Lepts_serve.Service.jobs; shards; high_water; wave; max_retries;
+              backoff_base = backoff; max_worker_crashes = max_crashes;
+              breaker =
+                { Lepts_serve.Breaker.failure_threshold = threshold; cooldown;
+                  probes } };
+          cache_path; snapshot_every; health_every }
+      in
+      let result =
+        Lepts_serve.Daemon.run ~config ~power ?chaos
+          ~should_stop:Drain.requested ~lines ()
+      in
+      prerr_endline
+        ("lepts serve: "
+        ^ Lepts_serve.Daemon.start_name result.Lepts_serve.Daemon.start);
+      let report = result.Lepts_serve.Daemon.report in
+      Lepts_serve.Service.print_report report;
+      Option.iter print_endline result.Lepts_serve.Daemon.chaos_line;
+      if report.Lepts_serve.Service.drained then 3
+      else if
+        fail_on_degraded
+        && (report.Lepts_serve.Service.degraded
+           || List.exists
+                (fun (o : Lepts_serve.Service.outcome) ->
+                  o.Lepts_serve.Service.degraded)
+                report.Lepts_serve.Service.outcomes)
+      then 4
+      else 0
   in
   let input =
     Arg.(value & opt (some string) None
@@ -640,11 +661,19 @@ let serve_cmd ~profile =
                    flat JSON object per line, e.g. \
                    {\"id\":\"r1\",\"tasks\":4,\"ratio\":0.3,\"seed\":7}.")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Request-queue shards. Requests are partitioned by a \
+                   content hash of their id; each shard has its own \
+                   circuit breaker and high-water mark, so one failing \
+                   client family degrades one shard, not the service.")
+  in
   let high_water =
     Arg.(value & opt int 64
          & info [ "high-water" ] ~docv:"N"
-             ~doc:"Admission high-water mark: requests beyond the first N \
-                   valid ones are load-shed.")
+             ~doc:"Per-shard admission high-water mark: valid requests \
+                   hashing to a shard beyond its first N are load-shed.")
   in
   let wave =
     Arg.(value & opt int 8
@@ -685,6 +714,37 @@ let serve_cmd ~profile =
          & info [ "breaker-probes" ] ~docv:"N"
              ~doc:"ACS probe slots per half-open episode.")
   in
+  let cache_path =
+    Arg.(value & opt (some string) None
+         & info [ "cache" ] ~docv:"FILE"
+             ~doc:"Persist the content-addressed schedule cache to FILE \
+                   (atomic snapshots). On startup a valid snapshot is \
+                   loaded and previously-solved task sets are served from \
+                   it byte-identically; a corrupt or mismatched snapshot \
+                   is refused with a diagnostic and the daemon starts \
+                   cold.")
+  in
+  let snapshot_every =
+    Arg.(value & opt int 8
+         & info [ "snapshot-every" ] ~docv:"WAVES"
+             ~doc:"Waves between periodic cache snapshots (with --cache).")
+  in
+  let health_every =
+    Arg.(value & opt int 0
+         & info [ "health-every" ] ~docv:"WAVES"
+             ~doc:"Emit a one-line health report (cache hit rate, shard \
+                   backlogs, breaker states) to stderr every N waves; 0 \
+                   disables.")
+  in
+  let chaos_spec =
+    Arg.(value & opt (some string) None
+         & info [ "chaos" ] ~docv:"PROFILE"
+             ~doc:"Inject deterministic faults: comma-separated key=value \
+                   pairs among crash=P, slow=P, slow-ms=N, drop=P, \
+                   corrupt=0|1, seed=N — e.g. \
+                   'crash=0.2,slow=0.1,drop=0.1,corrupt=1,seed=7'. \
+                   Fixed seeds reproduce the same faults on every run.")
+  in
   let fail_on_degraded =
     Arg.(value & flag
          & info [ "fail-on-degraded" ]
@@ -695,14 +755,17 @@ let serve_cmd ~profile =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a batch of NDJSON solve requests through the supervised \
-             pipeline: admission control above a high-water mark, bounded \
-             retries with backoff, a circuit breaker around the ACS stage, \
-             and graceful drain on SIGTERM/SIGINT (exit 3). Output is one \
-             JSON line per request plus a summary, byte-identical for \
-             every -j value.")
-    Term.(const run $ verbose_arg $ input $ jobs_arg $ high_water $ wave
-          $ max_retries $ backoff $ max_crashes $ threshold $ cooldown $ probes
-          $ v_min_arg $ v_max_arg $ fail_on_degraded $ telemetry_arg)
+             pipeline: sharded admission control with per-shard circuit \
+             breakers, a persistent content-addressed schedule cache with \
+             warm restart, bounded retries with backoff, optional chaos \
+             injection, and graceful drain on SIGTERM/SIGINT (exit 3). \
+             Output is one JSON line per request plus a summary, \
+             byte-identical for every -j value — and across a warm \
+             restart.")
+    Term.(const run $ verbose_arg $ input $ jobs_arg $ shards $ high_water
+          $ wave $ max_retries $ backoff $ max_crashes $ threshold $ cooldown
+          $ probes $ v_min_arg $ v_max_arg $ cache_path $ snapshot_every
+          $ health_every $ chaos_spec $ fail_on_degraded $ telemetry_arg)
 
 (* --- export -------------------------------------------------------------- *)
 

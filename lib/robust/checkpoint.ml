@@ -1,7 +1,8 @@
 module Pool = Lepts_par.Pool
 module Metrics = Lepts_obs.Metrics
 
-let version = "lepts-checkpoint/1"
+let magic = "lepts-checkpoint"
+let snapshot_version = 1
 
 exception Drained
 
@@ -31,6 +32,106 @@ let fnv_string h s =
 let hex64 h = Printf.sprintf "%016Lx" h
 
 let fingerprint ~parts = hex64 (fnv_string fnv_offset (String.concat "\n" parts))
+
+(* --- snapshot framing ------------------------------------------------------ *)
+
+module Snapshot = struct
+  (* Shared on-disk framing for every snapshot family in the tree
+     (checkpoints here, the serve-layer schedule cache): a magic/version
+     header, a fingerprint of the parameters that wrote the file, free-
+     form body lines, and a checksum trailer covering every preceding
+     byte. Each validation failure names the check that tripped —
+     magic, version, checksum or fingerprint — because "corrupt file"
+     tells an operator nothing about whether they pointed a run at the
+     wrong artifact or the disk tore a write. *)
+
+  type check = Magic | Version | Checksum | Fingerprint
+
+  let check_name = function
+    | Magic -> "magic"
+    | Version -> "version"
+    | Checksum -> "checksum"
+    | Fingerprint -> "fingerprint"
+
+  let fail ~path check fmt =
+    Printf.ksprintf
+      (fun m ->
+        Error (Printf.sprintf "%s: %s check failed: %s" path (check_name check) m))
+      fmt
+
+  let render ~magic ~version ~fingerprint ~body =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (Printf.sprintf "%s/%d\n" magic version);
+    Buffer.add_string buf ("fingerprint " ^ fingerprint ^ "\n");
+    List.iter
+      (fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+      body;
+    let payload = Buffer.contents buf in
+    payload ^ "checksum " ^ hex64 (fnv_string fnv_offset payload) ^ "\n"
+
+  let write ~path contents =
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc contents;
+    close_out oc;
+    Sys.rename tmp path
+
+  let parse ~path ~magic ~version contents =
+    let fail check fmt = fail ~path check fmt in
+    match String.split_on_char '\n' contents with
+    | [] | [ "" ] -> fail Magic "empty file"
+    | header :: rest -> (
+      let expected = Printf.sprintf "%s/%d" magic version in
+      match String.rindex_opt header '/' with
+      | None -> fail Magic "missing %S header, found %S" expected header
+      | Some slash ->
+        let file_magic = String.sub header 0 slash in
+        let file_version =
+          String.sub header (slash + 1) (String.length header - slash - 1)
+        in
+        if file_magic <> magic then
+          fail Magic "expected a %s snapshot, found %S" magic header
+        else if file_version <> string_of_int version then
+          fail Version "unsupported version %S (expected %d)" file_version version
+        else (
+          (* The checksum line covers every byte before it, including
+             the trailing newline of the last body line. *)
+          match List.rev rest with
+          | "" :: checksum_line :: body_rev -> (
+            match String.split_on_char ' ' checksum_line with
+            | [ "checksum"; given ] -> (
+              let payload =
+                String.concat "\n" (header :: List.rev body_rev) ^ "\n"
+              in
+              let computed = hex64 (fnv_string fnv_offset payload) in
+              if computed <> given then
+                fail Checksum "stored %s, computed %s (file corrupt or truncated)"
+                  given computed
+              else
+                match List.rev body_rev with
+                | fp_line :: body -> (
+                  match String.split_on_char ' ' fp_line with
+                  | [ "fingerprint"; fp ] -> Ok (fp, body)
+                  | _ -> fail Fingerprint "missing fingerprint line")
+                | [] -> fail Fingerprint "missing fingerprint line")
+            | _ -> fail Checksum "missing checksum trailer (file truncated?)")
+          | _ -> fail Checksum "missing checksum trailer (file truncated?)"))
+
+  let read ~path ~magic ~version =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    parse ~path ~magic ~version contents
+
+  let mismatch ~path ~file_fp ~run_fp =
+    Printf.sprintf
+      "%s: fingerprint check failed: snapshot fingerprint %s does not match \
+       this run (%s) — the run parameters differ from the ones that wrote it"
+      path file_fp run_fp
+end
 
 let hash_floats a =
   let h = ref fnv_offset in
@@ -89,86 +190,50 @@ let token_ok s =
   && String.for_all (fun c -> c <> ' ' && c <> '\n' && c <> '\r' && c <> '\t') s
 
 let render t =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf version;
-  Buffer.add_char buf '\n';
-  Buffer.add_string buf ("fingerprint " ^ t.fp ^ "\n");
   let sorted =
     List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.entries [])
   in
-  List.iter
-    (fun ((section, key), fields) ->
-      Buffer.add_string buf
-        (Printf.sprintf "entry %s %d %s\n" section key (String.concat " " fields)))
-    sorted;
-  let payload = Buffer.contents buf in
-  payload ^ "checksum " ^ hex64 (fnv_string fnv_offset payload) ^ "\n"
+  let body =
+    List.map
+      (fun ((section, key), fields) ->
+        Printf.sprintf "entry %s %d %s" section key (String.concat " " fields))
+      sorted
+  in
+  Snapshot.render ~magic ~version:snapshot_version ~fingerprint:t.fp ~body
 
 let save t =
-  let tmp = t.path ^ ".tmp" in
-  let oc = open_out tmp in
-  output_string oc (render t);
-  close_out oc;
-  Sys.rename tmp t.path;
+  Snapshot.write ~path:t.path (render t);
   Metrics.incr m_saves
 
-let parse ~path contents =
-  let err fmt = Printf.ksprintf (fun m -> Error (path ^ ": " ^ m)) fmt in
-  match String.split_on_char '\n' contents with
-  | [] -> err "empty file"
-  | v :: _ when v <> version -> err "unsupported version %S (expected %s)" v version
-  | v :: rest -> (
-    (* The checksum line covers every byte before it, including the
-       trailing newline of the last entry. *)
-    match List.rev rest with
-    | "" :: checksum_line :: body_rev -> (
-      match String.split_on_char ' ' checksum_line with
-      | [ "checksum"; given ] ->
-        let payload = String.concat "\n" (v :: List.rev body_rev) ^ "\n" in
-        if hex64 (fnv_string fnv_offset payload) <> given then
-          err "checksum mismatch (file corrupt or truncated)"
-        else begin
-          let entries = Hashtbl.create 256 in
-          let fp = ref None in
-          let bad = ref None in
-          List.iter
-            (fun line ->
-              if !bad = None then
-                match String.split_on_char ' ' line with
-                | [ "fingerprint"; f ] when !fp = None -> fp := Some f
-                | "entry" :: section :: key :: fields -> (
-                  match int_of_string_opt key with
-                  | Some k -> Hashtbl.replace entries (section, k) fields
-                  | None -> bad := Some line)
-                | _ -> bad := Some line)
-            (List.rev body_rev);
-          match (!bad, !fp) with
-          | Some line, _ -> err "malformed line %S" line
-          | None, None -> err "missing fingerprint line"
-          | None, Some fp -> Ok (fp, entries)
-        end
-      | _ -> err "missing checksum trailer")
-    | _ -> err "missing checksum trailer")
+let parse_entries ~path body =
+  let entries = Hashtbl.create 256 in
+  let bad = ref None in
+  List.iter
+    (fun line ->
+      if !bad = None then
+        match String.split_on_char ' ' line with
+        | "entry" :: section :: key :: fields -> (
+          match int_of_string_opt key with
+          | Some k -> Hashtbl.replace entries (section, k) fields
+          | None -> bad := Some line)
+        | _ -> bad := Some line)
+    body;
+  match !bad with
+  | Some line -> Error (Printf.sprintf "%s: malformed line %S" path line)
+  | None -> Ok entries
 
 let start ~path ~resume ~fingerprint:fp =
   if not (Sys.file_exists path) then
     if resume then Error (path ^ ": no checkpoint to resume")
     else Ok { path; fp; entries = Hashtbl.create 256 }
   else
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
-    let contents = really_input_string ic len in
-    close_in ic;
-    match parse ~path contents with
+    match Snapshot.read ~path ~magic ~version:snapshot_version with
     | Error _ as e -> e
-    | Ok (file_fp, entries) ->
+    | Ok (file_fp, body) ->
       if file_fp <> fp then
-        Error
-          (Printf.sprintf
-             "%s: checkpoint fingerprint %s does not match this run (%s) — \
-              the run parameters differ from the ones that wrote it"
-             path file_fp fp)
-      else Ok { path; fp; entries }
+        Error (Snapshot.mismatch ~path ~file_fp ~run_fp:fp)
+      else
+        Result.map (fun entries -> { path; fp; entries }) (parse_entries ~path body)
 
 (* --- resumable index driver ----------------------------------------------- *)
 

@@ -32,6 +32,55 @@
     manual edit) refuses to load. Floats are stored as the hex of their
     IEEE-754 bits ({!float_field}), so the round-trip is exact. *)
 
+(** Shared on-disk framing for snapshot files: the checkpoint store
+    below and the serve-layer schedule cache ([Lepts_serve.Cache])
+    both persist through it.
+
+    {v
+    <magic>/<version>
+    fingerprint <hex64>
+    <body line>
+    ...
+    checksum <hex64>
+    v}
+
+    Every validation failure names the check that tripped — [magic],
+    [version], [checksum] or [fingerprint] — so an operator can tell a
+    torn write (checksum) from a wrong artifact (magic/fingerprint)
+    from a format skew (version) without opening the file. *)
+module Snapshot : sig
+  val render :
+    magic:string -> version:int -> fingerprint:string -> body:string list -> string
+  (** Serialise a snapshot. [body] lines must not contain newlines. *)
+
+  val write : path:string -> string -> unit
+  (** Write-to-temp + [rename] (atomic on POSIX): a crash at any
+      instant leaves the previous snapshot or the new one, never a
+      torn file. *)
+
+  val parse :
+    path:string ->
+    magic:string ->
+    version:int ->
+    string ->
+    (string * string list, string) result
+  (** [parse ~path ~magic ~version contents] validates the framing and
+      returns [(fingerprint, body lines)]. Errors are
+      ["<path>: <check> check failed: ..."] where [<check>] is one of
+      [magic], [version], [checksum], [fingerprint]. *)
+
+  val read :
+    path:string ->
+    magic:string ->
+    version:int ->
+    (string * string list, string) result
+  (** {!parse} applied to the file at [path]. *)
+
+  val mismatch : path:string -> file_fp:string -> run_fp:string -> string
+  (** The canonical fingerprint-check-failed message, naming both
+      fingerprints. *)
+end
+
 type session
 (** An open checkpoint: the in-memory entry store plus the path it
     persists to. Not domain-safe — drive it from the coordinating

@@ -1,0 +1,200 @@
+module Checkpoint = Lepts_robust.Checkpoint
+module Metrics = Lepts_obs.Metrics
+
+let log_src = Logs.Src.create "lepts.serve.cache" ~doc:"content-addressed schedule cache"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let magic = "lepts-cache"
+let snapshot_version = 1
+
+type provenance = Authoritative | Fallback
+
+let provenance_name = function Authoritative -> "acs" | Fallback -> "fallback"
+
+let provenance_of_name = function
+  | "acs" -> Some Authoritative
+  | "fallback" -> Some Fallback
+  | _ -> None
+
+type entry = {
+  stage : string;
+  mean_energy : float option;
+  attempts : int;
+  crashes : int;
+  provenance : provenance;
+}
+
+type t = {
+  fingerprint : string;
+  table : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stale : int;
+  mutable inserts : int;
+  mutable upgrades : int;
+}
+
+type stats = {
+  entries : int;
+  s_hits : int;
+  s_misses : int;
+  s_stale : int;
+  s_inserts : int;
+  s_upgrades : int;
+}
+
+let m_hits =
+  Metrics.counter ~help:"requests served from the schedule cache" Metrics.default
+    "lepts_cache_hits_total"
+
+let m_misses =
+  Metrics.counter ~help:"cache lookups that found no entry" Metrics.default
+    "lepts_cache_misses_total"
+
+let m_stale =
+  Metrics.counter
+    ~help:"cache lookups that found only a fallback-provenance entry"
+    Metrics.default "lepts_cache_stale_total"
+
+let m_inserts =
+  Metrics.counter ~help:"entries inserted into the schedule cache"
+    Metrics.default "lepts_cache_inserts_total"
+
+let m_saves =
+  Metrics.counter ~help:"cache snapshots written" Metrics.default
+    "lepts_cache_saves_total"
+
+let m_warm_loads =
+  Metrics.counter ~help:"cache snapshots loaded at startup" Metrics.default
+    "lepts_cache_warm_loads_total"
+
+let create ~fingerprint =
+  { fingerprint; table = Hashtbl.create 256; hits = 0; misses = 0; stale = 0;
+    inserts = 0; upgrades = 0 }
+
+let fingerprint t = t.fingerprint
+let size t = Hashtbl.length t.table
+
+let stats t =
+  { entries = Hashtbl.length t.table; s_hits = t.hits; s_misses = t.misses;
+    s_stale = t.stale; s_inserts = t.inserts; s_upgrades = t.upgrades }
+
+let hit_rate t =
+  let looked = t.hits + t.misses + t.stale in
+  if looked = 0 then 0. else float_of_int t.hits /. float_of_int looked
+
+(* The content address of a request: every field that changes the
+   response, and nothing else — the id in particular is excluded, so a
+   million clients submitting the same task set share one entry. *)
+let key (req : Request.t) =
+  Checkpoint.fingerprint
+    ~parts:
+      [ "request"; string_of_int req.Request.tasks;
+        Checkpoint.float_field req.Request.ratio;
+        string_of_int req.Request.seed; string_of_int req.Request.rounds;
+        (match req.Request.budget_ms with None -> "-" | Some b -> string_of_int b);
+        (match req.Request.acs_max_outer with
+        | None -> "-"
+        | Some m -> string_of_int m) ]
+
+let find t ~key =
+  match Hashtbl.find_opt t.table key with
+  | Some e when e.provenance = Authoritative ->
+    t.hits <- t.hits + 1;
+    Metrics.incr m_hits;
+    `Hit e
+  | Some e ->
+    t.stale <- t.stale + 1;
+    Metrics.incr m_stale;
+    `Stale e
+  | None ->
+    t.misses <- t.misses + 1;
+    Metrics.incr m_misses;
+    `Miss
+
+let store t ~key entry =
+  match Hashtbl.find_opt t.table key with
+  | Some old when old.provenance = Authoritative ->
+    (* Never demote: an authoritative entry is the full-ACS answer for
+       this content and stays, whatever a later (possibly degraded)
+       solve of the same content produced. *)
+    ()
+  | Some _ ->
+    if entry.provenance = Authoritative then begin
+      t.upgrades <- t.upgrades + 1;
+      Hashtbl.replace t.table key entry
+    end
+  | None ->
+    t.inserts <- t.inserts + 1;
+    Metrics.incr m_inserts;
+    Hashtbl.replace t.table key entry
+
+(* --- persistence ----------------------------------------------------------- *)
+
+let entry_line key e =
+  Printf.sprintf "entry %s %s %s %s %d %d" key (provenance_name e.provenance)
+    e.stage
+    (match e.mean_energy with
+    | None -> "-"
+    | Some x -> Checkpoint.float_field x)
+    e.attempts e.crashes
+
+let save t ~path =
+  let sorted =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [])
+  in
+  let body = List.map (fun (k, e) -> entry_line k e) sorted in
+  Checkpoint.Snapshot.write ~path
+    (Checkpoint.Snapshot.render ~magic ~version:snapshot_version
+       ~fingerprint:t.fingerprint ~body);
+  Metrics.incr m_saves
+
+let entry_of_line ~path line =
+  let fail fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "%s: %s" path m)) fmt
+  in
+  match String.split_on_char ' ' line with
+  | [ "entry"; key; prov; stage; energy; attempts; crashes ] -> (
+    match
+      ( provenance_of_name prov, int_of_string_opt attempts,
+        int_of_string_opt crashes )
+    with
+    | Some provenance, Some attempts, Some crashes -> (
+      let energy_result =
+        if energy = "-" then Ok None
+        else
+          match Int64.of_string_opt ("0x" ^ energy) with
+          | Some bits -> Ok (Some (Int64.float_of_bits bits))
+          | None -> Error ()
+      in
+      match energy_result with
+      | Error () -> fail "malformed energy field %S in line %S" energy line
+      | Ok mean_energy ->
+        if key = "" || stage = "" then fail "malformed line %S" line
+        else Ok (key, { stage; mean_energy; attempts; crashes; provenance }))
+    | _ -> fail "malformed line %S" line)
+  | _ -> fail "malformed line %S" line
+
+let load ~path ~fingerprint:run_fp =
+  match Checkpoint.Snapshot.read ~path ~magic ~version:snapshot_version with
+  | Error _ as e -> e
+  | Ok (file_fp, body) ->
+    if file_fp <> run_fp then
+      Error (Checkpoint.Snapshot.mismatch ~path ~file_fp ~run_fp)
+    else
+      let t = create ~fingerprint:run_fp in
+      let rec fill = function
+        | [] ->
+          Metrics.incr m_warm_loads;
+          Log.info (fun f ->
+              f "%s: warm start with %d cached schedule(s)" path (size t));
+          Ok t
+        | line :: rest -> (
+          match entry_of_line ~path line with
+          | Error _ as e -> e
+          | Ok (key, entry) ->
+            Hashtbl.replace t.table key entry;
+            fill rest)
+      in
+      fill body

@@ -1,0 +1,100 @@
+(** Content-addressed schedule cache: the paper's value proposition —
+    an offline-computed schedule reused across many hyperperiods —
+    lifted to the service layer. Identical task sets are solved once
+    and served forever; a hit skips the ACS solve entirely and replays
+    the recorded outcome byte-identically.
+
+    {2 Keying}
+
+    The {!key} of a request is a {!Lepts_robust.Checkpoint.fingerprint}
+    of every field that changes the response — [tasks], [ratio] (exact
+    IEEE-754 bits), [seed], [rounds], [budget_ms], [acs_max_outer] —
+    and nothing else. The request [id] in particular is excluded:
+    a million embedded clients submitting the same task set share one
+    entry. Parameters of the hosting daemon that change results (the
+    power model) are pinned by the cache-level {!fingerprint} instead,
+    so a snapshot written under one power model is refused by a daemon
+    running another.
+
+    {2 Provenance}
+
+    Every entry records the provenance of its schedule: [Authoritative]
+    (the full ACS solve produced it) or [Fallback] (a WCS/RM stage
+    below ACS did). Only authoritative entries are served — a degraded
+    result must never be replayed as the real answer once the solver
+    has recovered. Fallback entries are still stored (they upgrade in
+    place when a later solve of the same content wins at ACS) and
+    lookups that find one report [`Stale], so the engine re-solves.
+    An authoritative entry is never demoted.
+
+    {2 Persistence}
+
+    Snapshots use the {!Lepts_robust.Checkpoint.Snapshot} framing
+    ([lepts-cache/1]): atomic write-rename, checksummed, fingerprinted;
+    floats stored as exact IEEE-754 bits so a warm-started daemon
+    serves the bit-identical response an uninterrupted one would.
+    Corrupt or mismatched snapshots are refused with a diagnostic
+    naming the failed check (magic / version / checksum / fingerprint).
+
+    Not domain-safe: the service engine confines all lookups and stores
+    to the sequential plan/fold phases on the coordinating domain. *)
+
+type provenance =
+  | Authoritative  (** the full ACS solve produced the schedule *)
+  | Fallback  (** a WCS/RM stage below ACS produced it *)
+
+val provenance_name : provenance -> string
+(** ["acs"] / ["fallback"]. *)
+
+type entry = {
+  stage : string;  (** winning pipeline stage name *)
+  mean_energy : float option;  (** post-solve simulation mean, if any *)
+  attempts : int;  (** attempts the recorded solve took *)
+  crashes : int;  (** worker crashes the recorded solve absorbed *)
+  provenance : provenance;
+}
+
+type t
+
+type stats = {
+  entries : int;
+  s_hits : int;
+  s_misses : int;
+  s_stale : int;  (** lookups that found only a fallback entry *)
+  s_inserts : int;
+  s_upgrades : int;  (** fallback entries upgraded to authoritative *)
+}
+
+val create : fingerprint:string -> t
+(** An empty cache pinned to a configuration [fingerprint]
+    ({!Lepts_robust.Checkpoint.fingerprint} of the daemon parameters
+    that change results — the power model, not [jobs]). *)
+
+val fingerprint : t -> string
+val size : t -> int
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** Hits over all lookups ([0.] before the first lookup). *)
+
+val key : Request.t -> string
+(** Content address of a request (see module docs). *)
+
+val find : t -> key:string -> [ `Hit of entry | `Stale of entry | `Miss ]
+(** [`Hit] only for authoritative entries; [`Stale] reports a
+    fallback-provenance entry the caller must not serve. Counted in
+    [lepts_cache_{hits,misses,stale}_total]. *)
+
+val store : t -> key:string -> entry -> unit
+(** Insert or upgrade (see provenance rules above). *)
+
+val save : t -> path:string -> unit
+(** Atomic snapshot ([lepts-cache/1]). Entries are written sorted by
+    key, so equal caches produce byte-identical files. Counted in
+    [lepts_cache_saves_total]. *)
+
+val load : path:string -> fingerprint:string -> (t, string) result
+(** Validate and load a snapshot. The error message names the failed
+    check — magic, version, checksum or fingerprint — or the malformed
+    entry line. Counted in [lepts_cache_warm_loads_total] on
+    success. *)

@@ -1,0 +1,166 @@
+module Checkpoint = Lepts_robust.Checkpoint
+module Metrics = Lepts_obs.Metrics
+module Model = Lepts_power.Model
+
+let log_src = Logs.Src.create "lepts.serve.daemon" ~doc:"persistent serve daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  service : Service.config;
+  cache_path : string option;
+  snapshot_every : int;
+  health_every : int;
+}
+
+let default_config =
+  { service = Service.default_config; cache_path = None; snapshot_every = 8;
+    health_every = 0 }
+
+type start = Cold | Warm of int | Refused of string
+
+let start_name = function
+  | Cold -> "cold"
+  | Warm n -> Printf.sprintf "warm (%d cached schedule(s))" n
+  | Refused _ -> "cold (snapshot refused)"
+
+type result = {
+  report : Service.report;
+  start : start;
+  cache : Cache.t;
+  chaos_line : string option;
+}
+
+(* The cache-level fingerprint pins every daemon parameter that changes
+   responses — today, the power model (exact IEEE-754 bits of its
+   voltage rails). [jobs], [shards] and the breaker thresholds change
+   scheduling of work, never a schedule, so they are deliberately
+   absent: a snapshot stays warm across a re-tuned deployment. *)
+let cache_fingerprint ~power =
+  Checkpoint.fingerprint
+    ~parts:
+      [ "lepts-serve-cache";
+        Checkpoint.float_field power.Model.v_min;
+        Checkpoint.float_field power.Model.v_max ]
+
+(* Warm start: validate and load the snapshot if one exists. A corrupt
+   or mismatched snapshot is refused with its diagnostic and the
+   daemon falls back to a cold start — it must never trust bytes that
+   fail a check, and never crash because a restart found debris. *)
+let start_cache ~path_opt ~fingerprint =
+  match path_opt with
+  | None -> (Cold, Cache.create ~fingerprint)
+  | Some path ->
+    if not (Sys.file_exists path) then begin
+      Log.info (fun f -> f "%s: no snapshot, cold start" path);
+      (Cold, Cache.create ~fingerprint)
+    end
+    else (
+      match Cache.load ~path ~fingerprint with
+      | Ok cache -> (Warm (Cache.size cache), cache)
+      | Error msg ->
+        Log.err (fun f -> f "refusing cache snapshot: %s" msg);
+        (Refused msg, Cache.create ~fingerprint))
+
+let g_entries =
+  Metrics.gauge ~help:"schedules held by the serve cache" Metrics.default
+    "lepts_serve_cache_entries"
+
+let shard_gauges shards =
+  Array.init shards (fun i ->
+      let labels = [ ("shard", string_of_int i) ] in
+      ( Metrics.gauge ~help:"breaker state (0 closed, 1 open, 2 half-open)"
+          ~labels Metrics.default "lepts_breaker_state",
+        Metrics.gauge ~help:"admitted requests not yet processed" ~labels
+          Metrics.default "lepts_serve_shard_backlog" ))
+
+let state_code = function
+  | Breaker.Closed -> 0.
+  | Breaker.Open -> 1.
+  | Breaker.Half_open -> 2.
+
+let health_line ~cache (p : Service.progress) =
+  let stats = Cache.stats cache in
+  Printf.sprintf
+    "health wave=%d processed=%d backlog=%d cache{entries=%d,hits=%d,\
+     hit_rate=%.2f} shards=[%s]"
+    p.Service.p_wave p.Service.p_processed p.Service.p_backlog
+    stats.Cache.entries stats.Cache.s_hits (Cache.hit_rate cache)
+    (String.concat ","
+       (List.map
+          (fun (i, st, backlog) ->
+            Printf.sprintf "%d:%s:%d" i (Breaker.state_name st) backlog)
+          p.Service.p_shards))
+
+let run ?(config = default_config) ?(power = Model.ideal ()) ?chaos
+    ?before_solve ?(should_stop = fun () -> false) ~lines () =
+  if config.snapshot_every < 1 then
+    invalid_arg "Daemon.run: snapshot_every must be >= 1";
+  if config.health_every < 0 then
+    invalid_arg "Daemon.run: health_every must be >= 0";
+  let fingerprint = cache_fingerprint ~power in
+  let start, cache = start_cache ~path_opt:config.cache_path ~fingerprint in
+  Log.info (fun f -> f "daemon start: %s" (start_name start));
+  let lines =
+    match chaos with None -> lines | Some ch -> Chaos.filter_lines ch lines
+  in
+  let before_solve ~attempt req =
+    Option.iter (fun ch -> Chaos.before_solve ch ~attempt req) chaos;
+    Option.iter (fun f -> f ~attempt req) before_solve
+  in
+  let gauges = shard_gauges config.service.Service.shards in
+  let after_wave (p : Service.progress) =
+    Metrics.set g_entries (float_of_int (Cache.size cache));
+    List.iter
+      (fun (i, st, backlog) ->
+        let g_state, g_backlog = gauges.(i) in
+        Metrics.set g_state (state_code st);
+        Metrics.set g_backlog (float_of_int backlog))
+      p.Service.p_shards;
+    (* Periodic snapshot: the persistence that makes a kill -9 at any
+       wave boundary recoverable. Atomic write-rename, so a crash
+       mid-save leaves the previous snapshot intact. *)
+    Option.iter
+      (fun path ->
+        if p.Service.p_wave mod config.snapshot_every = 0 then
+          Cache.save cache ~path)
+      config.cache_path;
+    if config.health_every > 0 && p.Service.p_wave mod config.health_every = 0
+    then prerr_endline (health_line ~cache p)
+  in
+  let report =
+    Service.run ~config:config.service ~power ~cache ~before_solve ~after_wave
+      ~should_stop ~lines ()
+  in
+  Option.iter (fun path -> Cache.save cache ~path) config.cache_path;
+  (* Chaos epilogue: corrupt the final snapshot and verify the daemon's
+     own validating loader refuses it — then restore the good bytes so
+     the next restart still comes up warm. *)
+  let chaos_line =
+    Option.map
+      (fun ch ->
+        let verdict =
+          match (config.cache_path, (Chaos.profile ch).Chaos.corrupt_snapshot)
+          with
+          | None, _ | _, false -> "skipped"
+          | Some path, true -> (
+            match Chaos.corrupt_file ch ~path with
+            | Error msg ->
+              Log.err (fun f -> f "chaos: corruption failed: %s" msg);
+              "corrupt-error"
+            | Ok _ -> (
+              match Cache.load ~path ~fingerprint with
+              | Error msg ->
+                Log.info (fun f ->
+                    f "chaos: corrupted snapshot refused as expected: %s" msg);
+                Cache.save cache ~path;
+                "corrupted+refused"
+              | Ok _ ->
+                Log.err (fun f ->
+                    f "chaos: corrupted snapshot was ACCEPTED — checksum hole");
+                "corrupted+accepted"))
+        in
+        Chaos.report_json ch ~snapshot:verdict)
+      chaos
+  in
+  { report; start; cache; chaos_line }

@@ -1,0 +1,81 @@
+(** The persistent [lepts serve] daemon: {!Service} plus the machinery
+    that makes restarts cheap and failures observable.
+
+    {2 Lifecycle}
+
+    {e Cold start} — no snapshot at [cache_path] (or no path): the
+    daemon begins with an empty {!Cache}. {e Warm restart} — a valid
+    snapshot is loaded and every previously-solved task set is served
+    from it, byte-identically to the uninterrupted run (the cache holds
+    exact IEEE-754 bits and hits replay the recorded outcome and
+    breaker signal). A corrupt or mismatched snapshot is {e refused}
+    with a diagnostic naming the failed check (magic / version /
+    checksum / fingerprint) and the daemon falls back to a cold start —
+    it never trusts bytes that fail a check and never crashes on
+    restart debris. {e Drain} — [should_stop] is honoured at wave
+    boundaries; the final snapshot is written either way, so the next
+    start is warm.
+
+    Snapshots are written every [snapshot_every] waves and once after
+    the run, via {!Lepts_robust.Checkpoint.Snapshot}'s atomic
+    write-rename — a [kill -9] at any point leaves the previous intact.
+
+    {2 Observability}
+
+    Gauges in {!Lepts_obs.Metrics.default}:
+    [lepts_serve_cache_entries], [lepts_breaker_state{shard}]
+    (0 closed / 1 open / 2 half-open), and
+    [lepts_serve_shard_backlog{shard}]. With [health_every > 0], a
+    one-line health report (wave, processed, backlog, cache hit rate,
+    per-shard breaker states and depths) goes to stderr every
+    [health_every] waves — stderr, so the NDJSON report on stdout stays
+    byte-comparable.
+
+    {2 Chaos}
+
+    With [chaos] attached, requests may be dropped before admission,
+    solves slowed or crashed on the worker domain, and the final
+    snapshot corrupted and re-validated (then restored) — see {!Chaos}.
+    The injections go through the real supervision, shedding and
+    validation paths; nothing is mocked. *)
+
+type config = {
+  service : Service.config;
+  cache_path : string option;  (** snapshot location; [None] disables *)
+  snapshot_every : int;  (** waves between periodic snapshots; >= 1 *)
+  health_every : int;  (** waves between health lines; 0 disables *)
+}
+
+val default_config : config
+(** {!Service.default_config}, no cache path, [snapshot_every = 8],
+    [health_every = 0]. *)
+
+type start =
+  | Cold
+  | Warm of int  (** entries loaded from the snapshot *)
+  | Refused of string  (** snapshot diagnostic; served cold instead *)
+
+val start_name : start -> string
+
+type result = {
+  report : Service.report;
+  start : start;
+  cache : Cache.t;  (** post-run cache (inspectable in tests) *)
+  chaos_line : string option;
+      (** the [{"chaos": ...}] trailer, when chaos was attached *)
+}
+
+val run :
+  ?config:config ->
+  ?power:Lepts_power.Model.t ->
+  ?chaos:Chaos.t ->
+  ?before_solve:(attempt:int -> Request.t -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  lines:string list ->
+  unit ->
+  result
+(** One daemon run over a batch of NDJSON lines: load-or-create the
+    cache, serve via {!Service.run}, snapshot periodically and at the
+    end. The cache fingerprint pins the [power] model (exact voltage
+    rail bits), so a snapshot written under another model is refused.
+    [before_solve] composes after chaos injection. *)

@@ -13,6 +13,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type config = {
   jobs : int;
+  shards : int;
   high_water : int;
   wave : int;
   max_retries : int;
@@ -22,8 +23,9 @@ type config = {
 }
 
 let default_config =
-  { jobs = 1; high_water = 64; wave = 8; max_retries = 1; backoff_base = 0.;
-    max_worker_crashes = 2; breaker = Breaker.default_config }
+  { jobs = 1; shards = 1; high_water = 64; wave = 8; max_retries = 1;
+    backoff_base = 0.; max_worker_crashes = 2;
+    breaker = Breaker.default_config }
 
 type status =
   | Done of { stage : string; mean_energy : float option }
@@ -49,7 +51,14 @@ type report = {
   rejected : int;
   drained : bool;
   degraded : bool;
-  transitions : (int * Breaker.state) list;
+  shards : Shard.stat list;
+}
+
+type progress = {
+  p_wave : int;
+  p_processed : int;
+  p_backlog : int;
+  p_shards : (int * Breaker.state * int) list;
 }
 
 (* Service counters (DESIGN.md §9). *)
@@ -207,9 +216,21 @@ let no_exec = (* placeholder for requests a drain left unprocessed *)
   { e_status = Drained; e_attempts = 0; e_crashes = 0; e_acs_ok = false;
     e_degraded = false; e_crashed_out = false }
 
-let run ?(config = default_config) ?(power = Model.ideal ())
-    ?before_solve ?(should_stop = fun () -> false) ~lines () =
+(* A wave slot's plan: run the solver (with or without ACS), or replay
+   a cached authoritative schedule without solving at all. *)
+type slot_plan = Solve of bool | Cached of Cache.entry
+
+let exec_of_entry (e : Cache.entry) =
+  (* Only authoritative entries are ever served, so a cache hit is by
+     construction a non-degraded ACS result. *)
+  { e_status = Done { stage = e.Cache.stage; mean_energy = e.Cache.mean_energy };
+    e_attempts = e.Cache.attempts; e_crashes = e.Cache.crashes;
+    e_acs_ok = true; e_degraded = false; e_crashed_out = false }
+
+let run ?(config = default_config) ?(power = Model.ideal ()) ?cache
+    ?before_solve ?after_wave ?(should_stop = fun () -> false) ~lines () =
   if config.jobs < 1 then invalid_arg "Service.run: jobs must be >= 1";
+  if config.shards < 1 then invalid_arg "Service.run: shards must be >= 1";
   if config.high_water < 1 then
     invalid_arg "Service.run: high_water must be >= 1";
   if config.wave < 1 then invalid_arg "Service.run: wave must be >= 1";
@@ -218,8 +239,9 @@ let run ?(config = default_config) ?(power = Model.ideal ())
   if config.max_worker_crashes < 0 then
     invalid_arg "Service.run: max_worker_crashes must be >= 0";
   Span.with_ ~name:"serve:batch" @@ fun () ->
-  (* Admission: parse every line, admit the first [high_water] valid
-     requests, shed the rest. One pass, in input order. *)
+  (* Admission: parse every line; assign each valid request to its shard
+     by content hash of the id; admit until that shard's high-water
+     mark, shed the rest. One pass, in input order — deterministic. *)
   let parsed =
     List.mapi
       (fun i line ->
@@ -237,31 +259,45 @@ let run ?(config = default_config) ?(power = Model.ideal ())
       (function `Request (i, r) -> Some (i, r) | `Rejected _ -> None)
       parsed
   in
-  let admitted_list, shed_list =
-    let rec split k acc = function
-      | [] -> (List.rev acc, [])
-      | rest when k = 0 -> (List.rev acc, rest)
-      | x :: rest -> split (k - 1) (x :: acc) rest
-    in
-    split config.high_water [] valid
+  let shards =
+    Array.init config.shards (fun index ->
+        Shard.create ~config:config.breaker ~index)
   in
-  Metrics.incr ~by:(List.length admitted_list) m_admitted;
-  Metrics.incr ~by:(List.length shed_list) m_shed;
-  if shed_list <> [] then
-    Log.warn (fun f ->
-        f "load shedding: %d request(s) above the high-water mark (%d)"
-          (List.length shed_list) config.high_water);
-  let admitted = Array.of_list admitted_list in
+  let admitted_rev = ref [] in
+  let shed_count = ref 0 in
+  List.iter
+    (fun (line_idx, (req : Request.t)) ->
+      let s = Shard.of_id ~shards:config.shards req.Request.id in
+      let sh = shards.(s) in
+      if Shard.backlog sh < config.high_water then begin
+        sh.Shard.admitted <- sh.Shard.admitted + 1;
+        admitted_rev := (line_idx, req, s) :: !admitted_rev
+      end
+      else begin
+        sh.Shard.shed <- sh.Shard.shed + 1;
+        incr shed_count
+      end)
+    valid;
+  let admitted = Array.of_list (List.rev !admitted_rev) in
   let n = Array.length admitted in
-  (* Wave loop. The logical clock ticks once per folded request; routes
-     for a wave are planned before it runs, from the breaker state the
-     previous fold left behind — identical whatever [jobs] is. *)
-  let breaker = Breaker.create ~config:config.breaker () in
-  let clock = ref 0 in
+  Metrics.incr ~by:n m_admitted;
+  Metrics.incr ~by:!shed_count m_shed;
+  if !shed_count > 0 then
+    Log.warn (fun f ->
+        f "load shedding: %d request(s) above a shard high-water mark (%d)"
+          !shed_count config.high_water);
+  (* Wave loop. Each shard has its own breaker and logical clock; the
+     clock ticks once per request folded into the shard. Routes for a
+     wave are planned sequentially before it runs, from the breaker
+     state the previous fold left behind, and the cache is consulted
+     only for ACS-routed requests — so a warm start serves exactly the
+     requests an uninterrupted run solved at ACS, and the breaker state
+     sequence (hence the report) is identical whatever [jobs] is. *)
   let results = Array.make n no_exec in
   let routed = Array.make n false in
   let processed = ref 0 in
   let drained = ref false in
+  let wave_no = ref 0 in
   let i = ref 0 in
   while !i < n && not !drained do
     if should_stop () then begin
@@ -271,26 +307,99 @@ let run ?(config = default_config) ?(power = Model.ideal ())
     end
     else begin
       let w = Int.min config.wave (n - !i) in
-      let routes = Array.make w true in
-      for k = 0 to w - 1 do
-        routes.(k) <- Breaker.plan_route breaker ~now:!clock
-      done;
-      let execs, _stats =
-        Pool.run ~jobs:config.jobs ~n:w ~f:(fun k ->
-            let _, req = admitted.(!i + k) in
-            process ~config ~power ~before_solve ~skip_acs:(not routes.(k)) req)
+      incr wave_no;
+      (* Plan phase: sequential, in request order. [plan_route] may
+         consume a half-open probe slot, so it runs exactly once per
+         request; cache lookups happen here, on the coordinating
+         domain, only when the plan routed the request to ACS. *)
+      let plans =
+        Array.init w (fun k ->
+            let _, req, s = admitted.(!i + k) in
+            let sh = shards.(s) in
+            let route =
+              Breaker.plan_route sh.Shard.breaker ~now:sh.Shard.clock
+            in
+            if not route then Solve false
+            else
+              match cache with
+              | None -> Solve true
+              | Some c -> (
+                match Cache.find c ~key:(Cache.key req) with
+                | `Hit e -> Cached e
+                | `Stale _ | `Miss -> Solve true))
       in
+      (* Solve phase: only the slots the plan did not satisfy from the
+         cache go to the pool. *)
+      let to_solve =
+        Array.of_list
+          (List.filter_map
+             (fun k ->
+               match plans.(k) with Solve _ -> Some k | Cached _ -> None)
+             (List.init w Fun.id))
+      in
+      let solved =
+        if Array.length to_solve = 0 then [||]
+        else
+          fst
+            (Pool.run ~jobs:config.jobs ~n:(Array.length to_solve)
+               ~f:(fun j ->
+                 let k = to_solve.(j) in
+                 let _, req, _ = admitted.(!i + k) in
+                 let skip_acs =
+                   match plans.(k) with
+                   | Solve route -> not route
+                   | Cached _ -> assert false
+                 in
+                 process ~config ~power ~before_solve ~skip_acs req))
+      in
+      let solved_of = Hashtbl.create 16 in
+      Array.iteri (fun j k -> Hashtbl.replace solved_of k j) to_solve;
+      (* Fold phase: sequential, in request order. Cache hits fold as
+         successful ACS observations — the signal the uninterrupted run
+         folded when it solved this content at ACS — and fresh [Done]
+         results are stored with their provenance. *)
       for k = 0 to w - 1 do
-        incr clock;
-        let e = execs.(k) in
-        Breaker.observe breaker ~now:!clock ~routed_acs:routes.(k)
-          ~ok:e.e_acs_ok;
+        let _, req, s = admitted.(!i + k) in
+        let sh = shards.(s) in
+        sh.Shard.clock <- sh.Shard.clock + 1;
+        sh.Shard.processed <- sh.Shard.processed + 1;
+        let e, route =
+          match plans.(k) with
+          | Cached entry -> (exec_of_entry entry, true)
+          | Solve route ->
+            let e = solved.(Hashtbl.find solved_of k) in
+            (match (cache, e.e_status) with
+            | Some c, Done { stage; mean_energy } ->
+              Cache.store c ~key:(Cache.key req)
+                { Cache.stage; mean_energy; attempts = e.e_attempts;
+                  crashes = e.e_crashes;
+                  provenance =
+                    (if e.e_acs_ok then Cache.Authoritative
+                     else Cache.Fallback) }
+            | _ -> ());
+            (e, route)
+        in
+        Breaker.observe sh.Shard.breaker ~now:sh.Shard.clock
+          ~routed_acs:route ~ok:e.e_acs_ok;
         if e.e_degraded && not e.e_crashed_out then Metrics.incr m_degraded;
         results.(!i + k) <- e;
-        routed.(!i + k) <- routes.(k);
+        routed.(!i + k) <- route;
         incr processed
       done;
-      i := !i + w
+      i := !i + w;
+      Option.iter
+        (fun f ->
+          f
+            { p_wave = !wave_no; p_processed = !processed;
+              p_backlog = n - !i;
+              p_shards =
+                Array.to_list
+                  (Array.map
+                     (fun sh ->
+                       ( sh.Shard.index, Breaker.state sh.Shard.breaker,
+                         Shard.backlog sh ))
+                     shards) })
+        after_wave
     end
   done;
   Metrics.incr ~by:!processed m_processed;
@@ -298,13 +407,8 @@ let run ?(config = default_config) ?(power = Model.ideal ())
   (* Reassemble one outcome per input line, in input order. *)
   let admitted_index = Hashtbl.create 16 in
   Array.iteri
-    (fun slot (line_idx, _) -> Hashtbl.replace admitted_index line_idx slot)
+    (fun slot (line_idx, _, _) -> Hashtbl.replace admitted_index line_idx slot)
     admitted;
-  let shed_lines =
-    List.fold_left
-      (fun acc (line_idx, _) -> line_idx :: acc)
-      [] shed_list
-  in
   let outcomes =
     List.map
       (function
@@ -314,7 +418,6 @@ let run ?(config = default_config) ?(power = Model.ideal ())
         | `Request (i, (req : Request.t)) -> (
           match Hashtbl.find_opt admitted_index i with
           | None ->
-            assert (List.mem i shed_lines);
             { id = req.Request.id; status = Shed; attempts = 0; crashes = 0;
               routed_acs = false; degraded = false }
           | Some slot ->
@@ -327,11 +430,10 @@ let run ?(config = default_config) ?(power = Model.ideal ())
   let degraded_service =
     Array.exists (fun e -> e.e_crashed_out) results
   in
-  { outcomes; admitted = n; processed = !processed;
-    shed = List.length shed_list;
+  { outcomes; admitted = n; processed = !processed; shed = !shed_count;
     rejected = List.length parsed - List.length valid;
     drained = !drained; degraded = degraded_service;
-    transitions = Breaker.transitions breaker }
+    shards = Array.to_list (Array.map Shard.stat shards) }
 
 let pp_status ppf = function
   | Done { stage; mean_energy } ->
@@ -383,19 +485,27 @@ let outcome_json (o : outcome) =
   Buffer.add_char b '}';
   Buffer.contents b
 
-let print_report ?(oc = stdout) r =
-  List.iter (fun o -> output_string oc (outcome_json o ^ "\n")) r.outcomes;
+let shard_json (s : Shard.stat) =
   let transitions =
     String.concat ","
       (List.map
-         (fun (t, s) -> Printf.sprintf "[%d,\"%s\"]" t (Breaker.state_name s))
-         r.transitions)
+         (fun (t, st) -> Printf.sprintf "[%d,\"%s\"]" t (Breaker.state_name st))
+         s.Shard.transitions)
   in
+  Printf.sprintf
+    "{\"shard\":%d,\"admitted\":%d,\"shed\":%d,\"processed\":%d,\
+     \"breaker\":[%s]}"
+    s.Shard.shard s.Shard.s_admitted s.Shard.s_shed s.Shard.s_processed
+    transitions
+
+let print_report ?(oc = stdout) r =
+  List.iter (fun o -> output_string oc (outcome_json o ^ "\n")) r.outcomes;
+  let shards = String.concat "," (List.map shard_json r.shards) in
   output_string oc
     (Printf.sprintf
        "{\"summary\":{\"requests\":%d,\"admitted\":%d,\"processed\":%d,\
         \"shed\":%d,\"rejected\":%d,\"drained\":%b,\"degraded\":%b,\
-        \"breaker\":[%s]}}\n"
+        \"shards\":[%s]}}\n"
        (List.length r.outcomes) r.admitted r.processed r.shed r.rejected
-       r.drained r.degraded transitions);
+       r.drained r.degraded shards);
   flush oc

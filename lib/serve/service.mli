@@ -1,20 +1,33 @@
 (** The scheduling service: a supervised, admission-controlled queue of
     solve jobs in front of the resilient pipeline.
 
-    Requests arrive as NDJSON lines ({!Request}), are admitted up to a
-    high-water mark (the rest are shed — predictable degradation beats
-    an unbounded queue), and are processed in fixed-size {e waves}:
+    Requests arrive as NDJSON lines ({!Request}) and are partitioned
+    into {!Shard}s by a content hash of the request id. Each shard has
+    its own circuit breaker, logical clock and admission high-water
+    mark (requests above it are shed — predictable degradation beats an
+    unbounded queue), so a flood of failures from one client family
+    degrades one shard while the others keep serving. Admitted requests
+    are processed in fixed-size {e waves}:
 
-    + routes are planned for the whole wave from the {!Breaker} state,
-      in request order;
-    + the wave's solves run on a {!Lepts_par.Pool} of [jobs] domains —
-      each solve is a pure function of (request, route);
-    + outcomes are folded back into the breaker in request order, one
-      logical-clock tick per request.
+    + routes are planned for the whole wave from each shard's
+      {!Breaker} state, in request order; ACS-routed requests then
+      consult the schedule {!Cache} (when one is attached) and replay
+      an authoritative hit without solving;
+    + the remaining solves run on a {!Lepts_par.Pool} of [jobs]
+      domains — each solve is a pure function of (request, route);
+    + outcomes are folded back into the shard breakers in request
+      order, one shard-clock tick per request; a cache hit folds as a
+      successful ACS observation, and fresh schedules are stored with
+      their provenance (never overwriting an authoritative entry with
+      a degraded one).
 
-    Because routing reads only pre-wave breaker state and folding is
+    Because routing reads only pre-wave breaker state, cache traffic is
+    confined to the sequential plan/fold phases, and folding is
     sequential, the report is {e bit-identical for every [jobs]
-    value} — the property the CI determinism job diffs for.
+    value} — and a warm-started daemon replaying cached schedules
+    produces the byte-identical report an uninterrupted run would.
+    Both properties are what the CI determinism and warm-restart jobs
+    diff for.
 
     Supervision: a worker exception (the solve must never take the
     service down) is caught, counted, and the request retried up to
@@ -27,9 +40,12 @@
 
 type config = {
   jobs : int;  (** worker domains per wave; >= 1 *)
+  shards : int;
+      (** request-queue partitions, each with its own breaker, clock
+          and high-water mark; >= 1 *)
   high_water : int;
-      (** admission high-water mark: requests beyond the first
-          [high_water] valid ones are shed; >= 1 *)
+      (** per-shard admission high-water mark: valid requests hashing
+          to a shard beyond its first [high_water] are shed; >= 1 *)
   wave : int;
       (** wave size — requests solved between breaker folds; >= 1.
           Part of the service semantics (routes are planned per wave),
@@ -46,8 +62,8 @@ type config = {
 }
 
 val default_config : config
-(** [jobs = 1], [high_water = 64], [wave = 8], [max_retries = 1],
-    [backoff_base = 0.], [max_worker_crashes = 2],
+(** [jobs = 1], [shards = 1], [high_water = 64], [wave = 8],
+    [max_retries = 1], [backoff_base = 0.], [max_worker_crashes = 2],
     {!Breaker.default_config}. *)
 
 type status =
@@ -78,42 +94,66 @@ type report = {
   rejected : int;
   drained : bool;  (** a drain interrupted processing *)
   degraded : bool;  (** some request exhausted its worker restarts *)
-  transitions : (int * Breaker.state) list;
-      (** the breaker's transition log, logical-clock stamped *)
+  shards : Shard.stat list;
+      (** per-shard admission counters and breaker transition logs, in
+          shard order *)
+}
+
+type progress = {
+  p_wave : int;  (** waves completed so far (counts from 1) *)
+  p_processed : int;  (** requests folded so far *)
+  p_backlog : int;  (** admitted requests not yet processed *)
+  p_shards : (int * Breaker.state * int) list;
+      (** per shard: (index, breaker state, backlog) *)
 }
 
 val run :
   ?config:config ->
   ?power:Lepts_power.Model.t ->
+  ?cache:Cache.t ->
   ?before_solve:(attempt:int -> Request.t -> unit) ->
+  ?after_wave:(progress -> unit) ->
   ?should_stop:(unit -> bool) ->
   lines:string list ->
   unit ->
   report
 (** [run ~lines ()] serves one batch of NDJSON request lines.
 
-    [power] defaults to {!Lepts_power.Model.ideal}. [before_solve] is
-    the supervision test hook, called on the worker domain before every
-    solve attempt (attempts count from 1 across retries and restarts);
-    an exception it raises is handled exactly like a worker crash, so
-    it must be domain-safe. [should_stop] (default: never) is polled
-    at wave boundaries.
+    [power] defaults to {!Lepts_power.Model.ideal}. [cache] (default:
+    none) attaches a schedule cache: ACS-routed requests whose content
+    key holds an authoritative entry are served from it without
+    solving, and fresh schedules are stored back with their provenance.
+    The caller is responsible for the cache fingerprint matching
+    [power] — {!Daemon} pins it. [before_solve] is the supervision test
+    hook, called on the worker domain before every solve attempt
+    (attempts count from 1 across retries and restarts); an exception
+    it raises is handled exactly like a worker crash, so it must be
+    domain-safe. [after_wave] (default: none) is called on the
+    coordinating domain after each wave's fold with a {!progress}
+    snapshot — the daemon's periodic-snapshot and health-report hook;
+    it must not mutate the cache. [should_stop] (default: never) is
+    polled at wave boundaries.
 
-    Deterministic in (config minus [jobs], lines) — and bit-identical
-    across [jobs] — provided the requests themselves solve
-    deterministically (no [budget_ms] wall caps racing real time).
+    Deterministic in (config minus [jobs], lines, cache contents) —
+    and bit-identical across [jobs] — provided the requests themselves
+    solve deterministically (no [budget_ms] wall caps racing real
+    time). A cache warmed by a previous identical run changes which
+    requests are solved but not the report: hits replay the recorded
+    outcome and fold the same breaker signal the original solve did.
 
     Counters in {!Lepts_obs.Metrics.default}:
     [lepts_serve_requests_total], [..._rejected_total],
     [..._admitted_total], [..._shed_total], [..._processed_total],
     [..._retries_total], [..._worker_restarts_total],
     [..._degraded_total], [..._drained_total] — plus the breaker's
-    [lepts_breaker_transitions_total{to}]. *)
+    [lepts_breaker_transitions_total{to}] and the cache's
+    [lepts_cache_*] family. *)
 
 val print_report : ?oc:out_channel -> report -> unit
 (** NDJSON: one object per outcome in input order, then one
-    [{"summary": ...}] trailer with the admission counts and breaker
-    transition log. Contains no timing, so two runs over the same
-    input are byte-identical whatever [jobs] was. *)
+    [{"summary": ...}] trailer with the admission counts and per-shard
+    breaker transition logs. Contains no timing and no cache traffic
+    counts, so two runs over the same input are byte-identical whatever
+    [jobs] was — and whether the cache was cold or warm. *)
 
 val pp_status : Format.formatter -> status -> unit

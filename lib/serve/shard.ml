@@ -1,0 +1,39 @@
+type t = {
+  index : int;
+  breaker : Breaker.t;
+  mutable clock : int;
+  mutable admitted : int;
+  mutable shed : int;
+  mutable processed : int;
+}
+
+type stat = {
+  shard : int;
+  s_admitted : int;
+  s_shed : int;
+  s_processed : int;
+  transitions : (int * Breaker.state) list;
+}
+
+let create ~config ~index =
+  { index; breaker = Breaker.create ~config (); clock = 0; admitted = 0;
+    shed = 0; processed = 0 }
+
+let backlog t = t.admitted - t.processed
+
+let stat t =
+  { shard = t.index; s_admitted = t.admitted; s_shed = t.shed;
+    s_processed = t.processed; transitions = Breaker.transitions t.breaker }
+
+(* Content-addressed routing: FNV-1a of the request id, reduced mod the
+   shard count. The same id lands on the same shard in every run and
+   every process — shard assignment is part of the deterministic
+   service semantics, not an artifact of arrival order or core count. *)
+let of_id ~shards id =
+  if shards < 1 then invalid_arg "Shard.of_id: shards must be >= 1";
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    id;
+  Int64.to_int (Int64.rem (Int64.logand !h Int64.max_int) (Int64.of_int shards))

@@ -1,0 +1,41 @@
+(** Per-shard service state: one request-queue partition of the domain
+    pool, with its own circuit breaker, logical clock and admission
+    counters.
+
+    Requests are assigned to shards by {!of_id} — a content hash of the
+    request id — so a flood of failing requests from one client family
+    trips {e that shard's} breaker and sheds above {e that shard's}
+    high-water mark while the other shards keep serving at full ACS
+    quality. Each shard's logical clock ticks once per request folded
+    into it, so breaker behaviour stays a pure function of the shard's
+    own observation sequence: bit-identical for every [jobs] value and
+    unaffected by traffic on sibling shards. *)
+
+type t = {
+  index : int;
+  breaker : Breaker.t;
+  mutable clock : int;  (** logical time: requests folded into this shard *)
+  mutable admitted : int;
+  mutable shed : int;
+  mutable processed : int;
+}
+
+type stat = {
+  shard : int;
+  s_admitted : int;
+  s_shed : int;
+  s_processed : int;
+  transitions : (int * Breaker.state) list;
+      (** the shard breaker's transition log, logical-clock stamped *)
+}
+
+val create : config:Breaker.config -> index:int -> t
+
+val backlog : t -> int
+(** Admitted requests not yet processed. *)
+
+val stat : t -> stat
+
+val of_id : shards:int -> string -> int
+(** Deterministic shard assignment: FNV-1a of the id mod [shards].
+    Raises [Invalid_argument] when [shards < 1]. *)

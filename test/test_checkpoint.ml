@@ -178,6 +178,56 @@ let test_version_mismatch_refused () =
   | Error msg ->
     Alcotest.(check bool) "names the version" true (contains ~sub:"version" msg)
 
+let test_snapshot_check_diagnostics () =
+  (* Every refusal names the check that tripped — magic, version,
+     checksum or fingerprint — so an operator can tell a wrong artifact
+     from a torn write from a foreign run. *)
+  with_path @@ fun path ->
+  let refuse ~check contents =
+    write_file path contents;
+    match Checkpoint.Snapshot.read ~path ~magic:"lepts-demo" ~version:1 with
+    | Ok _ -> Alcotest.failf "accepted a snapshot failing the %s check" check
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "names the %s check in %S" check msg)
+        true
+        (contains ~sub:(check ^ " check failed") msg && contains ~sub:path msg)
+  in
+  let good =
+    Checkpoint.Snapshot.render ~magic:"lepts-demo" ~version:1
+      ~fingerprint:"aa" ~body:[ "entry x" ]
+  in
+  (* Magic: a different family's snapshot, a headerless file, an empty
+     file. *)
+  refuse ~check:"magic"
+    (Checkpoint.Snapshot.render ~magic:"lepts-other" ~version:1
+       ~fingerprint:"aa" ~body:[]);
+  refuse ~check:"magic" "not a snapshot at all\n";
+  refuse ~check:"magic" "";
+  (* Version: same family, future format. *)
+  refuse ~check:"version"
+    (Checkpoint.Snapshot.render ~magic:"lepts-demo" ~version:99
+       ~fingerprint:"aa" ~body:[]);
+  (* Checksum: one flipped payload byte, and a truncated tail. *)
+  let flipped = Bytes.of_string good in
+  Bytes.set flipped (String.index good 'x') 'y';
+  refuse ~check:"checksum" (Bytes.to_string flipped);
+  refuse ~check:"checksum" (String.sub good 0 (String.length good - 5));
+  (* Fingerprint: a checksum-valid file missing its fingerprint line.
+     [fingerprint ~parts] joins with '\n', so these parts reproduce the
+     framing checksum of the bare-header payload. *)
+  refuse ~check:"fingerprint"
+    ("lepts-demo/1\nchecksum "
+    ^ Checkpoint.fingerprint ~parts:[ "lepts-demo/1"; "" ]
+    ^ "\n");
+  (* Round-trip sanity: the untouched snapshot parses back. *)
+  write_file path good;
+  match Checkpoint.Snapshot.read ~path ~magic:"lepts-demo" ~version:1 with
+  | Ok (fp, body) ->
+    Alcotest.(check string) "fingerprint round-trips" "aa" fp;
+    Alcotest.(check (list string)) "body round-trips" [ "entry x" ] body
+  | Error msg -> Alcotest.failf "refused a valid snapshot: %s" msg
+
 let test_fingerprint_mismatch_refused () =
   with_path @@ fun path ->
   let fp = Checkpoint.fingerprint ~parts:[ "run-a" ] in
@@ -293,6 +343,7 @@ let suite =
     ("sections independent", `Quick, test_sections_are_independent);
     ("corrupt file refused", `Quick, test_corrupt_file_refused);
     ("version mismatch refused", `Quick, test_version_mismatch_refused);
+    ("snapshot check diagnostics", `Quick, test_snapshot_check_diagnostics);
     ("fingerprint mismatch refused", `Quick, test_fingerprint_mismatch_refused);
     ("resume requires a file", `Quick, test_resume_requires_file);
     ("drain saves and raises", `Quick, test_drain_saves_and_raises);

@@ -19,6 +19,7 @@ let () =
       ("robust", Test_robust.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("serve", Test_serve.suite);
+      ("daemon", Test_daemon.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);
       ("extensions", Test_extensions.suite);

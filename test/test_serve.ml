@@ -2,6 +2,7 @@ module Model = Lepts_power.Model
 module Breaker = Lepts_serve.Breaker
 module Request = Lepts_serve.Request
 module Service = Lepts_serve.Service
+module Shard = Lepts_serve.Shard
 module Drain = Lepts_serve.Drain
 
 let contains ~sub s =
@@ -171,8 +172,11 @@ let test_service_breaker_sequence () =
   in
   let r = Service.run ~config:quick_config ~power ~lines () in
   Alcotest.(check bool) "transition sequence pinned" true
-    (r.Service.transitions
-    = [ (2, Breaker.Open); (4, Breaker.Half_open); (5, Breaker.Closed) ]);
+    (match r.Service.shards with
+    | [ s ] ->
+      s.Shard.transitions
+      = [ (2, Breaker.Open); (4, Breaker.Half_open); (5, Breaker.Closed) ]
+    | _ -> false);
   Alcotest.(check (list bool)) "routes follow the breaker"
     [ true; true; false; false; true; true ]
     (List.map (fun o -> o.Service.routed_acs) r.Service.outcomes);
@@ -216,7 +220,7 @@ let test_service_jobs_bit_identical () =
   in
   let run jobs =
     Service.run
-      ~config:{ quick_config with Service.jobs; wave = 2 }
+      ~config:{ quick_config with Service.jobs; shards = 3; wave = 2 }
       ~power ~lines ()
   in
   let seq = run 1 in
@@ -319,6 +323,134 @@ let test_service_drain_keeps_tail () =
          o.Service.status <> Service.Drained || o.Service.attempts = 0)
        r.Service.outcomes)
 
+let test_service_probe_drain_completes_fold () =
+  (* A drain arriving while a half-open probe wave is in flight must
+     not leave the breaker stuck in Half_open: the wave's fold always
+     completes, so the probe outcome is recorded before the tail is
+     drained. The flag is set from inside the probe's own solve. *)
+  let drain = ref false in
+  let before_solve ~attempt:_ (req : Request.t) =
+    if req.Request.id = "probe5" then drain := true
+  in
+  let should_stop () = !drain in
+  let lines =
+    [ {|{"id": "f1", "acs_max_outer": 0}|};
+      {|{"id": "f2", "acs_max_outer": 0}|};
+      {|{"id": "f3", "acs_max_outer": 0}|};
+      {|{"id": "f4", "acs_max_outer": 0}|};
+      {|{"id": "probe5"}|};
+      {|{"id": "tail6"}|} ]
+  in
+  let r =
+    Service.run ~config:quick_config ~power ~before_solve ~should_stop ~lines ()
+  in
+  Alcotest.(check bool) "drain recorded" true r.Service.drained;
+  Alcotest.(check int) "probe wave folded before draining" 5
+    r.Service.processed;
+  (match r.Service.shards with
+  | [ s ] ->
+    Alcotest.(check bool) "probe outcome recorded, breaker closed" true
+      (s.Shard.transitions
+      = [ (2, Breaker.Open); (4, Breaker.Half_open); (5, Breaker.Closed) ])
+  | _ -> Alcotest.fail "expected one shard");
+  match List.rev r.Service.outcomes with
+  | tail :: probe :: _ ->
+    Alcotest.(check bool) "probe served" true
+      (match probe.Service.status with Service.Done _ -> true | _ -> false);
+    Alcotest.(check bool) "tail drained" true
+      (tail.Service.status = Service.Drained)
+  | _ -> Alcotest.fail "expected six outcomes"
+
+(* Ids that hash to a given shard under [Shard.of_id ~shards:2]. *)
+let ids_for_shard ~shards shard n =
+  let rec go i acc n =
+    if n = 0 then List.rev acc
+    else
+      let id = Printf.sprintf "req-%d" i in
+      if Shard.of_id ~shards id = shard then go (i + 1) (id :: acc) (n - 1)
+      else go (i + 1) acc n
+  in
+  go 0 [] n
+
+let test_shard_assignment () =
+  Alcotest.(check int) "assignment is stable"
+    (Shard.of_id ~shards:4 "r1") (Shard.of_id ~shards:4 "r1");
+  List.iter
+    (fun id ->
+      Alcotest.(check int) "one shard takes everything" 0
+        (Shard.of_id ~shards:1 id))
+    [ "a"; "b"; "c"; "" ];
+  let hit = Array.make 4 false in
+  for i = 0 to 63 do
+    hit.(Shard.of_id ~shards:4 (Printf.sprintf "req-%d" i)) <- true
+  done;
+  Alcotest.(check bool) "64 ids spread over all 4 shards" true
+    (Array.for_all Fun.id hit);
+  Alcotest.(check bool) "shards < 1 rejected" true
+    (try ignore (Shard.of_id ~shards:0 "x"); false
+     with Invalid_argument _ -> true)
+
+let test_service_shard_isolation () =
+  (* A family of failing requests hashing to one shard trips that
+     shard's breaker; the sibling shard keeps serving at ACS. *)
+  let bad = ids_for_shard ~shards:2 0 3 in
+  let good = ids_for_shard ~shards:2 1 3 in
+  let lines =
+    List.map
+      (fun id -> Printf.sprintf {|{"id": "%s", "acs_max_outer": 0}|} id)
+      bad
+    @ List.map (fun id -> Printf.sprintf {|{"id": "%s"}|} id) good
+  in
+  let config = { quick_config with Service.shards = 2; wave = 8 } in
+  let r = Service.run ~config ~power ~lines () in
+  (match r.Service.shards with
+  | [ s0; s1 ] ->
+    Alcotest.(check bool) "failing shard tripped" true
+      (s0.Shard.transitions <> []);
+    Alcotest.(check bool) "healthy shard untouched" true
+      (s1.Shard.transitions = []);
+    Alcotest.(check int) "failing shard processed its three" 3
+      s0.Shard.s_processed;
+    Alcotest.(check int) "healthy shard processed its three" 3
+      s1.Shard.s_processed
+  | _ -> Alcotest.fail "expected two shards");
+  List.iter
+    (fun o ->
+      if List.mem o.Service.id good then
+        Alcotest.(check string)
+          (o.Service.id ^ " served at full quality despite sibling failures")
+          "acs" (stage_of o))
+    r.Service.outcomes
+
+let test_service_per_shard_shed () =
+  (* The high-water mark is per shard: the second request of a full
+     shard is shed even though the service as a whole has room. *)
+  let s0 = ids_for_shard ~shards:2 0 2 in
+  let s1 = ids_for_shard ~shards:2 1 1 in
+  let lines =
+    List.map (fun id -> Printf.sprintf {|{"id": "%s"}|} id) (s0 @ s1)
+  in
+  let config =
+    { quick_config with Service.shards = 2; high_water = 1; wave = 8 }
+  in
+  let r = Service.run ~config ~power ~lines () in
+  Alcotest.(check int) "admitted one per shard" 2 r.Service.admitted;
+  Alcotest.(check int) "one shed" 1 r.Service.shed;
+  (match r.Service.shards with
+  | [ sh0; sh1 ] ->
+    Alcotest.(check int) "full shard shed its overflow" 1 sh0.Shard.s_shed;
+    Alcotest.(check int) "sibling shard shed nothing" 0 sh1.Shard.s_shed
+  | _ -> Alcotest.fail "expected two shards");
+  match r.Service.outcomes with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "first of the full shard served" true
+      (match a.Service.status with Service.Done _ -> true | _ -> false);
+    Alcotest.(check bool) "overflow shed" true
+      (b.Service.status = Service.Shed);
+    Alcotest.(check bool) "other shard's request served" true
+      (match c.Service.status with Service.Done _ -> true | _ -> false)
+  | _ -> Alcotest.fail "expected three outcomes"
+
 let test_drain_flag () =
   Drain.reset ();
   Alcotest.(check bool) "starts clear" false (Drain.requested ());
@@ -348,4 +480,9 @@ let suite =
     ("service worker crash-out degrades", `Quick,
      test_service_worker_crashout_degrades);
     ("service drain keeps tail", `Quick, test_service_drain_keeps_tail);
+    ("service probe drain completes fold", `Quick,
+     test_service_probe_drain_completes_fold);
+    ("shard assignment", `Quick, test_shard_assignment);
+    ("service shard isolation", `Quick, test_service_shard_isolation);
+    ("service per-shard shed", `Quick, test_service_per_shard_shed);
     ("drain flag", `Quick, test_drain_flag) ]
