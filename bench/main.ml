@@ -15,6 +15,7 @@ module Solver = Lepts_core.Solver
 module Static_schedule = Lepts_core.Static_schedule
 module Objective = Lepts_core.Objective
 module Experiments = Lepts_experiments
+module Pool = Lepts_par.Pool
 
 let power = Model.ideal ~v_min:0.5 ~v_max:4. ()
 
@@ -352,28 +353,211 @@ let run_solver_kernel_benchmarks ~quick () =
         minor_words_per_op = minor_words_per_op ~reps thunk })
     (solver_kernel_cases ())
 
-(* Wall clock of the same deterministic multi-start solve at -j 1 vs
-   -j 4 (three independent starts: greedy, ALAP, plus the WCS warm
-   start). Timing goes to the JSON / stderr only; the schedules are
-   asserted equal, which is the cheap end of the bit-identity tests. *)
-let parallel_solve_measurement () =
+(* ----- multi-start parallelism ---------------------------------------- *)
+
+(* Three measurements of the same deterministic multi-start solves, all
+   asserted bit-identical across configurations:
+
+   - [stream]: many short pool-saturating solves back-to-back at
+     jobs = 4 — the serve-wave / campaign shape where the old per-call
+     domain spawn/join dominated. [speedup] compares the spawn-per-call
+     path ({!Pool.run_ephemeral}) against the persistent pool at the
+     SAME job count, so it isolates the fixed bug and is meaningful on
+     any machine; [vs_sequential] additionally needs >= jobs cores to
+     exceed 1 and is only asserted in CI (multi-core runners).
+   - [saturated]: one large CNC solve with the same 10-candidate start
+     list. Solve-dominated, so spawn overhead is invisible here — kept
+     to show exactly that.
+   - [legacy]: the original 3-start CNC case, for continuity with
+     older JSON snapshots. *)
+
+let blend a b alpha =
+  Array.mapi (fun i x -> (alpha *. x) +. ((1. -. alpha) *. b.(i))) a
+
+(* Ten start candidates for a jobs = 4 pool: greedy + ALAP (implicit)
+   plus the plan's WCS and ACS optima and six convex blends of the two.
+   Both endpoints are repaired schedules, so every per-instance quota
+   sum sits at its WCEC and each blend is a valid warm start. *)
+let saturating_warm_starts plan =
+  let wcs, _ = Result.get_ok (Solver.solve_wcs ~plan ~power ()) in
+  let acs, _ =
+    Result.get_ok
+      (Solver.solve_acs
+         ~warm_starts:[ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ]
+         ~plan ~power ())
+  in
+  let pair (s : Static_schedule.t) =
+    (s.Static_schedule.end_times, s.Static_schedule.quotas)
+  in
+  pair wcs :: pair acs
+  :: List.map
+       (fun k ->
+         let alpha = float_of_int k /. 7. in
+         ( blend wcs.Static_schedule.end_times acs.Static_schedule.end_times alpha,
+           blend wcs.Static_schedule.quotas acs.Static_schedule.quotas alpha ))
+       [ 1; 2; 3; 4; 5; 6 ]
+
+type par_row = {
+  par_plan : string;
+  par_jobs : int;
+  par_solves : int;
+  seq_s : float;
+  spawn_s : float;
+  pool_s : float;
+  par_objective : float;
+  par_identical : bool;
+}
+
+let par_speedup r = r.spawn_s /. Float.max r.pool_s 1e-9
+let par_vs_sequential r = r.seq_s /. Float.max r.pool_s 1e-9
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let best_of reps f =
+  let best_t = ref infinity and last = ref None in
+  for _ = 1 to reps do
+    let t, r = time f in
+    if t < !best_t then best_t := t;
+    last := Some r
+  done;
+  (!best_t, Option.get !last)
+
+let schedule_bits (s : Static_schedule.t) =
+  ( Array.map Int64.bits_of_float s.Static_schedule.end_times,
+    Array.map Int64.bits_of_float s.Static_schedule.quotas )
+
+(* Runs [solves] consecutive multi-start solves in each of three modes —
+   sequential, spawn-per-call at [jobs], persistent pool at [jobs] —
+   best-of-[reps] each, and checks the final schedules bit-identical. *)
+let parallel_measurement ~name ~plan ~solves ~reps () =
+  let warm = saturating_warm_starts plan in
+  let run jobs =
+    let last = ref None in
+    for _ = 1 to solves do
+      last := Some (Result.get_ok (Solver.solve_acs ~jobs ~warm_starts:warm ~plan ~power ()))
+    done;
+    Option.get !last
+  in
+  let seq_s, (seq_schedule, seq_stats) = best_of reps (fun () -> run 1) in
+  Pool.set_reuse false;
+  let spawn_s, _ =
+    Fun.protect ~finally:(fun () -> Pool.set_reuse true)
+      (fun () -> best_of reps (fun () -> run 4))
+  in
+  let pool_s, (pool_schedule, _) = best_of reps (fun () -> run 4) in
+  { par_plan = name; par_jobs = 4; par_solves = solves; seq_s; spawn_s; pool_s;
+    par_objective = seq_stats.Solver.objective;
+    par_identical = schedule_bits seq_schedule = schedule_bits pool_schedule }
+
+let stream_measurement ~quick () =
+  let solves = if quick then 30 else 100 in
+  let plan = Lazy.force motivation_plan in
+  parallel_measurement
+    ~name:
+      (Printf.sprintf "motivation (%d subs), 10 starts x %d solves"
+         (Plan.size plan) solves)
+    ~plan ~solves ~reps:(if quick then 2 else 3) ()
+
+let saturated_measurement ~quick () =
+  parallel_measurement ~name:"CNC (32 subs), 10 starts"
+    ~plan:(Lazy.force cnc_plan) ~solves:1 ~reps:(if quick then 1 else 2) ()
+
+(* The original 3-start measurement (greedy + ALAP + WCS warm start),
+   sequential vs persistent pool. *)
+let legacy_measurement () =
   let plan = Lazy.force cnc_plan in
   let wcs, _ = Lazy.force cnc_schedules in
   let warm = [ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ] in
   let solve jobs =
-    let t0 = Unix.gettimeofday () in
-    let schedule, stats =
-      Result.get_ok (Solver.solve_acs ~jobs ~warm_starts:warm ~plan ~power ())
-    in
-    (Unix.gettimeofday () -. t0, schedule, stats)
+    time (fun () ->
+        Result.get_ok (Solver.solve_acs ~jobs ~warm_starts:warm ~plan ~power ()))
   in
-  let t_seq, seq_schedule, seq_stats = solve 1 in
-  let t_par, par_schedule, _ = solve 4 in
-  let identical =
-    seq_schedule.Static_schedule.end_times = par_schedule.Static_schedule.end_times
-    && seq_schedule.Static_schedule.quotas = par_schedule.Static_schedule.quotas
+  let t_seq, (seq_schedule, seq_stats) = solve 1 in
+  let t_par, (par_schedule, _) = solve 4 in
+  ( t_seq, t_par, seq_stats.Solver.objective,
+    schedule_bits seq_schedule = schedule_bits par_schedule )
+
+(* ----- warm-start continuation ---------------------------------------- *)
+
+type warm_row = {
+  warm_plan : string;
+  cold_s : float;
+  warm_s : float;
+  never_worse : bool;
+  first_identical : bool;  (** first point is always cold in both *)
+}
+
+let warm_speedup r = r.cold_s /. Float.max r.warm_s 1e-9
+
+(* Cold vs warm CNC ratio sweep: point [i] continued from point [i-1]
+   via {!Solver.resolve_incremental}. Warm must never end a point worse
+   than cold (the continuation keeps its seed otherwise, and the seed
+   carries the neighbouring optimum), and the always-cold first point
+   must agree bit for bit. *)
+let continuation_measurement ~quick () =
+  let ratios =
+    if quick then [ 0.1; 0.5; 0.9 ]
+    else [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
   in
-  (t_seq, t_par, seq_stats.Solver.objective, identical)
+  let build ~ratio = Lepts_workloads.Cnc.task_set ~power ~ratio () in
+  let cold =
+    Result.get_ok (Experiments.Continuation.run ~warm:false ~ratios ~build ~power ())
+  in
+  let warm =
+    Result.get_ok (Experiments.Continuation.run ~warm:true ~ratios ~build ~power ())
+  in
+  let energy (p : Experiments.Continuation.point) =
+    p.Experiments.Continuation.predicted_energy
+  in
+  let first l = energy (List.hd l.Experiments.Continuation.points) in
+  { warm_plan =
+      Printf.sprintf "CNC ratio sweep, %d points" (List.length ratios);
+    cold_s = cold.Experiments.Continuation.total_s;
+    warm_s = warm.Experiments.Continuation.total_s;
+    never_worse =
+      List.for_all2
+        (fun c w -> energy w <= energy c +. 1e-9)
+        cold.Experiments.Continuation.points warm.Experiments.Continuation.points;
+    first_identical =
+      Int64.bits_of_float (first cold) = Int64.bits_of_float (first warm) }
+
+type fig6a_warm = {
+  f6_plan : string;
+  f6_cold_s : float;
+  f6_warm_s : float;
+  f6_cold_misses : int;
+  f6_warm_misses : int;  (** both must be 0: warm-started schedules
+                             still meet every deadline *)
+}
+
+(* Cold vs warm reduced Fig-6a sweep: with [--warm-start] each set's ACS
+   solve is one continuation descent from its WCS solution instead of
+   the full multi-start. Misses must stay zero either way. *)
+let fig6a_warm_measurement ~quick () =
+  let config =
+    { Experiments.Fig6a.paper_config with
+      task_counts = (if quick then [ 4 ] else [ 4; 6 ]);
+      ratios = [ 0.1 ];
+      sets_per_point = (if quick then 2 else 3);
+      rounds = (if quick then 30 else 50) }
+  in
+  let t_cold, cold = time (fun () -> Experiments.Fig6a.run config ~power) in
+  let t_warm, warm =
+    time (fun () -> Experiments.Fig6a.run ~warm_start:true config ~power)
+  in
+  let misses points =
+    List.fold_left
+      (fun acc (p : Experiments.Fig6a.point) ->
+        acc + p.Experiments.Fig6a.total_misses)
+      0 points
+  in
+  { f6_plan =
+      Printf.sprintf "fig6a reduced sweep (%d points)" (List.length cold);
+    f6_cold_s = t_cold; f6_warm_s = t_warm;
+    f6_cold_misses = misses cold; f6_warm_misses = misses warm }
 
 (* Telemetry overhead: the same deterministic ACS solve with and
    without a convergence sink, best-of-[reps] wall clock each way. The
@@ -442,13 +626,30 @@ let json_escape s =
 
 let json_float x = if Float.is_finite x then Printf.sprintf "%.3f" x else "null"
 
-let emit_solver_json ~path ~quick rows (t_seq, t_par, objective, identical)
+let emit_par_row oc key r =
+  let out fmt = Printf.fprintf oc fmt in
+  out "  \"%s\": {\n" key;
+  out "    \"plan\": \"%s\",\n" (json_escape r.par_plan);
+  out "    \"jobs\": %d,\n" r.par_jobs;
+  out "    \"solves\": %d,\n" r.par_solves;
+  out "    \"seq_s\": %s,\n" (json_float r.seq_s);
+  out "    \"spawn_s\": %s,\n" (json_float r.spawn_s);
+  out "    \"pool_s\": %s,\n" (json_float r.pool_s);
+  out "    \"speedup\": %s,\n" (json_float (par_speedup r));
+  out "    \"vs_sequential\": %s,\n" (json_float (par_vs_sequential r));
+  out "    \"objective\": %s,\n" (json_float r.par_objective);
+  out "    \"bit_identical\": %b\n" r.par_identical;
+  out "  },\n"
+
+let emit_solver_json ~path ~quick rows ~stream ~saturated
+    ~legacy:(t_seq, t_par, objective, identical) ~continuation ~fig6a
     (tel_off_s, tel_on_s, tel_records, tel_overhead_ns, tel_identical) =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"lepts-bench-solver/1\",\n";
+  out "  \"schema\": \"lepts-bench-solver/2\",\n";
   out "  \"quick\": %b,\n" quick;
+  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"benchmarks\": [\n";
   List.iteri
     (fun i r ->
@@ -458,7 +659,12 @@ let emit_solver_json ~path ~quick rows (t_seq, t_par, objective, identical)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   out "  ],\n";
-  out "  \"parallel_solve\": {\n";
+  (* [speedup] is spawn-per-call vs persistent pool at the same job
+     count (the bug this JSON tracks — machine-independent);
+     [vs_sequential] needs >= jobs cores to exceed 1. *)
+  emit_par_row oc "parallel_solve" stream;
+  emit_par_row oc "parallel_solve_saturated" saturated;
+  out "  \"parallel_solve_legacy\": {\n";
   out "    \"plan\": \"CNC (32 subs), 3 starts\",\n";
   out "    \"jobs\": 4,\n";
   out "    \"seq_s\": %s,\n" (json_float t_seq);
@@ -466,6 +672,25 @@ let emit_solver_json ~path ~quick rows (t_seq, t_par, objective, identical)
   out "    \"speedup\": %s,\n" (json_float (t_seq /. Float.max t_par 1e-9));
   out "    \"objective\": %s,\n" (json_float objective);
   out "    \"bit_identical\": %b\n" identical;
+  out "  },\n";
+  out "  \"warm_start\": {\n";
+  out "    \"continuation\": {\n";
+  out "      \"plan\": \"%s\",\n" (json_escape continuation.warm_plan);
+  out "      \"cold_s\": %s,\n" (json_float continuation.cold_s);
+  out "      \"warm_s\": %s,\n" (json_float continuation.warm_s);
+  out "      \"speedup\": %s,\n" (json_float (warm_speedup continuation));
+  out "      \"never_worse\": %b,\n" continuation.never_worse;
+  out "      \"first_point_bit_identical\": %b\n" continuation.first_identical;
+  out "    },\n";
+  out "    \"fig6a\": {\n";
+  out "      \"plan\": \"%s\",\n" (json_escape fig6a.f6_plan);
+  out "      \"cold_s\": %s,\n" (json_float fig6a.f6_cold_s);
+  out "      \"warm_s\": %s,\n" (json_float fig6a.f6_warm_s);
+  out "      \"speedup\": %s,\n"
+    (json_float (fig6a.f6_cold_s /. Float.max fig6a.f6_warm_s 1e-9));
+  out "      \"cold_misses\": %d,\n" fig6a.f6_cold_misses;
+  out "      \"warm_misses\": %d\n" fig6a.f6_warm_misses;
+  out "    }\n";
   out "  },\n";
   out "  \"telemetry\": {\n";
   out "    \"plan\": \"CNC (32 subs), ACS solve\",\n";
@@ -486,39 +711,96 @@ let print_solver_kernel_rows rows =
         r.ns_per_op r.minor_words_per_op)
     rows
 
-let run_solver_json ~path ~quick ~max_telemetry_overhead_ns () =
+let print_par_row label r =
+  Printf.printf
+    "  %s: seq %.3fs, spawn -j %d %.3fs, pool -j %d %.3fs — spawn/pool %.2fx, \
+     seq/pool %.2fx, identical: %b\n%!"
+    label r.seq_s r.par_jobs r.spawn_s r.par_jobs r.pool_s (par_speedup r)
+    (par_vs_sequential r) r.par_identical
+
+let run_solver_json ~path ~quick ~max_telemetry_overhead_ns ~min_parallel_speedup
+    ~min_vs_sequential ~min_warm_speedup () =
   let rows = run_solver_kernel_benchmarks ~quick () in
   print_solver_kernel_rows rows;
-  let par = parallel_solve_measurement () in
-  let t_seq, t_par, _, identical = par in
+  let stream = stream_measurement ~quick () in
+  print_par_row stream.par_plan stream;
+  let saturated = saturated_measurement ~quick () in
+  print_par_row saturated.par_plan saturated;
+  let legacy = legacy_measurement () in
+  let t_seq, t_par, _, legacy_identical = legacy in
   Printf.printf
-    "  parallel multi-start: -j 1 %.2fs, -j 4 %.2fs (%.2fx), identical: %b\n%!"
-    t_seq t_par (t_seq /. Float.max t_par 1e-9) identical;
+    "  CNC 3 starts (legacy): -j 1 %.2fs, -j 4 %.2fs (%.2fx), identical: %b\n%!"
+    t_seq t_par (t_seq /. Float.max t_par 1e-9) legacy_identical;
+  let continuation = continuation_measurement ~quick () in
+  Printf.printf
+    "  warm continuation (%s): cold %.2fs, warm %.2fs (%.2fx), never worse: %b\n%!"
+    continuation.warm_plan continuation.cold_s continuation.warm_s
+    (warm_speedup continuation) continuation.never_worse;
+  let fig6a = fig6a_warm_measurement ~quick () in
+  Printf.printf
+    "  warm fig6a (%s): cold %.2fs, warm %.2fs (%.2fx), misses %d/%d\n%!"
+    fig6a.f6_plan fig6a.f6_cold_s fig6a.f6_warm_s
+    (fig6a.f6_cold_s /. Float.max fig6a.f6_warm_s 1e-9)
+    fig6a.f6_cold_misses fig6a.f6_warm_misses;
   let tel = telemetry_overhead_measurement ~quick () in
   let tel_off, tel_on, tel_records, tel_overhead, tel_identical = tel in
   Printf.printf
     "  telemetry: off %.3fs, on %.3fs — %.1f ns per inner iteration (%d records), \
      identical: %b\n%!"
     tel_off tel_on tel_overhead tel_records tel_identical;
-  emit_solver_json ~path ~quick rows par tel;
+  emit_solver_json ~path ~quick rows ~stream ~saturated ~legacy ~continuation
+    ~fig6a tel;
   Printf.printf "wrote %s\n%!" path;
-  if not tel_identical then begin
-    prerr_endline "FAIL: solver results differ with telemetry enabled";
-    exit 1
-  end;
-  match max_telemetry_overhead_ns with
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  if not tel_identical then
+    fail "solver results differ with telemetry enabled";
+  if not (stream.par_identical && saturated.par_identical && legacy_identical)
+  then fail "parallel multi-start results are not bit-identical";
+  if not continuation.never_worse then
+    fail "a warm continuation point ended worse than its cold counterpart";
+  if not continuation.first_identical then
+    fail "cold-vs-warm continuation sweeps differ on the always-cold first point";
+  if fig6a.f6_cold_misses <> 0 || fig6a.f6_warm_misses <> 0 then
+    fail "fig6a sweep produced deadline misses (%d cold, %d warm)"
+      fig6a.f6_cold_misses fig6a.f6_warm_misses;
+  (match max_telemetry_overhead_ns with
   | Some budget when tel_overhead > budget ->
-    Printf.eprintf
-      "FAIL: telemetry overhead %.1f ns/inner-iteration exceeds the %.1f ns budget\n%!"
-      tel_overhead budget;
+    fail "telemetry overhead %.1f ns/inner-iteration exceeds the %.1f ns budget"
+      tel_overhead budget
+  | _ -> ());
+  (match min_parallel_speedup with
+  | Some floor when par_speedup stream < floor ->
+    fail "spawn-vs-pool speedup %.2fx below the %.2fx floor"
+      (par_speedup stream) floor
+  | _ -> ());
+  (* Asserted on the saturated CNC solve (solve-dominated, so the
+     number reflects actual parallel descent work, not dispatch). *)
+  (match min_vs_sequential with
+  | Some floor when par_vs_sequential saturated < floor ->
+    fail "pool-vs-sequential speedup %.2fx below the %.2fx floor (%d cores)"
+      (par_vs_sequential saturated) floor
+      (Domain.recommended_domain_count ())
+  | _ -> ());
+  (match min_warm_speedup with
+  | Some floor when warm_speedup continuation < floor ->
+    fail "warm continuation speedup %.2fx below the %.2fx floor"
+      (warm_speedup continuation) floor
+  | _ -> ());
+  if !failures <> [] then begin
+    List.iter (fun s -> Printf.eprintf "FAIL: %s\n%!" s) (List.rev !failures);
     exit 1
-  | _ -> ()
+  end
 
 let () =
-  (* `--json PATH [--quick] [--max-telemetry-overhead-ns N]` runs only
-     the solver-kernel group and writes the machine-readable summary
-     (the CI smoke step); no arguments runs the full reproduction +
-     benchmark pipeline. *)
+  (* `--json PATH [--quick] [--max-telemetry-overhead-ns N]
+     [--min-parallel-speedup X] [--min-vs-sequential X]
+     [--min-warm-speedup X]` runs only the solver-kernel group and
+     writes the machine-readable summary (the CI smoke step), failing
+     when a floor is violated; no arguments runs the full reproduction
+     + benchmark pipeline. [--min-vs-sequential] should only be set on
+     machines with >= 4 cores — spawn-vs-pool and the warm floors are
+     meaningful anywhere. *)
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let rec find_opt_value flag = function
@@ -526,12 +808,15 @@ let () =
     | _ :: rest -> find_opt_value flag rest
     | [] -> None
   in
+  let float_flag flag = Option.map float_of_string (find_opt_value flag args) in
   let json_path args = find_opt_value "--json" args in
-  let max_telemetry_overhead_ns =
-    Option.map float_of_string (find_opt_value "--max-telemetry-overhead-ns" args)
-  in
+  let max_telemetry_overhead_ns = float_flag "--max-telemetry-overhead-ns" in
   match json_path args with
-  | Some path -> run_solver_json ~path ~quick ~max_telemetry_overhead_ns ()
+  | Some path ->
+    run_solver_json ~path ~quick ~max_telemetry_overhead_ns
+      ~min_parallel_speedup:(float_flag "--min-parallel-speedup")
+      ~min_vs_sequential:(float_flag "--min-vs-sequential")
+      ~min_warm_speedup:(float_flag "--min-warm-speedup") ()
   | None ->
     regenerate_motivation ();
     regenerate_fig6a ();

@@ -51,6 +51,16 @@ let solver_jobs_arg =
            ~doc:"Worker domains for the NLP multi-start solves (results are \
                  bit-identical for every value; 0 = one per core).")
 
+let warm_start_arg =
+  Arg.(value & flag
+       & info [ "warm-start" ]
+           ~doc:"Run each ACS solve as one continuation descent seeded from \
+                 the WCS solution instead of the full multi-start. Faster on \
+                 sweeps and never worse than the seed, but it may settle in \
+                 a different local optimum than the cold multi-start, so the \
+                 flag is part of the checkpoint fingerprint. Results remain \
+                 bit-identical for every -j / --solver-jobs value.")
+
 let progress line =
   print_endline line;
   flush stdout
@@ -201,8 +211,8 @@ let motivation_cmd ~profile =
 (* --- fig6a ------------------------------------------------------------- *)
 
 let fig6a_cmd ~profile =
-  let run verbose sets rounds seed jobs solver_jobs v_min v_max checkpoint resume
-      telemetry_file =
+  let run verbose sets rounds seed jobs solver_jobs warm_start v_min v_max
+      checkpoint resume telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let solver_jobs = resolve_jobs solver_jobs in
@@ -214,7 +224,8 @@ let fig6a_cmd ~profile =
       Checkpoint.fingerprint
         ~parts:
           [ "fig6a"; string_of_int sets; string_of_int rounds;
-            string_of_int seed; string_of_float v_min; string_of_float v_max ]
+            string_of_int seed; string_of_bool warm_start;
+            string_of_float v_min; string_of_float v_max ]
     in
     with_observability ~command:"fig6a" ~profile ~telemetry_file
     @@ fun telemetry ->
@@ -222,7 +233,7 @@ let fig6a_cmd ~profile =
     @@ fun session should_stop ->
     let t0 = Unix.gettimeofday () in
     let points =
-      Experiments.Fig6a.run ~progress ~jobs ~solver_jobs ?telemetry
+      Experiments.Fig6a.run ~progress ~jobs ~solver_jobs ~warm_start ?telemetry
         ?checkpoint:session ~should_stop config ~power
     in
     let elapsed = Unix.gettimeofday () -. t0 in
@@ -243,14 +254,14 @@ let fig6a_cmd ~profile =
   Cmd.v
     (Cmd.info "fig6a" ~doc:"Reproduce Fig 6(a): improvement vs task count and BCEC/WCEC ratio.")
     Term.(const run $ verbose_arg $ sets $ rounds_arg 1000 $ seed_arg $ jobs_arg
-          $ solver_jobs_arg $ v_min_arg $ v_max_arg $ checkpoint_arg $ resume_arg
-          $ telemetry_arg)
+          $ solver_jobs_arg $ warm_start_arg $ v_min_arg $ v_max_arg
+          $ checkpoint_arg $ resume_arg $ telemetry_arg)
 
 (* --- fig6b ------------------------------------------------------------- *)
 
 let fig6b_cmd ~profile =
-  let run verbose rounds seed jobs v_min v_max no_gap checkpoint resume
-      telemetry_file =
+  let run verbose rounds seed jobs warm_start v_min v_max no_gap checkpoint
+      resume telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
@@ -261,16 +272,16 @@ let fig6b_cmd ~profile =
       Checkpoint.fingerprint
         ~parts:
           [ "fig6b"; string_of_int rounds; string_of_int seed;
-            string_of_bool (not no_gap); string_of_float v_min;
-            string_of_float v_max ]
+            string_of_bool (not no_gap); string_of_bool warm_start;
+            string_of_float v_min; string_of_float v_max ]
     in
     with_observability ~command:"fig6b" ~profile ~telemetry_file
     @@ fun telemetry ->
     with_session ~checkpoint ~resume ~fingerprint
     @@ fun session should_stop ->
     let points =
-      Experiments.Fig6b.run ~progress ~jobs ?telemetry ?checkpoint:session
-        ~should_stop config ~power
+      Experiments.Fig6b.run ~progress ~jobs ~warm_start ?telemetry
+        ?checkpoint:session ~should_stop config ~power
     in
     print_endline "Fig 6(b): ACS improvement over WCS, real-life applications:";
     Lepts_util.Table.print (Experiments.Fig6b.to_table points);
@@ -281,8 +292,9 @@ let fig6b_cmd ~profile =
   in
   Cmd.v
     (Cmd.info "fig6b" ~doc:"Reproduce Fig 6(b): improvement on the CNC and GAP task sets.")
-    Term.(const run $ verbose_arg $ rounds_arg 1000 $ seed_arg $ jobs_arg $ v_min_arg
-          $ v_max_arg $ no_gap $ checkpoint_arg $ resume_arg $ telemetry_arg)
+    Term.(const run $ verbose_arg $ rounds_arg 1000 $ seed_arg $ jobs_arg
+          $ warm_start_arg $ v_min_arg $ v_max_arg $ no_gap $ checkpoint_arg
+          $ resume_arg $ telemetry_arg)
 
 (* --- schedule ---------------------------------------------------------- *)
 
@@ -315,8 +327,8 @@ let schedule_cmd ~profile =
 (* --- random ------------------------------------------------------------ *)
 
 let random_cmd ~profile =
-  let run verbose n ratio rounds seed jobs solver_jobs v_min v_max checkpoint
-      resume telemetry_file =
+  let run verbose n ratio rounds seed jobs solver_jobs warm_start v_min v_max
+      checkpoint resume telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let solver_jobs = resolve_jobs solver_jobs in
@@ -327,7 +339,8 @@ let random_cmd ~profile =
       Checkpoint.fingerprint
         ~parts:
           [ "random"; string_of_int n; string_of_float ratio;
-            string_of_int rounds; string_of_int seed; string_of_float v_min;
+            string_of_int rounds; string_of_int seed;
+            string_of_bool warm_start; string_of_float v_min;
             string_of_float v_max ]
     in
     with_observability ~command:"random" ~profile ~telemetry_file
@@ -341,9 +354,9 @@ let random_cmd ~profile =
     | Ok ts -> (
       Format.printf "task set: %a@." Task_set.pp ts;
       match
-        Experiments.Improvement.measure ~rounds ~jobs ~solver_jobs ?telemetry
-          ~telemetry_tag:"random" ?checkpoint:session ~should_stop ~task_set:ts
-          ~power ~sim_seed:(seed + 1) ()
+        Experiments.Improvement.measure ~rounds ~jobs ~solver_jobs ~warm_start
+          ?telemetry ~telemetry_tag:"random" ?checkpoint:session ~should_stop
+          ~task_set:ts ~power ~sim_seed:(seed + 1) ()
       with
       | Error e -> Format.printf "error: %a@." Solver.pp_error e
       | Ok r -> Format.printf "%a@." Experiments.Improvement.pp r));
@@ -358,8 +371,8 @@ let random_cmd ~profile =
   Cmd.v
     (Cmd.info "random" ~doc:"Generate one random task set and measure ACS vs WCS.")
     Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 1000 $ seed_arg $ jobs_arg
-          $ solver_jobs_arg $ v_min_arg $ v_max_arg $ checkpoint_arg $ resume_arg
-          $ telemetry_arg)
+          $ solver_jobs_arg $ warm_start_arg $ v_min_arg $ v_max_arg
+          $ checkpoint_arg $ resume_arg $ telemetry_arg)
 
 (* --- policies ---------------------------------------------------------- *)
 
@@ -385,7 +398,7 @@ let policies_cmd ~profile =
 (* --- ablations ---------------------------------------------------------- *)
 
 let ablations_cmd ~profile =
-  let run verbose rounds seed jobs v_min v_max =
+  let run verbose rounds seed jobs warm_start v_min v_max =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     with_observability ~command:"ablations" ~profile ~telemetry_file:None
@@ -401,7 +414,8 @@ let ablations_cmd ~profile =
     show "NLP formulations (slack vs paper-literal)"
       (Experiments.Ablations.formulations ~jobs ~task_set:ts ~power ());
     show "Objectives (WCS vs ACS vs stochastic)"
-      (Experiments.Ablations.objectives ~rounds ~jobs ~task_set:ts ~power ~seed ());
+      (Experiments.Ablations.objectives ~rounds ~jobs ~warm_start ~task_set:ts
+         ~power ~seed ());
     show "Voltage quantization"
       (Experiments.Ablations.quantization ~rounds ~jobs ~task_set:ts ~power ~seed ());
     show "Scheduling structures (preemptive vs non-preemptive vs YDS bound)"
@@ -425,8 +439,8 @@ let ablations_cmd ~profile =
   Cmd.v
     (Cmd.info "ablations"
        ~doc:"Run the design-choice ablations from DESIGN.md on the CNC task set.")
-    Term.(const run $ verbose_arg $ rounds_arg 500 $ seed_arg $ jobs_arg $ v_min_arg
-          $ v_max_arg)
+    Term.(const run $ verbose_arg $ rounds_arg 500 $ seed_arg $ jobs_arg
+          $ warm_start_arg $ v_min_arg $ v_max_arg)
 
 (* --- utilization sweep --------------------------------------------------- *)
 

@@ -538,3 +538,168 @@ let solve_wcs ?wall_budget ?telemetry ?jobs ?max_outer ?max_inner ?warm_starts
     ~plan ~power () =
   solve ?wall_budget ?telemetry ?jobs ?max_outer ?max_inner ?warm_starts
     ~mode:Objective.Worst ~plan ~power ()
+
+(* --- Warm-start continuation and incremental re-solve ------------------- *)
+
+(* A previous solution can seed the current solve only when both plans
+   put the same segment of the same instance at every order position
+   with the same window — then quotas and end-times line up index by
+   index. The windows are compared exactly: continuation across plans
+   that merely {e look} similar would silently change which local
+   optimum the descent lands in. *)
+let structurally_compatible ~(plan : Plan.t) (prev : Static_schedule.t) =
+  let prev_plan = prev.Static_schedule.plan in
+  let m = Array.length plan.Plan.order in
+  Array.length prev_plan.Plan.order = m
+  &&
+  let ok = ref true in
+  for k = 0 to m - 1 do
+    let a = plan.Plan.order.(k) and b = prev_plan.Plan.order.(k) in
+    if
+      a.Sub.task <> b.Sub.task
+      || a.Sub.instance <> b.Sub.instance
+      || a.Sub.release <> b.Sub.release
+      || a.Sub.boundary <> b.Sub.boundary
+    then ok := false
+  done;
+  !ok
+
+(* Do the previous quotas still satisfy the current plan's per-instance
+   [sum = WCEC] constraints? If so the previous solution is feasible
+   as-is (it was repaired when produced) and can be kept verbatim; if
+   not (e.g. the WCECs were rescaled) it must be re-projected first. *)
+let quota_sums_match ~(plan : Plan.t) (prev : Static_schedule.t) =
+  let ts = plan.Plan.task_set in
+  let q = prev.Static_schedule.quotas in
+  let ok = ref true in
+  Array.iteri
+    (fun i per_instance ->
+      let wcec = (Task_set.task ts i).Task.wcec in
+      Array.iter
+        (fun idxs ->
+          let sum = Array.fold_left (fun acc k -> acc +. q.(k)) 0. idxs in
+          if Float.abs (sum -. wcec) > 1e-9 *. Float.max 1. wcec then ok := false)
+        per_instance)
+    plan.Plan.instance_subs;
+  !ok
+
+(* One continuation descent seeded from [prev], reduced prev-first with
+   a relative strict-improvement threshold: the continuation replaces
+   the seed only when it is better by more than [improvement_rel]
+   (relative to the seed's objective). Restarting the augmented
+   Lagrangian from a converged point produces sub-tolerance drift
+   (fresh multipliers, one more projection); the threshold keeps the
+   seed in that case, so re-solving a converged instance returns it
+   bit-identically and a warm solve is never worse than its seed. *)
+let continue_from ?deadline ?telemetry ~max_outer ~max_inner ~improvement_rel
+    ~totals_list ~(plan : Plan.t) ~power ~(prev : Static_schedule.t) () =
+  let m = Array.length plan.Plan.order in
+  let t_max = t_at_vmax power in
+  let hyper = Plan.hyper_period plan in
+  let scenario_count = float_of_int (List.length totals_list) in
+  let mean_objective e q =
+    List.fold_left
+      (fun acc totals -> acc +. Objective.eval ~plan ~power ~totals ~e ~w_hat:q)
+      0. totals_list
+    /. scenario_count
+  in
+  let prev_e = prev.Static_schedule.end_times in
+  let prev_q = prev.Static_schedule.quotas in
+  (* Seed point: previous quotas re-projected onto the current
+     per-instance simplexes, end-times clamped into the current
+     windows, slacks re-derived to realise those end-times under the
+     frontier recursion. *)
+  let y0 = Array.append (Array.copy prev_q) (Array.make m 0.) in
+  let project_ip = make_projection_ip plan ~hyper in
+  project_ip y0;
+  let e_seed =
+    Array.mapi
+      (fun k e ->
+        let sub = plan.Plan.order.(k) in
+        Lepts_util.Num_ext.clamp ~lo:sub.Sub.release ~hi:sub.Sub.boundary e)
+      prev_e
+  in
+  let q_seed = Array.sub y0 0 m in
+  Array.blit (slacks_for plan ~t_max ~e:e_seed ~q:q_seed) 0 y0 m m;
+  (* Baseline candidate: the previous solution itself. When its quota
+     sums still match the plan, [repair] is the identity on a repaired
+     schedule, so keeping the baseline reproduces [prev] bit for bit;
+     otherwise the re-projected seed stands in. [outer = inner = 0]
+     marks "seed kept" in the returned stats. *)
+  let baseline =
+    let e_b, q_b =
+      if quota_sums_match ~plan prev then (prev_e, prev_q) else (e_seed, q_seed)
+    in
+    match repair ~plan ~power ~e:e_b ~q:q_b with
+    | Error _ as err -> err
+    | Ok (e, q) ->
+      let schedule = Static_schedule.create ~plan ~power ~end_times:e ~quotas:q in
+      Ok
+        ( schedule,
+          { objective =
+              mean_objective schedule.Static_schedule.end_times
+                schedule.Static_schedule.quotas;
+            max_violation = 0.; outer_iterations = 0; inner_iterations = 0 } )
+  in
+  let continued =
+    try
+      solve_from ?deadline ?telemetry ~max_outer ~max_inner ~totals_list ~plan
+        ~power ~y0 ()
+    with Lepts_optim.Guard.Non_finite what ->
+      Error (Solver_stalled (Printf.sprintf "non-finite evaluation (%s)" what))
+  in
+  match (baseline, continued) with
+  | Ok (_, bstats), Ok (_, cstats)
+    when cstats.objective
+         >= bstats.objective -. (improvement_rel *. Float.abs bstats.objective) ->
+    baseline
+  | _, Ok result -> Ok result
+  | Ok _, Error _ -> baseline
+  | (Error _ as err), Error _ -> err
+
+let solve_warm ?wall_budget ?telemetry ?jobs ?(max_outer = 30) ?(max_inner = 2000)
+    ?(improvement_rel = 1e-6) ~mode ~(prev : Static_schedule.t) ~(plan : Plan.t)
+    ~power () =
+  if not (structurally_compatible ~plan prev) then
+    (* Nothing to continue from: full cold multi-start. *)
+    solve ?wall_budget ?telemetry ?jobs ~max_outer ~max_inner ~mode ~plan ~power ()
+  else
+    Span.with_ ~name:"solve:warm" (fun () ->
+        let totals_list = [ Objective.instance_totals mode plan ] in
+        let t0 = now () in
+        let deadline = Option.map (fun b -> t0 +. b) wall_budget in
+        Metrics.incr m_solves;
+        Metrics.incr m_starts;
+        Option.iter (fun s -> Telemetry.init_starts s ~n:1) telemetry;
+        let slot = Option.map (fun s -> Telemetry.start_slot s 0) telemetry in
+        let result =
+          continue_from ?deadline ?telemetry:slot ~max_outer ~max_inner
+            ~improvement_rel ~totals_list ~plan ~power ~prev ()
+        in
+        Metrics.observe h_solve_seconds (now () -. t0);
+        (match result with
+        | Error _ -> Metrics.incr m_start_failures
+        | Ok _ -> ());
+        result)
+
+let resolve_incremental ?wall_budget ?telemetry ?jobs ?max_outer ?max_inner
+    ?improvement_rel ~mode ~(prev : Static_schedule.t) ~(plan : Plan.t) ~power () =
+  if structurally_compatible ~plan prev then
+    (* Only workloads (ACEC / WCEC values) changed: one continuation
+       descent from the previous solution, never worse than the seed. *)
+    solve_warm ?wall_budget ?telemetry ?jobs ?max_outer ?max_inner
+      ?improvement_rel ~mode ~prev ~plan ~power ()
+  else if
+    Array.length prev.Static_schedule.end_times = Array.length plan.Plan.order
+  then
+    (* Same order length but shifted windows (e.g. one task's period or
+       deadline changed): the previous point still carries information,
+       so feed it to the multi-start as an extra warm start. *)
+    solve ?wall_budget ?telemetry ?jobs ?max_outer ?max_inner
+      ~warm_starts:
+        [ (prev.Static_schedule.end_times, prev.Static_schedule.quotas) ]
+      ~mode ~plan ~power ()
+  else
+    (* Structure changed (task added/removed): cold solve. *)
+    solve ?wall_budget ?telemetry ?jobs ?max_outer ?max_inner ~mode ~plan
+      ~power ()

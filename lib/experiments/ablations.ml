@@ -44,13 +44,20 @@ let formulations ?(jobs = 1) ~task_set ~power () =
 let simulate ?(jobs = 1) ~rounds ~schedule ~policy ~seed () =
   Runner.simulate ~rounds ~jobs ~schedule ~policy ~rng:(Rng.create ~seed) ()
 
-let objectives ?(rounds = 500) ?(jobs = 1) ~task_set ~power ~seed () =
+let objectives ?(rounds = 500) ?(jobs = 1) ?(warm_start = false) ~task_set
+    ~power ~seed () =
   let plan = Plan.expand task_set in
   match Solver.solve_wcs ~jobs ~plan ~power () with
   | Error _ as err -> err
   | Ok (wcs, _) -> (
     let warm = [ (wcs.Static_schedule.end_times, wcs.Static_schedule.quotas) ] in
-    match Solver.solve_acs ~jobs ~warm_starts:warm ~plan ~power () with
+    let acs_result =
+      if warm_start then
+        Solver.solve_warm ~jobs ~mode:Lepts_core.Objective.Average ~prev:wcs
+          ~plan ~power ()
+      else Solver.solve_acs ~jobs ~warm_starts:warm ~plan ~power ()
+    in
+    match acs_result with
     | Error _ as err -> err
     | Ok (acs, _) -> (
       match

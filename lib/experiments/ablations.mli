@@ -29,11 +29,17 @@ val formulations :
 val objectives :
   ?rounds:int ->
   ?jobs:int ->
+  ?warm_start:bool ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
   seed:int ->
   unit ->
   (Lepts_util.Table.t, Lepts_core.Solver.error) result
+(** [warm_start] (default false) solves the ACS arm as one continuation
+    descent from the WCS solution ({!Lepts_core.Solver.solve_warm})
+    instead of the warm-listed multi-start — faster, never worse than
+    the WCS seed, but a distinct configuration (fewer basins
+    explored). *)
 
 val quantization :
   ?rounds:int ->

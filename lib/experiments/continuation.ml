@@ -1,0 +1,61 @@
+module Plan = Lepts_preempt.Plan
+module Solver = Lepts_core.Solver
+
+type point = {
+  ratio : float;
+  predicted_energy : float;
+  solve_s : float;
+  outer_iterations : int;
+  inner_iterations : int;
+  continued : bool;
+}
+
+type t = { points : point list; total_s : float; warm : bool }
+
+let run ?(warm = false) ?jobs ?(mode = Lepts_core.Objective.Average) ~ratios
+    ~build ~power () =
+  if ratios = [] then invalid_arg "Continuation.run: ratios must be non-empty";
+  let t0 = Unix.gettimeofday () in
+  let rec go prev acc = function
+    | [] -> Ok (List.rev acc)
+    | ratio :: rest -> (
+      let plan = Plan.expand (build ~ratio) in
+      let t1 = Unix.gettimeofday () in
+      let solved =
+        match prev with
+        | Some p when warm ->
+          Solver.resolve_incremental ?jobs ~mode ~prev:p ~plan ~power ()
+        | _ -> Solver.solve ?jobs ~mode ~plan ~power ()
+      in
+      match solved with
+      | Error _ as err -> err
+      | Ok (schedule, stats) ->
+        let point =
+          { ratio; predicted_energy = stats.Solver.objective;
+            solve_s = Unix.gettimeofday () -. t1;
+            outer_iterations = stats.Solver.outer_iterations;
+            inner_iterations = stats.Solver.inner_iterations;
+            continued = (warm && prev <> None) }
+        in
+        go (Some schedule) (point :: acc) rest)
+  in
+  match go None [] ratios with
+  | Error _ as err -> err
+  | Ok points -> Ok { points; total_s = Unix.gettimeofday () -. t0; warm }
+
+let to_table r =
+  let table =
+    Lepts_util.Table.create
+      ~header:[ "BCEC/WCEC"; "energy"; "solve (s)"; "outer"; "inner"; "seeded" ]
+  in
+  List.iter
+    (fun p ->
+      Lepts_util.Table.add_row table
+        [ Lepts_util.Table.float_cell ~decimals:1 p.ratio;
+          Lepts_util.Table.float_cell p.predicted_energy;
+          Lepts_util.Table.float_cell p.solve_s;
+          string_of_int p.outer_iterations;
+          string_of_int p.inner_iterations;
+          string_of_bool p.continued ])
+    r.points;
+  table

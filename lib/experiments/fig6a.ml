@@ -51,8 +51,8 @@ let set_of_fields = function
     failwith
       (Printf.sprintf "Fig6a: set entry has %d fields" (List.length fields))
 
-let run_point ?(jobs = 1) ?(solver_jobs = 1) ?telemetry ?checkpoint ?should_stop
-    config ~power ~n_tasks ~ratio =
+let run_point ?(jobs = 1) ?(solver_jobs = 1) ?(warm_start = false) ?telemetry
+    ?checkpoint ?should_stop config ~power ~n_tasks ~ratio =
   Lepts_obs.Span.with_ ~name:"fig6a:point" @@ fun () ->
   (* Pool workers open their spans with the point's path as explicit
      parent, so the merged span tree is identical for every [jobs]. *)
@@ -77,7 +77,7 @@ let run_point ?(jobs = 1) ?(solver_jobs = 1) ?telemetry ?checkpoint ?should_stop
     | Error _ -> None
     | Ok task_set -> (
       match
-        Improvement.measure ~rounds:config.rounds ~solver_jobs ?telemetry
+        Improvement.measure ~rounds:config.rounds ~solver_jobs ~warm_start ?telemetry
           ~telemetry_tag:
             (Printf.sprintf "fig6a:n%d:r%.1f:set%d" n_tasks ratio set)
           ~task_set ~power ~sim_seed:(gen_seed + 7919) ()
@@ -109,15 +109,15 @@ let run_point ?(jobs = 1) ?(solver_jobs = 1) ?telemetry ?checkpoint ?should_stop
     sets_measured = Array.length arr;
     total_misses = misses }
 
-let run ?(progress = fun _ -> ()) ?(jobs = 1) ?(solver_jobs = 1) ?telemetry
-    ?checkpoint ?should_stop config ~power =
+let run ?(progress = fun _ -> ()) ?(jobs = 1) ?(solver_jobs = 1)
+    ?(warm_start = false) ?telemetry ?checkpoint ?should_stop config ~power =
   List.concat_map
     (fun n_tasks ->
       List.map
         (fun ratio ->
           let point =
-            run_point ~jobs ~solver_jobs ?telemetry ?checkpoint ?should_stop
-              config ~power ~n_tasks ~ratio
+            run_point ~jobs ~solver_jobs ~warm_start ?telemetry ?checkpoint
+              ?should_stop config ~power ~n_tasks ~ratio
           in
           progress
             (Printf.sprintf "fig6a: n=%d ratio=%.1f -> %.1f%% (%d sets)" n_tasks

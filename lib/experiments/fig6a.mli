@@ -34,6 +34,7 @@ val run :
   ?progress:(string -> unit) ->
   ?jobs:int ->
   ?solver_jobs:int ->
+  ?warm_start:bool ->
   ?telemetry:Lepts_obs.Telemetry.collector ->
   ?checkpoint:Lepts_robust.Checkpoint.session ->
   ?should_stop:(unit -> bool) ->
@@ -50,6 +51,15 @@ val run :
     bit-identical for every value. Prefer [jobs] (coarser units) when
     there are many sets; [solver_jobs] helps when a few large sets
     dominate.
+
+    [warm_start] (default false) runs each set's ACS solve as one
+    continuation descent from its WCS solution instead of the full
+    multi-start ({!Improvement.measure}) — measurably faster, never
+    worse than the WCS seed, but a different configuration: include
+    the flag in checkpoint fingerprints. Warm chains never cross sets
+    or ratios here — each (count, ratio, set) triple generates a
+    different task set, so there is nothing valid to continue from
+    (see EXPERIMENTS.md on continuation order).
 
     [telemetry] captures convergence traces of the per-set NLP solves
     (labels like [acs:fig6a:n4:r0.5:set2]); the sweep also runs under

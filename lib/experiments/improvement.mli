@@ -20,6 +20,7 @@ val measure :
   ?jobs:int ->
   ?solver_jobs:int ->
   ?strong_baseline:bool ->
+  ?warm_start:bool ->
   ?telemetry:Lepts_obs.Telemetry.collector ->
   ?telemetry_tag:string ->
   ?checkpoint:Lepts_robust.Checkpoint.session ->
@@ -44,6 +45,14 @@ val measure :
     whose average-case behaviour is incidental; the strong variant
     removes that arbitrariness and measures only the gain from knowing
     the workload distribution (see EXPERIMENTS.md).
+
+    [warm_start] (default false) replaces the three-start ACS
+    multi-start with one {!Lepts_core.Solver.solve_warm} continuation
+    descent from the WCS solution — measurably faster on sweeps and
+    never worse than that seed, but it may settle in a different local
+    optimum than the cold multi-start, so results are comparable only
+    within one setting of the flag (sweep checkpoints fingerprint
+    it). Still bit-identical for every [jobs] / [solver_jobs] value.
 
     [telemetry] registers one convergence sink per NLP solve this
     measurement runs (labels ["wcs"] / ["acs"], suffixed with

@@ -239,6 +239,11 @@ let run ?(config = default_config) ?(power = Model.ideal ()) ?cache
   if config.max_worker_crashes < 0 then
     invalid_arg "Service.run: max_worker_crashes must be >= 0";
   Span.with_ ~name:"serve:batch" @@ fun () ->
+  (* One long-lived pool serves every wave of this run (and, being the
+     process-wide shared pool for this worker count, every later run
+     too): workers spawn once, not once per wave, so short waves no
+     longer pay a domain spawn/join round-trip each. *)
+  let pool = Pool.shared ~jobs:config.jobs in
   (* Admission: parse every line; assign each valid request to its shard
      by content hash of the id; admit until that shard's high-water
      mark, shed the rest. One pass, in input order — deterministic. *)
@@ -341,7 +346,7 @@ let run ?(config = default_config) ?(power = Model.ideal ()) ?cache
         if Array.length to_solve = 0 then [||]
         else
           fst
-            (Pool.run ~jobs:config.jobs ~n:(Array.length to_solve)
+            (Pool.submit pool ~n:(Array.length to_solve)
                ~f:(fun j ->
                  let k = to_solve.(j) in
                  let _, req, _ = admitted.(!i + k) in
