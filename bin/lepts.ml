@@ -61,6 +61,18 @@ let warm_start_arg =
                  flag is part of the checkpoint fingerprint. Results remain \
                  bit-identical for every -j / --solver-jobs value.")
 
+let exact_solve_arg =
+  Arg.(value & flag
+       & info [ "exact-solve" ]
+           ~doc:"Solve with the dense reference kernels instead of the \
+                 structure-exploiting fast path (see DESIGN.md §12). The \
+                 two paths produce bit-identical schedules — this flag \
+                 exists as an audit escape hatch and for CI's parity diff \
+                 — but the exact path is much slower on large plans.")
+
+let structure_of exact_solve =
+  if exact_solve then Solver.Exact else Solver.Fast
+
 let progress line =
   print_endline line;
   flush stdout
@@ -299,7 +311,7 @@ let fig6b_cmd ~profile =
 (* --- schedule ---------------------------------------------------------- *)
 
 let schedule_cmd ~profile =
-  let run verbose v_min v_max =
+  let run verbose v_min v_max exact_solve =
     setup_logs verbose;
     with_observability ~command:"schedule" ~profile ~telemetry_file:None
     @@ fun _telemetry ->
@@ -307,7 +319,7 @@ let schedule_cmd ~profile =
     let ts = Lepts_workloads.Cnc.task_set ~power ~ratio:0.1 () in
     let plan = Plan.expand ts in
     Format.printf "CNC fully preemptive plan:@.%a@." Plan.pp_timeline plan;
-    (match Solver.solve_acs ~plan ~power () with
+    (match Solver.solve_acs ~structure:(structure_of exact_solve) ~plan ~power () with
     | Error e -> Format.printf "error: %a@." Solver.pp_error e
     | Ok (schedule, stats) ->
       Format.printf "%a@." Static_schedule.pp schedule;
@@ -322,7 +334,7 @@ let schedule_cmd ~profile =
   Cmd.v
     (Cmd.info "schedule"
        ~doc:"Expand and solve the CNC task set; print the plan and the ACS schedule.")
-    Term.(const run $ verbose_arg $ v_min_arg $ v_max_arg)
+    Term.(const run $ verbose_arg $ v_min_arg $ v_max_arg $ exact_solve_arg)
 
 (* --- random ------------------------------------------------------------ *)
 
@@ -412,14 +424,15 @@ let ablations_cmd ~profile =
         Lepts_util.Table.print table
     in
     show "NLP formulations (slack vs paper-literal)"
-      (Experiments.Ablations.formulations ~jobs ~task_set:ts ~power ());
+      (Experiments.Ablations.formulations ~jobs ~warm_start ~task_set:ts ~power ());
     show "Objectives (WCS vs ACS vs stochastic)"
       (Experiments.Ablations.objectives ~rounds ~jobs ~warm_start ~task_set:ts
          ~power ~seed ());
     show "Voltage quantization"
-      (Experiments.Ablations.quantization ~rounds ~jobs ~task_set:ts ~power ~seed ());
+      (Experiments.Ablations.quantization ~rounds ~jobs ~warm_start ~task_set:ts
+         ~power ~seed ());
     show "Scheduling structures (preemptive vs non-preemptive vs YDS bound)"
-      (Experiments.Ablations.structures ~jobs ~task_set:ts ~power ());
+      (Experiments.Ablations.structures ~jobs ~warm_start ~task_set:ts ~power ());
     (match
        Experiments.Distribution_sweep.run ~rounds ~jobs ~task_set:ts ~power ~seed ()
      with
@@ -468,9 +481,9 @@ let utilization_cmd ~profile =
 (* --- faults ------------------------------------------------------------- *)
 
 let faults_cmd ~profile =
-  let run verbose n ratio rounds seed jobs v_min v_max overrun_prob overrun_factor
-      jitter_prob jitter_frac denial_prob no_shed no_escalate fail_on_degraded
-      checkpoint resume telemetry_file =
+  let run verbose n ratio rounds seed jobs v_min v_max exact_solve overrun_prob
+      overrun_factor jitter_prob jitter_frac denial_prob no_shed no_escalate
+      fail_on_degraded checkpoint resume telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
@@ -488,7 +501,10 @@ let faults_cmd ~profile =
     | Error msg -> Format.printf "generation failed: %s@." msg; 1
     | Ok ts -> (
       let plan = Plan.expand ts in
-      match Lepts_robust.Robust_solver.solve ?telemetry ~plan ~power () with
+      match
+        Lepts_robust.Robust_solver.solve ~structure:(structure_of exact_solve)
+          ?telemetry ~plan ~power ()
+      with
       | Error e -> Format.printf "error: %a@." Solver.pp_error e; 1
       | Ok (schedule, diagnostics) ->
         Format.printf "%a@." Lepts_robust.Robust_solver.pp_diagnostics diagnostics;
@@ -598,9 +614,10 @@ let faults_cmd ~profile =
        ~doc:"Run a fault-injection campaign (WCEC overruns, release jitter, \
              denied voltage transitions) and print a robustness report.")
     Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 500 $ seed_arg
-          $ jobs_arg $ v_min_arg $ v_max_arg $ overrun_prob $ overrun_factor
-          $ jitter_prob $ jitter_frac $ denial_prob $ no_shed $ no_escalate
-          $ fail_on_degraded $ checkpoint_arg $ resume_arg $ telemetry_arg)
+          $ jobs_arg $ v_min_arg $ v_max_arg $ exact_solve_arg $ overrun_prob
+          $ overrun_factor $ jitter_prob $ jitter_frac $ denial_prob $ no_shed
+          $ no_escalate $ fail_on_degraded $ checkpoint_arg $ resume_arg
+          $ telemetry_arg)
 
 (* --- serve --------------------------------------------------------------- *)
 
@@ -784,7 +801,7 @@ let serve_cmd ~profile =
 (* --- export -------------------------------------------------------------- *)
 
 let export_cmd ~profile =
-  let run verbose n ratio seed v_min v_max out =
+  let run verbose n ratio seed v_min v_max exact_solve out =
     setup_logs verbose;
     with_observability ~command:"export" ~profile ~telemetry_file:None
     @@ fun _telemetry ->
@@ -802,7 +819,7 @@ let export_cmd ~profile =
         | Error msg -> failwith msg
     in
     let plan = Plan.expand ts in
-    (match Solver.solve_acs ~plan ~power () with
+    (match Solver.solve_acs ~structure:(structure_of exact_solve) ~plan ~power () with
     | Error e -> Format.printf "error: %a@." Solver.pp_error e
     | Ok (schedule, _) ->
       let csv = Lepts_core.Export.schedule_to_csv schedule in
@@ -830,7 +847,8 @@ let export_cmd ~profile =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export an ACS schedule as CSV (the firmware tables).")
-    Term.(const run $ verbose_arg $ n $ ratio $ seed_arg $ v_min_arg $ v_max_arg $ out)
+    Term.(const run $ verbose_arg $ n $ ratio $ seed_arg $ v_min_arg $ v_max_arg
+          $ exact_solve_arg $ out)
 
 let commands ~profile =
   [ motivation_cmd ~profile; fig6a_cmd ~profile; fig6b_cmd ~profile;

@@ -34,6 +34,17 @@ type t = {
   dg : float array;
   dq : float array;
   ds : float array;
+  (* structure-exploiting fast path (DESIGN.md §12) *)
+  n_blocks : int;
+  blk_off : int array;
+  blk_idx : int array;
+  blk_task : int array;
+  blk_buf : float array;
+  blk_scratch : float array;
+  y_prev : float array;
+  pen_prefix : float array;
+  mutable fwd_valid : bool;
+  mutable pen_valid : bool;
 }
 
 let max_segments (plan : Plan.t) =
@@ -42,9 +53,40 @@ let max_segments (plan : Plan.t) =
       Array.fold_left (fun acc idxs -> max acc (Array.length idxs)) acc per)
     1 plan.Plan.instance_subs
 
+(* Flatten the instance -> quota-range map into one index: block [b]
+   covers the quota coordinates [blk_idx.[blk_off.(b), blk_off.(b+1))],
+   all belonging to one instance of task [blk_task.(b)]. Blocks are
+   enumerated in the same (task, instance) order the nested projection
+   walks, so a flat loop over blocks visits coordinates in the same
+   sequence. *)
+let build_block_index (plan : Plan.t) m =
+  let subs = plan.Plan.instance_subs in
+  let n_blocks = Array.fold_left (fun acc per -> acc + Array.length per) 0 subs in
+  let blk_off = Array.make (n_blocks + 1) 0 in
+  let blk_idx = Array.make (max m 1) 0 in
+  let blk_task = Array.make (max n_blocks 1) 0 in
+  let b = ref 0 and pos = ref 0 in
+  Array.iteri
+    (fun i per ->
+      Array.iter
+        (fun idxs ->
+          blk_task.(!b) <- i;
+          blk_off.(!b) <- !pos;
+          Array.iter
+            (fun k ->
+              blk_idx.(!pos) <- k;
+              incr pos)
+            idxs;
+          incr b)
+        per)
+    subs;
+  blk_off.(n_blocks) <- !pos;
+  (n_blocks, blk_off, blk_idx, blk_task)
+
 let create (plan : Plan.t) =
   let m = Array.length plan.Plan.order in
   let seg = max_segments plan in
+  let n_blocks, blk_off, blk_idx, blk_task = build_block_index plan m in
   { plan; m;
     w_hat = Array.make m 0.;
     w = Array.make m 0.;
@@ -72,7 +114,14 @@ let create (plan : Plan.t) =
     dq_i = Array.make m 0.;
     dg = Array.make m 0.;
     dq = Array.make m 0.;
-    ds = Array.make m 0. }
+    ds = Array.make m 0.;
+    n_blocks; blk_off; blk_idx; blk_task;
+    blk_buf = Array.make seg 0.;
+    blk_scratch = Array.make seg 0.;
+    y_prev = Array.make (2 * m) nan;
+    pen_prefix = Array.make (m + 1) 0.;
+    fwd_valid = false;
+    pen_valid = false }
 
 let plan t = t.plan
 let size t = t.m

@@ -48,6 +48,30 @@ type t = {
   dg : float array;
   dq : float array;
   ds : float array;
+  (* structure-exploiting fast path (DESIGN.md §12) *)
+  n_blocks : int;
+      (** number of per-instance quota blocks (simplex constraints) *)
+  blk_off : int array;
+      (** length [n_blocks + 1]; block [b] covers positions
+          [blk_off.(b), blk_off.(b+1)) of [blk_idx] *)
+  blk_idx : int array;
+      (** length [m]; quota coordinate indices in block order — the
+          flat form of [plan.instance_subs] *)
+  blk_task : int array;  (** length [n_blocks]; owning task per block *)
+  blk_buf : float array;  (** gather buffer, length = longest block *)
+  blk_scratch : float array;  (** projection scratch, same length *)
+  y_prev : float array;
+      (** length [2m]; the point the last forward sweep ran at, used to
+          find the first dirty index of an incremental re-sweep.
+          Initialised to NaN (compares unequal to everything, so the
+          first sweep is always full). *)
+  pen_prefix : float array;
+      (** length [m + 1]; ascending prefix sums of the penalty terms at
+          [y_prev], valid while [pen_valid] (multipliers and mu
+          unchanged since it was filled) *)
+  mutable fwd_valid : bool;
+      (** [e]/[start]/[room]/[g]/[q] describe [y_prev] *)
+  mutable pen_valid : bool;  (** [pen_prefix] matches [y_prev] *)
 }
 
 val create : Lepts_preempt.Plan.t -> t

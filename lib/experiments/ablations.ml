@@ -14,9 +14,22 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let formulations ?(jobs = 1) ~task_set ~power () =
+(* The ACS arm shared by the ablations: the cold multi-start, or — with
+   [warm_start] — one {!Solver.solve_warm} continuation seeded from a
+   fresh WCS solve (the same reduction {!objectives} uses). *)
+let solve_acs_arm ~jobs ~warm_start ~plan ~power () =
+  if warm_start then
+    match Solver.solve_wcs ~jobs ~plan ~power () with
+    | Error _ as err -> err
+    | Ok (wcs, _) ->
+      Solver.solve_warm ~jobs ~mode:Objective.Average ~prev:wcs ~plan ~power ()
+  else Solver.solve_acs ~jobs ~plan ~power ()
+
+let formulations ?(jobs = 1) ?(warm_start = false) ~task_set ~power () =
   let plan = Plan.expand task_set in
-  let slack, slack_t = time (fun () -> Solver.solve_acs ~jobs ~plan ~power ()) in
+  let slack, slack_t =
+    time (fun () -> solve_acs_arm ~jobs ~warm_start ~plan ~power ())
+  in
   match slack with
   | Error _ as err -> err
   | Ok (_, slack_stats) -> (
@@ -81,10 +94,10 @@ let objectives ?(rounds = 500) ?(jobs = 1) ?(warm_start = false) ~task_set
             ("stochastic (12 scenarios)", stochastic) ];
         Ok table))
 
-let quantization ?(rounds = 500) ?(steps = [ 4; 8; 16 ]) ?(jobs = 1) ~task_set ~power
-    ~seed () =
+let quantization ?(rounds = 500) ?(steps = [ 4; 8; 16 ]) ?(jobs = 1)
+    ?(warm_start = false) ~task_set ~power ~seed () =
   let plan = Plan.expand task_set in
-  match Solver.solve_acs ~jobs ~plan ~power () with
+  match solve_acs_arm ~jobs ~warm_start ~plan ~power () with
   | Error _ as err -> err
   | Ok (acs, _) ->
     let table = Table.create ~header:[ "voltage levels"; "sim mean energy"; "overhead" ] in
@@ -110,9 +123,9 @@ let quantization ?(rounds = 500) ?(steps = [ 4; 8; 16 ]) ?(jobs = 1) ~task_set ~
       steps;
     Ok table
 
-let structures ?(jobs = 1) ~task_set ~power () =
+let structures ?(jobs = 1) ?(warm_start = false) ~task_set ~power () =
   let preemptive = Plan.expand task_set in
-  match Solver.solve_acs ~jobs ~plan:preemptive ~power () with
+  match solve_acs_arm ~jobs ~warm_start ~plan:preemptive ~power () with
   | Error _ as err -> err
   | Ok (p_acs, p_stats) ->
     let table =
@@ -122,7 +135,10 @@ let structures ?(jobs = 1) ~task_set ~power () =
       [ "preemptive (RM segments)";
         string_of_int (Plan.size preemptive);
         Table.float_cell p_stats.Solver.objective ];
-    (match Solver.solve_acs ~jobs ~plan:(Plan.expand_nonpreemptive task_set) ~power () with
+    (match
+       solve_acs_arm ~jobs ~warm_start
+         ~plan:(Plan.expand_nonpreemptive task_set) ~power ()
+     with
     | Error _ ->
       Table.add_row table [ "non-preemptive"; "-"; "unschedulable" ]
     | Ok (_, np_stats) ->

@@ -17,10 +17,19 @@
 
     Every comparison accepts [jobs] (default 1): it parallelises the
     solver's multi-start and, where a simulation is involved, the
-    simulation rounds — tables are bit-identical for every value. *)
+    simulation rounds — tables are bit-identical for every value.
+
+    Every comparison also accepts [warm_start] (default [false]): each
+    ACS-style solve becomes one continuation descent from a fresh WCS
+    solution ({!Lepts_core.Solver.solve_warm}) instead of the cold
+    multi-start — faster, never worse than the WCS seed, but a distinct
+    configuration (fewer basins explored), so persisted results must
+    key on the flag (the CLI folds [--warm-start] into its checkpoint
+    fingerprint). *)
 
 val formulations :
   ?jobs:int ->
+  ?warm_start:bool ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
   unit ->
@@ -35,16 +44,14 @@ val objectives :
   seed:int ->
   unit ->
   (Lepts_util.Table.t, Lepts_core.Solver.error) result
-(** [warm_start] (default false) solves the ACS arm as one continuation
-    descent from the WCS solution ({!Lepts_core.Solver.solve_warm})
-    instead of the warm-listed multi-start — faster, never worse than
-    the WCS seed, but a distinct configuration (fewer basins
-    explored). *)
+(** [warm_start] here reuses the WCS arm the table already solves as the
+    continuation seed, so it costs nothing extra. *)
 
 val quantization :
   ?rounds:int ->
   ?steps:int list ->
   ?jobs:int ->
+  ?warm_start:bool ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
   seed:int ->
@@ -53,6 +60,7 @@ val quantization :
 
 val structures :
   ?jobs:int ->
+  ?warm_start:bool ->
   task_set:Lepts_task.Task_set.t ->
   power:Lepts_power.Model.t ->
   unit ->

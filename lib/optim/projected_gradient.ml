@@ -17,14 +17,40 @@ let[@inline] fmax (x : float) (y : float) =
 let[@inline] fmin (x : float) (y : float) =
   if y < x || (x <> x && not (y <> y)) then y else x
 
+(* Fused one-pass kernels. Accumulation order is identical to the
+   [Vec.sub_into] + [Vec.norm2] / [Vec.dot] sequences they replace
+   (ascending index, one accumulator per product), so iterates stay
+   bit-identical; fusing removes two full vector passes per attempt. *)
+let sub_norm_slope (xt : Vec.t) (x : Vec.t) (g : Vec.t) ~(into : Vec.t) =
+  let n = Array.length into in
+  let ss = ref 0. and sg = ref 0. in
+  for i = 0 to n - 1 do
+    let di = xt.(i) -. x.(i) in
+    into.(i) <- di;
+    ss := !ss +. (di *. di);
+    sg := !sg +. (g.(i) *. di)
+  done;
+  (sqrt !ss, !sg)
+
+let bb_terms (gn : Vec.t) (g : Vec.t) (d : Vec.t) ~(into_y : Vec.t) =
+  let n = Array.length into_y in
+  let sy = ref 0. and ss = ref 0. in
+  for i = 0 to n - 1 do
+    let yi = gn.(i) -. g.(i) in
+    into_y.(i) <- yi;
+    sy := !sy +. (d.(i) *. yi);
+    ss := !ss +. (d.(i) *. d.(i))
+  done;
+  (!sy, !ss)
+
 (* Workspace core: all per-iteration vectors (trial point, search
    direction, gradients, BB difference) live in buffers allocated once
    here, so a full minimize run performs no per-iteration array
    allocation as long as [f], [grad_into] and [project_ip] are
    allocation-free themselves. The arithmetic is exactly the allocating
    version's, componentwise, so results are bit-identical. *)
-let minimize_ws ?telemetry ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f
-    ~grad_into ~project_ip ~x0 () =
+let minimize_ws ?telemetry ?should_stop ?(max_iter = 2000) ?(tol = 1e-9)
+    ?(history = 10) ~f ~grad_into ~project_ip ~x0 () =
   let n = Vec.dim x0 in
   let x = ref (Vec.copy x0) in
   project_ip !x;
@@ -51,7 +77,13 @@ let minimize_ws ?telemetry ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f
   let iterations = ref 0 in
   let converged = ref false in
   let last_step_norm = ref infinity in
-  while (not !converged) && !iterations < max_iter do
+  (* External stop request (the solver's wall budget). Read-only with
+     respect to the descent state: when it never fires the iterates are
+     bit-identical to a run without it. *)
+  let stop_requested =
+    match should_stop with None -> fun () -> false | Some f -> f
+  in
+  while (not !converged) && !iterations < max_iter && not (stop_requested ()) do
     incr iterations;
     (* Backtrack the trial step until the non-monotone Armijo test
        passes; the projected difference is the true search direction.
@@ -61,12 +93,10 @@ let minimize_ws ?telemetry ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f
       else begin
         Vec.axpy_into (-.trial) !g !x ~into:!xt;
         project_ip !xt;
-        Vec.sub_into !xt !x ~into:d;
-        let dnorm = Vec.norm2 d in
+        let dnorm, slope = sub_norm_slope !xt !x !g ~into:d in
         if dnorm = 0. then `Zero_step tries
         else
           let fx_trial = f !xt in
-          let slope = Vec.dot !g d in
           if Float.is_finite fx_trial
              && fx_trial <= reference () +. (1e-4 *. slope)
           then `Accepted (fx_trial, dnorm, trial, tries)
@@ -98,8 +128,7 @@ let minimize_ws ?telemetry ?(max_iter = 2000) ?(tol = 1e-9) ?(history = 10) ~f
       grad_into !xt ~into:!gn;
       ignore (Guard.finite_vec ~where:"gradient" !gn);
       (* Barzilai–Borwein step length for the next iteration. *)
-      Vec.sub_into !gn !g ~into:y;
-      let sy = Vec.dot d y and ss = Vec.dot d d in
+      let sy, ss = bb_terms !gn !g d ~into_y:y in
       step := (if sy > 1e-16 then ss /. sy else fmin (2. *. !step) 1e6);
       if (not (Float.is_finite !step)) || !step <= 0. then step := 1.;
       let x_prev = !x in

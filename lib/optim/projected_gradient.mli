@@ -40,6 +40,7 @@ val minimize :
 
 val minimize_ws :
   ?telemetry:Lepts_obs.Telemetry.ring ->
+  ?should_stop:(unit -> bool) ->
   ?max_iter:int ->
   ?tol:float ->
   ?history:int ->
@@ -63,4 +64,12 @@ val minimize_ws :
     iteration (accepted steps and the terminal stalled/zero-step
     iteration) into the given ring. Capture is strictly observational:
     the performed float operations are identical with or without it,
-    so the returned report is bit-identical either way. *)
+    so the returned report is bit-identical either way.
+
+    [?should_stop] is polled once per iteration, before the iteration
+    runs; returning [true] ends the descent with [converged = false]
+    and the current iterate. The solver uses it to enforce a wall
+    budget at iteration granularity without paying a clock read per
+    iteration (the callback itself decides how often to consult the
+    clock). A callback that never returns [true] leaves the run
+    bit-identical to omitting it. *)

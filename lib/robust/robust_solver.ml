@@ -125,7 +125,8 @@ let attempt_rm ~plan ~power =
         (Printf.sprintf "canonical RM schedule failed validation (%s)"
            (violations_string vs)))
 
-let solve ?(config = default_config) ?(skip_acs = false) ?telemetry ~plan ~power () =
+let solve ?(config = default_config) ?(skip_acs = false) ?structure ?telemetry
+    ~plan ~power () =
   let failures = ref [] in
   let run ?budget stage attempt =
     Metrics.incr (m_attempts stage);
@@ -187,8 +188,9 @@ let solve ?(config = default_config) ?(skip_acs = false) ?telemetry ~plan ~power
       run ~budget:config.acs Acs (fun () ->
           attempt_nlp ~budget:config.acs
             ~solve:(fun ?wall_budget ~max_outer ~max_inner () ->
-              Solver.solve_acs ?wall_budget ?telemetry:(sink "pipeline:acs")
-                ~max_outer ~max_inner ~plan ~power ()))
+              Solver.solve_acs ?wall_budget ?structure
+                ?telemetry:(sink "pipeline:acs") ~max_outer ~max_inner ~plan
+                ~power ()))
   in
   let result =
     acs_result
@@ -197,8 +199,9 @@ let solve ?(config = default_config) ?(skip_acs = false) ?telemetry ~plan ~power
            fun () ->
              attempt_nlp ~budget:config.wcs
                ~solve:(fun ?wall_budget ~max_outer ~max_inner () ->
-                 Solver.solve_wcs ?wall_budget ?telemetry:(sink "pipeline:wcs")
-                   ~max_outer ~max_inner ~plan ~power ()) )
+                 Solver.solve_wcs ?wall_budget ?structure
+                   ?telemetry:(sink "pipeline:wcs") ~max_outer ~max_inner
+                   ~plan ~power ()) )
     <|>? (Rm_vmax, None, fun () -> attempt_rm ~plan ~power)
   in
   match result with

@@ -48,6 +48,7 @@ type diagnostics = {
 val solve :
   ?config:config ->
   ?skip_acs:bool ->
+  ?structure:Lepts_core.Solver.structure ->
   ?telemetry:Lepts_obs.Telemetry.collector ->
   plan:Lepts_preempt.Plan.t ->
   power:Lepts_power.Model.t ->
@@ -59,6 +60,10 @@ val solve :
     whole chain failed — [Unschedulable] when any stage reported the
     task set unschedulable, otherwise [Solver_stalled] carrying every
     stage's failure reason.
+
+    [structure] selects the solver kernels for the ACS and WCS stages
+    ({!Lepts_core.Solver.structure}; default [Fast]). The RM fallback
+    involves no optimisation, so the knob does not reach it.
 
     [skip_acs] (default [false]) starts the chain at WCS — the route a
     {!Lepts_serve.Breaker} takes while its circuit is open. The skip is

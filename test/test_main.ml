@@ -13,6 +13,7 @@ let () =
       ("waterfall", Test_waterfall.suite);
       ("objective", Test_objective.suite);
       ("solver", Test_solver.suite);
+      ("structure", Test_structure.suite);
       ("warm", Test_warm.suite);
       ("validate", Test_validate.suite);
       ("dvs", Test_dvs.suite);
