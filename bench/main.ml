@@ -633,6 +633,68 @@ let huge_measurement ~quick () =
   in
   (measure rand8_plan, measure ~exact:false rand16_plan)
 
+(* ----- adaptive estimator smoke sweep ---------------------------------- *)
+
+type adaptive_row = {
+  ad_label : string;
+  ad_static_mean : float;
+  ad_adaptive_mean : float;
+  ad_improvement_pct : float;
+  ad_resolves : int;
+  ad_drift_events : int;
+  ad_identical : bool;  (** -j 1 vs -j 4, summaries and estimates bit for bit *)
+}
+
+(* Static-ACS vs adaptive-ACS under a drifting workload (overruns push
+   the observed mean above the offline ACEC; the bimodal arm sits far
+   below it) — the smoke version of `lepts faults --adaptive`. The
+   energy delta is recorded in BENCH_solver.json without a gating floor
+   yet; the -j bit-identity, like every other parallel path's, is
+   asserted. *)
+let adaptive_measurement ~quick () =
+  let plan = Lazy.force cnc_plan in
+  let schedule, _ = Result.get_ok (Solver.solve_acs ~plan ~power ()) in
+  let spec =
+    { Lepts_robust.Fault_injector.seed = 2005; overrun_prob = 0.1;
+      overrun_factor = 1.5; jitter_prob = 0.05; jitter_frac = 0.1;
+      denial_prob = 0.05 }
+  in
+  let rounds = if quick then 120 else 300 in
+  let config =
+    { Lepts_robust.Adaptive.estimator = Lepts_sim.Estimator.default_config;
+      resolve_every = 10; structure = Solver.Fast }
+  in
+  let sweep jobs =
+    Lepts_robust.Adaptive.sweep ~rounds ~jobs ~config ~spec ~schedule
+      ~policy:Lepts_dvs.Policy.Greedy ~seed:2007 ()
+  in
+  let summary_bits (s : Lepts_sim.Runner.summary) =
+    List.map Int64.bits_of_float
+      [ s.Lepts_sim.Runner.mean_energy; s.Lepts_sim.Runner.p95_energy;
+        s.Lepts_sim.Runner.p99_energy; s.Lepts_sim.Runner.max_energy ]
+  in
+  List.map2
+    (fun (p : Lepts_robust.Adaptive.point) (q : Lepts_robust.Adaptive.point) ->
+      { ad_label = p.Lepts_robust.Adaptive.label;
+        ad_static_mean =
+          p.Lepts_robust.Adaptive.static_summary.Lepts_sim.Runner.mean_energy;
+        ad_adaptive_mean =
+          p.Lepts_robust.Adaptive.adaptive_summary.Lepts_sim.Runner.mean_energy;
+        ad_improvement_pct = p.Lepts_robust.Adaptive.improvement_pct;
+        ad_resolves =
+          p.Lepts_robust.Adaptive.counters.Lepts_robust.Adaptive.resolves;
+        ad_drift_events =
+          p.Lepts_robust.Adaptive.counters.Lepts_robust.Adaptive.drift_events;
+        ad_identical =
+          summary_bits p.Lepts_robust.Adaptive.static_summary
+            = summary_bits q.Lepts_robust.Adaptive.static_summary
+          && summary_bits p.Lepts_robust.Adaptive.adaptive_summary
+             = summary_bits q.Lepts_robust.Adaptive.adaptive_summary
+          && Array.map Int64.bits_of_float p.Lepts_robust.Adaptive.estimates
+             = Array.map Int64.bits_of_float q.Lepts_robust.Adaptive.estimates
+          && p.Lepts_robust.Adaptive.counters = q.Lepts_robust.Adaptive.counters })
+    (sweep 1) (sweep 4)
+
 (* Telemetry overhead: the same deterministic ACS solve with and
    without a convergence sink, best-of-[reps] wall clock each way. The
    per-iteration cost is the wall-clock delta divided by the number of
@@ -727,12 +789,12 @@ let emit_huge_row oc ~last r =
 
 let emit_solver_json ~path ~quick rows ~stream ~saturated
     ~legacy:(t_seq, t_par, objective, identical) ~continuation ~fig6a
-    ~huge:(huge_n8, huge_n16)
+    ~huge:(huge_n8, huge_n16) ~adaptive
     (tel_off_s, tel_on_s, tel_records, tel_overhead_ns, tel_identical) =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"lepts-bench-solver/3\",\n";
+  out "  \"schema\": \"lepts-bench-solver/4\",\n";
   out "  \"quick\": %b,\n" quick;
   out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"benchmarks\": [\n";
@@ -786,6 +848,24 @@ let emit_solver_json ~path ~quick rows ~stream ~saturated
   out "    \"cases\": [\n";
   emit_huge_row oc ~last:false huge_n8;
   emit_huge_row oc ~last:true huge_n16;
+  out "    ]\n";
+  out "  },\n";
+  (* Energy delta recorded, not gated: improvement depends on how far
+     the drifting workload sits from the offline ACEC, so no floor yet.
+     [bit_identical] compares the -j 1 and -j 4 sweeps and IS gated. *)
+  out "  \"adaptive\": {\n";
+  out "    \"plan\": \"CNC (32 subs), static vs adaptive ACS\",\n";
+  out "    \"arms\": [\n";
+  List.iteri
+    (fun i r ->
+      out "      {\"label\": \"%s\", \"static_mean_energy\": %s, "
+        (json_escape r.ad_label) (json_float r.ad_static_mean);
+      out "\"adaptive_mean_energy\": %s, \"improvement_pct\": %s, "
+        (json_float r.ad_adaptive_mean) (json_float r.ad_improvement_pct);
+      out "\"resolves\": %d, \"drift_events\": %d, \"bit_identical\": %b}%s\n"
+        r.ad_resolves r.ad_drift_events r.ad_identical
+        (if i = List.length adaptive - 1 then "" else ","))
+    adaptive;
   out "    ]\n";
   out "  },\n";
   out "  \"telemetry\": {\n";
@@ -852,6 +932,15 @@ let run_solver_json ~path ~quick ~max_telemetry_overhead_ns ~min_parallel_speedu
   let ((huge_n8, huge_n16) as huge) = huge_measurement ~quick () in
   print_huge_row huge_n8;
   print_huge_row huge_n16;
+  let adaptive = adaptive_measurement ~quick () in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  adaptive %s: static %.4f, adaptive %.4f (%+.1f%%), %d resolves, \
+         %d drift events, identical: %b\n%!"
+        r.ad_label r.ad_static_mean r.ad_adaptive_mean r.ad_improvement_pct
+        r.ad_resolves r.ad_drift_events r.ad_identical)
+    adaptive;
   let tel = telemetry_overhead_measurement ~quick () in
   let tel_off, tel_on, tel_records, tel_overhead, tel_identical = tel in
   Printf.printf
@@ -859,7 +948,7 @@ let run_solver_json ~path ~quick ~max_telemetry_overhead_ns ~min_parallel_speedu
      identical: %b\n%!"
     tel_off tel_on tel_overhead tel_records tel_identical;
   emit_solver_json ~path ~quick rows ~stream ~saturated ~legacy ~continuation
-    ~fig6a ~huge tel;
+    ~fig6a ~huge ~adaptive tel;
   Printf.printf "wrote %s\n%!" path;
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
@@ -867,6 +956,8 @@ let run_solver_json ~path ~quick ~max_telemetry_overhead_ns ~min_parallel_speedu
     fail "solver results differ with telemetry enabled";
   if not (stream.par_identical && saturated.par_identical && legacy_identical)
   then fail "parallel multi-start results are not bit-identical";
+  if not (List.for_all (fun r -> r.ad_identical) adaptive) then
+    fail "adaptive estimator sweep differs between -j 1 and -j 4";
   if not continuation.close_per_point then
     fail "a warm continuation point ended >5%% worse than its cold counterpart";
   if not continuation.total_never_worse then

@@ -483,9 +483,32 @@ let utilization_cmd ~profile =
 let faults_cmd ~profile =
   let run verbose n ratio rounds seed jobs v_min v_max exact_solve overrun_prob
       overrun_factor jitter_prob jitter_frac denial_prob no_shed no_escalate
-      fail_on_degraded checkpoint resume telemetry_file =
+      adaptive estimator_kind ewma_alpha window drift_threshold hysteresis
+      resolve_every resolve_budget fail_on_degraded checkpoint resume
+      telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
+    let adaptive_config =
+      let predictor =
+        match estimator_kind with
+        | `Ewma -> Lepts_sim.Estimator.Ewma { alpha = ewma_alpha }
+        | `Linear -> Lepts_sim.Estimator.Linear_rate { window }
+      in
+      { Lepts_robust.Adaptive.estimator =
+          { Lepts_sim.Estimator.predictor; drift_threshold; hysteresis;
+            resolve_budget };
+        resolve_every;
+        structure = structure_of exact_solve }
+    in
+    (* Malformed estimator parameters are a usage error (exit 2, like
+       --chaos), caught before any solving starts. *)
+    (match
+       (if adaptive then Lepts_sim.Estimator.validate adaptive_config.estimator;
+        if adaptive && resolve_every < 1 then
+          invalid_arg "--resolve-every must be >= 1")
+     with
+    | () -> ()
+    | exception Invalid_argument msg -> prerr_endline ("lepts faults: " ^ msg); exit 2);
     let power = power_of ~v_min ~v_max in
     let workload_result =
       if n = 0 then Ok (Lepts_workloads.Cnc.task_set ~power ~ratio ())
@@ -545,6 +568,38 @@ let faults_cmd ~profile =
         Printf.printf "\nRobustness report (%d rounds per arm, greedy policy):\n"
           rounds;
         Lepts_util.Table.print (Lepts_robust.Campaign.to_table report);
+        if adaptive then begin
+          (* The adaptive sweep is a single chained unit of work (each
+             epoch's schedule depends on the previous one), so it is
+             not checkpointed — like the continuation sweeps, it reruns
+             whole on resume. doc/ADAPTATION.md explains. *)
+          Printf.eprintf "adaptive sweep throughput (-j %d):\n%!" jobs;
+          let points =
+            Lepts_robust.Adaptive.sweep ~rounds ~jobs
+              ~config:adaptive_config ~on_stats:print_stats ~spec ~schedule
+              ~policy:Lepts_dvs.Policy.Greedy ~seed:(seed + 2) ()
+          in
+          Printf.printf
+            "\nAdaptive workload estimation (static vs adaptive ACS, %d \
+             rounds per arm):\n"
+            rounds;
+          Lepts_util.Table.print (Lepts_robust.Adaptive.to_table points);
+          List.iter
+            (fun (p : Lepts_robust.Adaptive.point) ->
+              let mean_ratio =
+                let s = ref 0. in
+                Array.iteri
+                  (fun i e -> s := !s +. (e /. Float.max p.initial.(i) 1e-12))
+                  p.estimates;
+                !s /. float_of_int (Array.length p.estimates)
+              in
+              Printf.printf
+                "  %-16s final drift %.3f, mean estimate/offline ratio %.2f, \
+                 %d/%d re-solve budget used\n"
+                p.label p.final_drift mean_ratio p.counters.resolves
+                adaptive_config.estimator.resolve_budget)
+            points
+        end;
         if fail_on_degraded
            && diagnostics.Lepts_robust.Robust_solver.chosen
               <> Lepts_robust.Robust_solver.Acs
@@ -609,15 +664,72 @@ let faults_cmd ~profile =
                    distinguish a degraded-but-running system from a healthy \
                    one.")
   in
+  let adaptive =
+    Arg.(value & flag
+         & info [ "adaptive" ]
+             ~doc:"After the robustness report, run the static-vs-adaptive \
+                   ACS sweep (doc/ADAPTATION.md): fold each round's \
+                   observed per-task cycles into an online ACEC estimator \
+                   and incrementally re-solve the schedule when the \
+                   estimate drifts past --drift-threshold. Output is \
+                   bit-identical for every -j value (CI-gated). The sweep \
+                   is a chained unit of work and is not checkpointed.")
+  in
+  let estimator_kind =
+    Arg.(value & opt (enum [ ("ewma", `Ewma); ("linear", `Linear) ]) `Ewma
+         & info [ "estimator" ] ~docv:"KIND"
+             ~doc:"ACEC predictor: $(b,ewma) (exponentially weighted moving \
+                   average) or $(b,linear) (linear-rate extrapolation over \
+                   the last --estimator-window observations).")
+  in
+  let ewma_alpha =
+    Arg.(value & opt float 0.2
+         & info [ "ewma-alpha" ] ~docv:"A"
+             ~doc:"EWMA smoothing factor in (0, 1]; larger forgets faster.")
+  in
+  let window =
+    Arg.(value & opt int 8
+         & info [ "estimator-window" ] ~docv:"N"
+             ~doc:"Observation window of the linear-rate predictor (>= 1).")
+  in
+  let drift_threshold =
+    Arg.(value & opt float 0.1
+         & info [ "drift-threshold" ] ~docv:"T"
+             ~doc:"Relative ACEC drift that triggers an incremental \
+                   re-solve (strictly greater-than; drift exactly at T \
+                   keeps the plan).")
+  in
+  let hysteresis =
+    Arg.(value & opt float 0.5
+         & info [ "hysteresis" ] ~docv:"H"
+             ~doc:"In [0, 1]: after a re-solve the trigger re-arms only \
+                   once drift falls to T*(1-H) or below; 0 disables.")
+  in
+  let resolve_every =
+    Arg.(value & opt int 25
+         & info [ "resolve-every" ] ~docv:"K"
+             ~doc:"Drift-check cadence in rounds (the adaptive epoch \
+                   length; re-solves only happen at epoch boundaries).")
+  in
+  let resolve_budget =
+    Arg.(value & opt int 8
+         & info [ "resolve-budget" ] ~docv:"B"
+             ~doc:"Maximum incremental re-solves per arm; once spent, the \
+                   run continues on its last schedule and further drift \
+                   events are counted as exhausted.")
+  in
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Run a fault-injection campaign (WCEC overruns, release jitter, \
-             denied voltage transitions) and print a robustness report.")
+             denied voltage transitions) and print a robustness report, \
+             optionally followed by the adaptive-estimator sweep \
+             (--adaptive).")
     Term.(const run $ verbose_arg $ n $ ratio $ rounds_arg 500 $ seed_arg
           $ jobs_arg $ v_min_arg $ v_max_arg $ exact_solve_arg $ overrun_prob
           $ overrun_factor $ jitter_prob $ jitter_frac $ denial_prob $ no_shed
-          $ no_escalate $ fail_on_degraded $ checkpoint_arg $ resume_arg
-          $ telemetry_arg)
+          $ no_escalate $ adaptive $ estimator_kind $ ewma_alpha $ window
+          $ drift_threshold $ hysteresis $ resolve_every $ resolve_budget
+          $ fail_on_degraded $ checkpoint_arg $ resume_arg $ telemetry_arg)
 
 (* --- serve --------------------------------------------------------------- *)
 

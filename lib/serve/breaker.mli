@@ -51,6 +51,9 @@ val create : ?config:config -> unit -> t
     non-positive config field. *)
 
 val state : t -> state
+(** Current position in the state machine. Read-only: unlike
+    {!plan_route} it never consumes a half-open probe slot, so health
+    reporting can poll it freely. *)
 
 val plan_route : t -> now:int -> bool
 (** [plan_route t ~now] decides whether the next request should attempt

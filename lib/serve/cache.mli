@@ -71,8 +71,15 @@ val create : fingerprint:string -> t
     that change results — the power model, not [jobs]). *)
 
 val fingerprint : t -> string
+(** The configuration fingerprint the cache was created (or loaded)
+    with — the one snapshots embed and {!load} checks. *)
+
 val size : t -> int
+(** Entries currently stored, whatever their provenance. *)
+
 val stats : t -> stats
+(** Lookup/insert counters since creation (warm-loaded entries count
+    in [entries] but not in [s_inserts]). *)
 
 val hit_rate : t -> float
 (** Hits over all lookups ([0.] before the first lookup). *)

@@ -44,6 +44,7 @@ val of_string : string -> (profile, string) result
     (0 or 1). The error message names the offending pair. *)
 
 val pp_profile : Format.formatter -> profile -> unit
+(** Render a profile in the [key=value] syntax {!of_string} parses. *)
 
 type t
 (** A live harness: the profile plus atomic injection counters
@@ -53,6 +54,7 @@ val create : profile:profile -> t
 (** Raises [Invalid_argument] on an invalid profile. *)
 
 val profile : t -> profile
+(** The (validated) profile this harness injects from. *)
 
 val filter_lines : t -> string list -> string list
 (** Drop injection, keyed by line index. Identity when

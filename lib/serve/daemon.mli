@@ -56,6 +56,8 @@ type start =
   | Refused of string  (** snapshot diagnostic; served cold instead *)
 
 val start_name : start -> string
+(** ["cold"] / ["warm"] / ["refused"] — the stable tag used in logs and
+    the NDJSON report (the refusal diagnostic is reported separately). *)
 
 type result = {
   report : Service.report;

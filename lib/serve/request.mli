@@ -41,3 +41,4 @@ val to_json : t -> string
     the result round-trips. *)
 
 val pp : Format.formatter -> t -> unit
+(** Debug rendering (the canonical JSON form, via {!to_json}). *)

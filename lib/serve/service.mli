@@ -157,3 +157,5 @@ val print_report : ?oc:out_channel -> report -> unit
     [jobs] was — and whether the cache was cold or warm. *)
 
 val pp_status : Format.formatter -> status -> unit
+(** Human-readable status — the winning stage and simulated mean for
+    [Done], the reason for [Failed] — for logs and test messages. *)

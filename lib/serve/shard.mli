@@ -30,11 +30,15 @@ type stat = {
 }
 
 val create : config:Breaker.config -> index:int -> t
+(** A fresh shard at position [index] with its own breaker (built from
+    [config]), logical clock at zero and all counters cleared. *)
 
 val backlog : t -> int
 (** Admitted requests not yet processed. *)
 
 val stat : t -> stat
+(** Immutable snapshot of the shard's counters and its breaker's
+    transition log, for the report trailer and health lines. *)
 
 val of_id : shards:int -> string -> int
 (** Deterministic shard assignment: FNV-1a of the id mod [shards].

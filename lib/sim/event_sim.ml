@@ -135,6 +135,13 @@ let run_traced ?transition ?faults ?control ~(schedule : Static_schedule.t)
   let static_v = Policy.worst_case_voltages schedule in
   let states = build_instances ?faults schedule ~totals in
   let energy = ref 0. in
+  (* Per-task executed cycles. Bumped only where [executed] is charged
+     below — the one place work leaves an instance — so a shed residue
+     (dropped without running) is never counted and an overrun residue
+     (executing past the budget in the [None]-sub branch) is counted
+     exactly once. The estimator's observations depend on this
+     single-accounting invariant; see the regression tests. *)
+  let consumed = Array.make (Array.length plan.Plan.instance_subs) 0. in
   let now = ref 0. in
   let guard = ref (10_000 + (100 * Array.length states * Array.length plan.Plan.order)) in
   let running = ref true in
@@ -224,6 +231,7 @@ let run_traced ?transition ?faults ?control ~(schedule : Static_schedule.t)
           else (run_until -. !now) /. cycle_time
         in
         energy := !energy +. Model.energy power ~v ~cycles:executed;
+        consumed.(st.task) <- consumed.(st.task) +. executed;
         if run_until > !now then
           spans :=
             { Trace.task = st.task; instance = st.instance; from_time = !now;
@@ -249,7 +257,7 @@ let run_traced ?transition ?faults ?control ~(schedule : Static_schedule.t)
       then incr misses)
     states;
   ( { Outcome.energy = !energy; deadline_misses = !misses;
-      shed_instances = !shed; finish_times },
+      shed_instances = !shed; finish_times; consumed },
     { Trace.spans = List.rev !spans; horizon = Plan.hyper_period plan } )
 
 let run ?transition ?faults ?control ~schedule ~policy ~totals () =

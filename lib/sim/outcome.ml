@@ -3,6 +3,7 @@ type t = {
   deadline_misses : int;
   shed_instances : int;
   finish_times : float array array;
+  consumed : float array;
 }
 
 let completed t = t.deadline_misses = 0

@@ -11,6 +11,14 @@ type t = {
   finish_times : float array array;
       (** completion time per instance, indexed [.(task).(instance)];
           [nan] for instances that never completed *)
+  consumed : float array;
+      (** cycles each task {e actually executed} during the round,
+          indexed by priority level — the observation stream for
+          {!Estimator}. Accounted at the single dispatch-execution
+          point of the simulator, so a shed instance contributes only
+          the cycles it ran before the drop (never its residue) and a
+          WCEC overrun's residue is counted exactly once, as it
+          executes at [v_max]. *)
 }
 
 val completed : t -> bool

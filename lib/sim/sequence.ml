@@ -34,5 +34,15 @@ let run ~(schedule : Static_schedule.t) ~totals =
           per_instance)
       plan.Plan.instance_subs
   in
+  let consumed =
+    Array.map
+      (Array.fold_left
+         (fun acc subs ->
+           Array.fold_left
+             (fun acc k -> acc +. trace.Objective.exec_workloads.(k))
+             acc subs)
+         0.)
+      plan.Plan.instance_subs
+  in
   { Outcome.energy = trace.Objective.energy; deadline_misses = !misses;
-    shed_instances = 0; finish_times }
+    shed_instances = 0; finish_times; consumed }

@@ -19,6 +19,7 @@ let () =
       ("dvs", Test_dvs.suite);
       ("sim", Test_sim.suite);
       ("robust", Test_robust.suite);
+      ("adaptive", Test_adaptive.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("serve", Test_serve.suite);
       ("daemon", Test_daemon.suite);
