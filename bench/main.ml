@@ -695,6 +695,94 @@ let adaptive_measurement ~quick () =
           && p.Lepts_robust.Adaptive.counters = q.Lepts_robust.Adaptive.counters })
     (sweep 1) (sweep 4)
 
+type serve_row = {
+  sv_requests : int;  (** NDJSON lines per run *)
+  sv_cold_s : float;  (** best-of wall clock, fresh cache *)
+  sv_warm_s : float;  (** best-of wall clock, cache warmed by one run *)
+  sv_coalesced : int;  (** duplicates served by an in-flight solve (cold) *)
+  sv_identical : bool;  (** -j 1 vs -j 4 cold reports, byte for byte *)
+}
+
+let serve_cold_rps r = float_of_int r.sv_requests /. Float.max r.sv_cold_s 1e-9
+let serve_warm_rps r = float_of_int r.sv_requests /. Float.max r.sv_warm_s 1e-9
+
+(* Serve-engine throughput: one fixed NDJSON batch through the full
+   admission → route → coalesce → solve → fold pipeline, cold
+   (fresh cache each rep) and warm (cache populated by one priming
+   run, so every request replays a stored schedule). The batch mixes
+   duplicate content (coalescing), a ratio ladder on a shared family
+   (warm chaining) and distinct seeds (real solves). [warm_rps] is the
+   daemon's steady-state ceiling and carries the CI floor; the cold
+   -j 1 and -j 4 reports are byte-diffed — the determinism contract
+   the socket-soak job relies on. *)
+let serve_measurement ~quick () =
+  let module Service = Lepts_serve.Service in
+  let module Cache = Lepts_serve.Cache in
+  let n = if quick then 24 else 96 in
+  (* Each wave of 8 carries one 3-request ratio ladder on a shared
+     family (chained, each solve warm-starting the next), one
+     content-identical pair (coalesced onto a single solve) and three
+     solo solves; seeds shift per wave so the cold run keeps solving
+     past the first wave. *)
+  let lines =
+    List.init n (fun i ->
+        let wave_i = i / 8 and k = i mod 8 in
+        let tasks, seed, ratio =
+          if k < 3 then (3, 11 + wave_i, [| 0.1; 0.3; 0.5 |].(k))
+          else if k < 5 then (2, 41 + wave_i, 0.2)
+          else (2, (100 * (k - 4)) + wave_i, 0.4)
+        in
+        Printf.sprintf
+          {|{"id":"bench-%d","tasks":%d,"ratio":%g,"seed":%d,"rounds":0}|}
+          i tasks ratio seed)
+  in
+  let fresh () = Cache.create ~fingerprint:"bench" () in
+  let run ~jobs ~cache () =
+    let config =
+      { Service.default_config with Service.jobs; wave = 8; high_water = n }
+    in
+    Service.run ~config ~power ~cache ~lines ()
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let reps = if quick then 2 else 4 in
+  let cold_s = ref infinity in
+  let cold_report = ref None in
+  for _ = 1 to reps do
+    let dt, r = time (fun () -> run ~jobs:4 ~cache:(fresh ()) ()) in
+    if dt < !cold_s then cold_s := dt;
+    cold_report := Some r
+  done;
+  let warm_cache = fresh () in
+  ignore (run ~jobs:4 ~cache:warm_cache ());
+  let warm_s = ref infinity in
+  for _ = 1 to reps do
+    let dt, _ = time (fun () -> run ~jobs:4 ~cache:warm_cache ()) in
+    if dt < !warm_s then warm_s := dt
+  done;
+  let render report =
+    let path = Filename.temp_file "lepts-bench-serve" ".ndjson" in
+    let oc = open_out path in
+    Service.print_report ~oc report;
+    close_out oc;
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  let r1 = run ~jobs:1 ~cache:(fresh ()) () in
+  let r4 = run ~jobs:4 ~cache:(fresh ()) () in
+  { sv_requests = n; sv_cold_s = !cold_s; sv_warm_s = !warm_s;
+    sv_coalesced =
+      (match !cold_report with
+      | Some r -> r.Service.coalesced
+      | None -> 0);
+    sv_identical = render r1 = render r4 }
+
 (* Telemetry overhead: the same deterministic ACS solve with and
    without a convergence sink, best-of-[reps] wall clock each way. The
    per-iteration cost is the wall-clock delta divided by the number of
@@ -789,12 +877,12 @@ let emit_huge_row oc ~last r =
 
 let emit_solver_json ~path ~quick rows ~stream ~saturated
     ~legacy:(t_seq, t_par, objective, identical) ~continuation ~fig6a
-    ~huge:(huge_n8, huge_n16) ~adaptive
+    ~huge:(huge_n8, huge_n16) ~adaptive ~serve
     (tel_off_s, tel_on_s, tel_records, tel_overhead_ns, tel_identical) =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"lepts-bench-solver/4\",\n";
+  out "  \"schema\": \"lepts-bench-solver/5\",\n";
   out "  \"quick\": %b,\n" quick;
   out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"benchmarks\": [\n";
@@ -868,6 +956,20 @@ let emit_solver_json ~path ~quick rows ~stream ~saturated
     adaptive;
   out "    ]\n";
   out "  },\n";
+  (* [warm_rps] is the steady-state daemon ceiling (every request a
+     cache hit) and carries the [--min-serve-throughput] floor;
+     [bit_identical] byte-diffs the cold -j 1 and -j 4 reports. *)
+  out "  \"serve_throughput\": {\n";
+  out "    \"plan\": \"%d NDJSON requests (tasks 2-3), -j 4, waves of 8\",\n"
+    serve.sv_requests;
+  out "    \"requests\": %d,\n" serve.sv_requests;
+  out "    \"cold_s\": %s,\n" (json_float serve.sv_cold_s);
+  out "    \"warm_s\": %s,\n" (json_float serve.sv_warm_s);
+  out "    \"cold_rps\": %s,\n" (json_float (serve_cold_rps serve));
+  out "    \"warm_rps\": %s,\n" (json_float (serve_warm_rps serve));
+  out "    \"coalesced\": %d,\n" serve.sv_coalesced;
+  out "    \"bit_identical\": %b\n" serve.sv_identical;
+  out "  },\n";
   out "  \"telemetry\": {\n";
   out "    \"plan\": \"CNC (32 subs), ACS solve\",\n";
   out "    \"off_s\": %s,\n" (json_float tel_off_s);
@@ -904,7 +1006,8 @@ let print_huge_row r =
     (huge_speedup_vs_seed r) r.huge_identical
 
 let run_solver_json ~path ~quick ~max_telemetry_overhead_ns ~min_parallel_speedup
-    ~min_vs_sequential ~min_warm_speedup ~min_huge_speedup () =
+    ~min_vs_sequential ~min_warm_speedup ~min_huge_speedup
+    ~min_serve_throughput () =
   let rows = run_solver_kernel_benchmarks ~quick () in
   print_solver_kernel_rows rows;
   let stream = stream_measurement ~quick () in
@@ -941,6 +1044,12 @@ let run_solver_json ~path ~quick ~max_telemetry_overhead_ns ~min_parallel_speedu
         r.ad_label r.ad_static_mean r.ad_adaptive_mean r.ad_improvement_pct
         r.ad_resolves r.ad_drift_events r.ad_identical)
     adaptive;
+  let serve = serve_measurement ~quick () in
+  Printf.printf
+    "  serve: %d requests — cold %.3fs (%.1f req/s), warm %.3fs (%.1f req/s), \
+     coalesced %d, identical: %b\n%!"
+    serve.sv_requests serve.sv_cold_s (serve_cold_rps serve) serve.sv_warm_s
+    (serve_warm_rps serve) serve.sv_coalesced serve.sv_identical;
   let tel = telemetry_overhead_measurement ~quick () in
   let tel_off, tel_on, tel_records, tel_overhead, tel_identical = tel in
   Printf.printf
@@ -948,7 +1057,7 @@ let run_solver_json ~path ~quick ~max_telemetry_overhead_ns ~min_parallel_speedu
      identical: %b\n%!"
     tel_off tel_on tel_overhead tel_records tel_identical;
   emit_solver_json ~path ~quick rows ~stream ~saturated ~legacy ~continuation
-    ~fig6a ~huge ~adaptive tel;
+    ~fig6a ~huge ~adaptive ~serve tel;
   Printf.printf "wrote %s\n%!" path;
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
@@ -997,6 +1106,16 @@ let run_solver_json ~path ~quick ~max_telemetry_overhead_ns ~min_parallel_speedu
     fail "huge-solve speedup %.2fx vs the recorded seed below the %.2fx floor"
       (huge_speedup_vs_seed huge_n8) floor
   | _ -> ());
+  if not serve.sv_identical then
+    fail "serve reports differ between -j 1 and -j 4";
+  (* Gated on the warm (all-cache-hit) rate: it measures the serve
+     engine itself — admission, routing, cache replay, folding — not
+     NLP solve time, so it is comparatively machine-stable. *)
+  (match min_serve_throughput with
+  | Some floor when serve_warm_rps serve < floor ->
+    fail "warm serve throughput %.1f req/s below the %.1f req/s floor"
+      (serve_warm_rps serve) floor
+  | _ -> ());
   if !failures <> [] then begin
     List.iter (fun s -> Printf.eprintf "FAIL: %s\n%!" s) (List.rev !failures);
     exit 1
@@ -1005,7 +1124,8 @@ let run_solver_json ~path ~quick ~max_telemetry_overhead_ns ~min_parallel_speedu
 let () =
   (* `--json PATH [--quick] [--max-telemetry-overhead-ns N]
      [--min-parallel-speedup X] [--min-vs-sequential X]
-     [--min-warm-speedup X] [--min-huge-speedup X]` runs only the
+     [--min-warm-speedup X] [--min-huge-speedup X]
+     [--min-serve-throughput X]` runs only the
      solver-kernel group and writes the machine-readable summary (the
      CI smoke step), failing when a floor is violated; no arguments
      runs the full reproduction + benchmark pipeline.
@@ -1030,7 +1150,8 @@ let () =
       ~min_parallel_speedup:(float_flag "--min-parallel-speedup")
       ~min_vs_sequential:(float_flag "--min-vs-sequential")
       ~min_warm_speedup:(float_flag "--min-warm-speedup")
-      ~min_huge_speedup:(float_flag "--min-huge-speedup") ()
+      ~min_huge_speedup:(float_flag "--min-huge-speedup")
+      ~min_serve_throughput:(float_flag "--min-serve-throughput") ()
   | None ->
     regenerate_motivation ();
     regenerate_fig6a ();

@@ -734,9 +734,11 @@ let faults_cmd ~profile =
 (* --- serve --------------------------------------------------------------- *)
 
 let serve_cmd ~profile =
-  let run verbose input jobs shards high_water wave max_retries backoff
-      max_crashes threshold cooldown probes v_min v_max cache_path
-      snapshot_every health_every chaos_spec fail_on_degraded telemetry_file =
+  let run verbose input socket_path spool_dir replay_path journal_path
+      accept_backlog read_timeout_ms max_line_bytes idle_exit_ms jobs shards
+      high_water wave max_retries backoff max_crashes threshold cooldown probes
+      v_min v_max cache_path snapshot_every health_every max_cache_entries
+      cache_stats chaos_spec fail_on_degraded telemetry_file =
     setup_logs verbose;
     let jobs = resolve_jobs jobs in
     let power = power_of ~v_min ~v_max in
@@ -748,24 +750,24 @@ let serve_cmd ~profile =
           (fun p -> Some (Lepts_serve.Chaos.create ~profile:p))
           (Lepts_serve.Chaos.of_string spec)
     in
+    let modes =
+      List.length
+        (List.filter Option.is_some [ socket_path; spool_dir; replay_path ])
+    in
     match chaos with
     | Error msg ->
       prerr_endline ("lepts serve: " ^ msg);
       2
-    | Ok chaos ->
+    | Ok _ when modes > 1 ->
+      prerr_endline
+        "lepts serve: --socket, --spool and --replay are mutually exclusive";
+      2
+    | Ok _ when max_cache_entries < 0 ->
+      prerr_endline "lepts serve: --max-cache-entries must be >= 0";
+      2
+    | Ok chaos -> (
       with_observability ~command:"serve" ~profile ~telemetry_file
       @@ fun _telemetry ->
-      let lines =
-        let ic = match input with None -> stdin | Some path -> open_in path in
-        let rec read acc =
-          match input_line ic with
-          | line -> read (line :: acc)
-          | exception End_of_file -> List.rev acc
-        in
-        let lines = read [] in
-        (match input with Some _ -> close_in ic | None -> ());
-        List.filter (fun l -> String.trim l <> "") lines
-      in
       Drain.install ();
       let config =
         { Lepts_serve.Daemon.service =
@@ -774,35 +776,146 @@ let serve_cmd ~profile =
               breaker =
                 { Lepts_serve.Breaker.failure_threshold = threshold; cooldown;
                   probes } };
-          cache_path; snapshot_every; health_every }
+          cache_path; snapshot_every; health_every; journal_path;
+          max_cache_entries =
+            (if max_cache_entries = 0 then None else Some max_cache_entries) }
       in
-      let result =
-        Lepts_serve.Daemon.run ~config ~power ?chaos
-          ~should_stop:Drain.requested ~lines ()
+      let finish (result : Lepts_serve.Daemon.result) =
+        prerr_endline
+          ("lepts serve: "
+          ^ Lepts_serve.Daemon.start_name result.Lepts_serve.Daemon.start);
+        let report = result.Lepts_serve.Daemon.report in
+        Lepts_serve.Service.print_report report;
+        if cache_stats then
+          print_endline
+            (Lepts_serve.Daemon.cache_stats_line
+               ~cache:result.Lepts_serve.Daemon.cache);
+        Option.iter print_endline result.Lepts_serve.Daemon.chaos_line;
+        if report.Lepts_serve.Service.drained then 3
+        else if
+          fail_on_degraded
+          && (report.Lepts_serve.Service.degraded
+             || List.exists
+                  (fun (o : Lepts_serve.Service.outcome) ->
+                    o.Lepts_serve.Service.degraded)
+                  report.Lepts_serve.Service.outcomes)
+        then 4
+        else 0
       in
-      prerr_endline
-        ("lepts serve: "
-        ^ Lepts_serve.Daemon.start_name result.Lepts_serve.Daemon.start);
-      let report = result.Lepts_serve.Daemon.report in
-      Lepts_serve.Service.print_report report;
-      Option.iter print_endline result.Lepts_serve.Daemon.chaos_line;
-      if report.Lepts_serve.Service.drained then 3
-      else if
-        fail_on_degraded
-        && (report.Lepts_serve.Service.degraded
-           || List.exists
-                (fun (o : Lepts_serve.Service.outcome) ->
-                  o.Lepts_serve.Service.degraded)
-                report.Lepts_serve.Service.outcomes)
-      then 4
-      else 0
+      let source =
+        match (socket_path, spool_dir, replay_path) with
+        | Some path, _, _ ->
+          Some
+            (Lepts_serve.Transport.socket ~accept_backlog ~read_timeout_ms
+               ~max_line_bytes ~idle_exit_ms ?chaos ~path ())
+        | None, Some dir, _ ->
+          Some
+            (Lepts_serve.Transport.spool ~max_line_bytes ~idle_exit_ms ?chaos
+               ~dir ())
+        | None, None, Some path -> Some (Lepts_serve.Transport.replay ~path)
+        | None, None, None -> None
+      in
+      match source with
+      | Some (Error msg) ->
+        prerr_endline ("lepts serve: " ^ msg);
+        2
+      | Some (Ok source) ->
+        let result =
+          Fun.protect
+            ~finally:(fun () -> Lepts_serve.Transport.close source)
+            (fun () ->
+              Lepts_serve.Daemon.run_source ~config ~power ?chaos
+                ~should_stop:Drain.requested ~source ())
+        in
+        finish result
+      | None ->
+        let lines =
+          let ic =
+            match input with None -> stdin | Some path -> open_in path
+          in
+          let rec read acc =
+            match input_line ic with
+            | line -> read (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          let lines = read [] in
+          (match input with Some _ -> close_in ic | None -> ());
+          List.filter (fun l -> String.trim l <> "") lines
+        in
+        finish
+          (Lepts_serve.Daemon.run ~config ~power ?chaos
+             ~should_stop:Drain.requested ~lines ()))
   in
   let input =
     Arg.(value & opt (some string) None
          & info [ "input"; "i" ] ~docv:"FILE"
              ~doc:"Read NDJSON requests from FILE (default: stdin). One \
                    flat JSON object per line, e.g. \
-                   {\"id\":\"r1\",\"tasks\":4,\"ratio\":0.3,\"seed\":7}.")
+                   {\"id\":\"r1\",\"tasks\":4,\"ratio\":0.3,\"seed\":7}. \
+                   Ignored when --socket, --spool or --replay selects a \
+                   live ingress.")
+  in
+  let socket_path =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Serve as a long-running daemon on a Unix-domain socket \
+                   at PATH: clients connect and stream NDJSON requests; \
+                   responses go to stdout as they complete. Mutually \
+                   exclusive with --spool and --replay. A stale socket \
+                   file from a killed daemon is replaced; a live one is a \
+                   bind conflict (exit 2).")
+  in
+  let spool_dir =
+    Arg.(value & opt (some string) None
+         & info [ "spool" ] ~docv:"DIR"
+             ~doc:"Serve as a long-running daemon watching DIR: files \
+                   dropped there are consumed (then deleted) as NDJSON \
+                   request batches, in lexicographic name order. Names \
+                   starting with '.' or ending in .tmp/.part are skipped, \
+                   so writers can rename into place atomically. The \
+                   file-fed replacement for repeated one-shot batch runs.")
+  in
+  let replay_path =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"JOURNAL"
+             ~doc:"Re-serve the arrival journal recorded by --journal: \
+                   every batch, arrival stamp and transport rejection is \
+                   replayed exactly, so the report byte-matches the live \
+                   run's. The CI determinism pin for live ingress.")
+  in
+  let journal_path =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Record every polled arrival batch to FILE (atomic \
+                   snapshots, same cadence as --snapshot-every) for later \
+                   --replay.")
+  in
+  let accept_backlog =
+    Arg.(value & opt int 16
+         & info [ "accept-backlog" ] ~docv:"N"
+             ~doc:"Pending-connection queue length for --socket (the \
+                   listen(2) backlog).")
+  in
+  let read_timeout_ms =
+    Arg.(value & opt int 5000
+         & info [ "read-timeout-ms" ] ~docv:"MS"
+             ~doc:"With --socket: a connection holding a partial line \
+                   longer than this is rejected and closed (the buffered \
+                   bytes are reported as a rejected line).")
+  in
+  let max_line_bytes =
+    Arg.(value & opt int 65536
+         & info [ "max-line-bytes" ] ~docv:"N"
+             ~doc:"Longest accepted NDJSON line on a live ingress; longer \
+                   lines are rejected with a diagnostic, not truncated.")
+  in
+  let idle_exit_ms =
+    Arg.(value & opt int 0
+         & info [ "idle-exit-ms" ] ~docv:"MS"
+             ~doc:"With --socket or --spool: exit cleanly after this long \
+                   with no connections and no arrivals; 0 (default) serves \
+                   forever. Lets soak tests and scripted runs terminate \
+                   without a signal.")
   in
   let shards =
     Arg.(value & opt int 1
@@ -879,14 +992,35 @@ let serve_cmd ~profile =
                    backlogs, breaker states) to stderr every N waves; 0 \
                    disables.")
   in
+  let max_cache_entries =
+    Arg.(value & opt int 0
+         & info [ "max-cache-entries" ] ~docv:"N"
+             ~doc:"Bound the schedule cache to N entries, evicting \
+                   deterministically (second-chance, fallback entries \
+                   first) when full; 0 (default) leaves it unbounded. A \
+                   warm snapshot with a different bound is truncated to \
+                   this one, never refused.")
+  in
+  let cache_stats =
+    Arg.(value & flag
+         & info [ "cache-stats" ]
+             ~doc:"Append a {\"cache\": ...} trailer with \
+                   hit/miss/stale/upgrade/eviction counters to stdout. \
+                   Off by default: the counters differ between cold and \
+                   warm runs, so they would break byte-identical report \
+                   comparison.")
+  in
   let chaos_spec =
     Arg.(value & opt (some string) None
          & info [ "chaos" ] ~docv:"PROFILE"
              ~doc:"Inject deterministic faults: comma-separated key=value \
                    pairs among crash=P, slow=P, slow-ms=N, drop=P, \
-                   corrupt=0|1, seed=N — e.g. \
-                   'crash=0.2,slow=0.1,drop=0.1,corrupt=1,seed=7'. \
-                   Fixed seeds reproduce the same faults on every run.")
+                   cut=P, stall=P, stall-ms=N, flip=P, corrupt=0|1, \
+                   seed=N — e.g. \
+                   'crash=0.2,slow=0.1,drop=0.1,cut=0.1,corrupt=1,seed=7'. \
+                   cut/stall target live socket connections and flip \
+                   corrupts spool files; all are keyed by the seed, so \
+                   fixed seeds reproduce the same faults on every run.")
   in
   let fail_on_degraded =
     Arg.(value & flag
@@ -897,18 +1031,26 @@ let serve_cmd ~profile =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve a batch of NDJSON solve requests through the supervised \
-             pipeline: sharded admission control with per-shard circuit \
-             breakers, a persistent content-addressed schedule cache with \
-             warm restart, bounded retries with backoff, optional chaos \
-             injection, and graceful drain on SIGTERM/SIGINT (exit 3). \
-             Output is one JSON line per request plus a summary, \
-             byte-identical for every -j value — and across a warm \
-             restart.")
-    Term.(const run $ verbose_arg $ input $ jobs_arg $ shards $ high_water
+       ~doc:"Serve NDJSON solve requests through the supervised pipeline — \
+             one-shot from a file/stdin, or long-running on a Unix-domain \
+             socket (--socket) or watched spool directory (--spool): \
+             sharded admission control with per-shard circuit breakers, \
+             end-to-end request deadlines (budget_ms, charged while \
+             queued), coalescing of identical in-flight requests, a \
+             persistent bounded content-addressed schedule cache with warm \
+             restart, bounded retries with backoff, optional chaos \
+             injection, an arrival journal for byte-identical offline \
+             replay (--journal/--replay), and graceful drain on \
+             SIGTERM/SIGINT (exit 3; bind failure exits 2). Output is one \
+             JSON line per request plus a summary, byte-identical for \
+             every -j value — and across a warm restart.")
+    Term.(const run $ verbose_arg $ input $ socket_path $ spool_dir
+          $ replay_path $ journal_path $ accept_backlog $ read_timeout_ms
+          $ max_line_bytes $ idle_exit_ms $ jobs_arg $ shards $ high_water
           $ wave $ max_retries $ backoff $ max_crashes $ threshold $ cooldown
           $ probes $ v_min_arg $ v_max_arg $ cache_path $ snapshot_every
-          $ health_every $ chaos_spec $ fail_on_degraded $ telemetry_arg)
+          $ health_every $ max_cache_entries $ cache_stats $ chaos_spec
+          $ fail_on_degraded $ telemetry_arg)
 
 (* --- export -------------------------------------------------------------- *)
 

@@ -125,8 +125,8 @@ let attempt_rm ~plan ~power =
         (Printf.sprintf "canonical RM schedule failed validation (%s)"
            (violations_string vs)))
 
-let solve ?(config = default_config) ?(skip_acs = false) ?structure ?telemetry
-    ~plan ~power () =
+let solve ?(config = default_config) ?(skip_acs = false) ?prev ?structure
+    ?telemetry ~plan ~power () =
   let failures = ref [] in
   let run ?budget stage attempt =
     Metrics.incr (m_attempts stage);
@@ -188,9 +188,21 @@ let solve ?(config = default_config) ?(skip_acs = false) ?structure ?telemetry
       run ~budget:config.acs Acs (fun () ->
           attempt_nlp ~budget:config.acs
             ~solve:(fun ?wall_budget ~max_outer ~max_inner () ->
-              Solver.solve_acs ?wall_budget ?structure
-                ?telemetry:(sink "pipeline:acs") ~max_outer ~max_inner ~plan
-                ~power ()))
+              (* With a previous schedule of the same structure in hand
+                 (the serve-layer warm chain), the ACS stage goes
+                 through the incremental path: a continuation descent
+                 that is never worse than its seed, falling back to the
+                 cold multi-start itself when the plans are not
+                 compatible. *)
+              match prev with
+              | Some prev ->
+                Solver.resolve_incremental ?wall_budget ?structure
+                  ?telemetry:(sink "pipeline:acs") ~max_outer ~max_inner
+                  ~mode:Lepts_core.Objective.Average ~prev ~plan ~power ()
+              | None ->
+                Solver.solve_acs ?wall_budget ?structure
+                  ?telemetry:(sink "pipeline:acs") ~max_outer ~max_inner ~plan
+                  ~power ()))
   in
   let result =
     acs_result

@@ -48,6 +48,7 @@ type diagnostics = {
 val solve :
   ?config:config ->
   ?skip_acs:bool ->
+  ?prev:Lepts_core.Static_schedule.t ->
   ?structure:Lepts_core.Solver.structure ->
   ?telemetry:Lepts_obs.Telemetry.collector ->
   plan:Lepts_preempt.Plan.t ->
@@ -70,6 +71,14 @@ val solve :
     recorded in [diagnostics.attempts] as
     [(Acs, "skipped (circuit open)")] and counted in
     [lepts_pipeline_acs_skipped_total].
+
+    [prev] (default: none) seeds the ACS stage with a previously solved
+    schedule via {!Lepts_core.Solver.resolve_incremental}: when the
+    plan is structurally compatible with [prev]'s the stage runs the
+    warm continuation (never worse than its seed), otherwise the
+    incremental path itself falls back to a cold solve. The serve
+    layer's warm chains (near-identical requests in one wave) pass it;
+    the fallback stages never see it.
 
     When a failing NLP stage had a wall budget and it is spent, the
     failure reason in [diagnostics.attempts] (and in the

@@ -6,7 +6,7 @@ let log_src = Logs.Src.create "lepts.serve.cache" ~doc:"content-addressed schedu
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let magic = "lepts-cache"
-let snapshot_version = 1
+let snapshot_version = 2
 
 type provenance = Authoritative | Fallback
 
@@ -23,16 +23,25 @@ type entry = {
   attempts : int;
   crashes : int;
   provenance : provenance;
+  schedule : (float array * float array) option;
 }
+
+(* One stored entry plus its eviction bookkeeping. [last_hit] is the
+   logical wave number of the last touch (insert, upgrade or hit) and
+   [chance] the second-chance bit — both persisted, so a warm restart
+   resumes the exact eviction order the uninterrupted run was in. *)
+type slot = { e : entry; mutable last_hit : int; mutable chance : bool }
 
 type t = {
   fingerprint : string;
-  table : (string, entry) Hashtbl.t;
+  table : (string, slot) Hashtbl.t;
+  max_entries : int option;
   mutable hits : int;
   mutable misses : int;
   mutable stale : int;
   mutable inserts : int;
   mutable upgrades : int;
+  mutable evictions : int;
 }
 
 type stats = {
@@ -42,6 +51,7 @@ type stats = {
   s_stale : int;
   s_inserts : int;
   s_upgrades : int;
+  s_evictions : int;
 }
 
 let m_hits =
@@ -61,6 +71,10 @@ let m_inserts =
   Metrics.counter ~help:"entries inserted into the schedule cache"
     Metrics.default "lepts_cache_inserts_total"
 
+let m_evicted =
+  Metrics.counter ~help:"cache entries evicted to stay under the size bound"
+    Metrics.default "lepts_serve_evicted_total"
+
 let m_saves =
   Metrics.counter ~help:"cache snapshots written" Metrics.default
     "lepts_cache_saves_total"
@@ -69,16 +83,22 @@ let m_warm_loads =
   Metrics.counter ~help:"cache snapshots loaded at startup" Metrics.default
     "lepts_cache_warm_loads_total"
 
-let create ~fingerprint =
-  { fingerprint; table = Hashtbl.create 256; hits = 0; misses = 0; stale = 0;
-    inserts = 0; upgrades = 0 }
+let create ?max_entries ~fingerprint () =
+  Option.iter
+    (fun m ->
+      if m < 1 then invalid_arg "Cache.create: max_entries must be >= 1")
+    max_entries;
+  { fingerprint; table = Hashtbl.create 256; max_entries; hits = 0; misses = 0;
+    stale = 0; inserts = 0; upgrades = 0; evictions = 0 }
 
 let fingerprint t = t.fingerprint
 let size t = Hashtbl.length t.table
+let max_entries t = t.max_entries
 
 let stats t =
   { entries = Hashtbl.length t.table; s_hits = t.hits; s_misses = t.misses;
-    s_stale = t.stale; s_inserts = t.inserts; s_upgrades = t.upgrades }
+    s_stale = t.stale; s_inserts = t.inserts; s_upgrades = t.upgrades;
+    s_evictions = t.evictions }
 
 let hit_rate t =
   let looked = t.hits + t.misses + t.stale in
@@ -98,53 +118,160 @@ let key (req : Request.t) =
         | None -> "-"
         | Some m -> string_of_int m) ]
 
-let find t ~key =
+(* The family address: the key with the ratio blinded. Requests in the
+   same family differ only in their BCEC/WCEC ratio — the near-identical
+   shape the engine chains through the warm continuation. *)
+let family_key (req : Request.t) =
+  Checkpoint.fingerprint
+    ~parts:
+      [ "family"; string_of_int req.Request.tasks;
+        string_of_int req.Request.seed; string_of_int req.Request.rounds;
+        (match req.Request.budget_ms with None -> "-" | Some b -> string_of_int b);
+        (match req.Request.acs_max_outer with
+        | None -> "-"
+        | Some m -> string_of_int m) ]
+
+let touch slot ~wave =
+  slot.last_hit <- wave;
+  slot.chance <- true
+
+let find ?(wave = 0) t ~key =
   match Hashtbl.find_opt t.table key with
-  | Some e when e.provenance = Authoritative ->
+  | Some slot when slot.e.provenance = Authoritative ->
     t.hits <- t.hits + 1;
     Metrics.incr m_hits;
-    `Hit e
-  | Some e ->
+    touch slot ~wave;
+    `Hit slot.e
+  | Some slot ->
     t.stale <- t.stale + 1;
     Metrics.incr m_stale;
-    `Stale e
+    touch slot ~wave;
+    `Stale slot.e
   | None ->
     t.misses <- t.misses + 1;
     Metrics.incr m_misses;
     `Miss
 
-let store t ~key entry =
+(* Deterministic second-chance eviction. Candidates are ordered by
+   (provenance: fallback first, last-hit wave, key); the scan clears
+   each set second-chance bit and evicts the first candidate found
+   without one — two passes bound the scan, since the first pass clears
+   every bit it meets. The order is a pure function of cache content,
+   so equal runs evict identical keys (the CI warm-restart byte-diff
+   depends on it). *)
+let eviction_order t =
+  let rank p = match p with Fallback -> 0 | Authoritative -> 1 in
+  List.sort
+    (fun (k1, s1) (k2, s2) ->
+      match compare (rank s1.e.provenance) (rank s2.e.provenance) with
+      | 0 -> (
+        match compare s1.last_hit s2.last_hit with
+        | 0 -> String.compare k1 k2
+        | c -> c)
+      | c -> c)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [])
+
+let evict_one t =
+  let order = eviction_order t in
+  let rec scan = function
+    | [] -> None
+    | (k, slot) :: rest ->
+      if slot.chance then begin
+        slot.chance <- false;
+        scan rest
+      end
+      else Some k
+  in
+  let victim =
+    match scan order with
+    | Some k -> Some k
+    | None -> (
+      (* Every slot had its chance bit set; the first pass cleared them
+         all, so the head of the order is now evictable. *)
+      match order with [] -> None | (k, _) :: _ -> Some k)
+  in
+  Option.iter
+    (fun k ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1;
+      Metrics.incr m_evicted;
+      Log.info (fun f -> f "evicted cache entry %s" k))
+    victim
+
+let store ?(wave = 0) t ~key entry =
   match Hashtbl.find_opt t.table key with
-  | Some old when old.provenance = Authoritative ->
+  | Some old when old.e.provenance = Authoritative ->
     (* Never demote: an authoritative entry is the full-ACS answer for
        this content and stays, whatever a later (possibly degraded)
        solve of the same content produced. *)
     ()
-  | Some _ ->
+  | Some old ->
     if entry.provenance = Authoritative then begin
       t.upgrades <- t.upgrades + 1;
-      Hashtbl.replace t.table key entry
+      old.last_hit <- wave;
+      old.chance <- true;
+      Hashtbl.replace t.table key { old with e = entry }
     end
   | None ->
+    (match t.max_entries with
+    | Some bound when Hashtbl.length t.table >= bound -> evict_one t
+    | _ -> ());
     t.inserts <- t.inserts + 1;
     Metrics.incr m_inserts;
-    Hashtbl.replace t.table key entry
+    Hashtbl.replace t.table key { e = entry; last_hit = wave; chance = true }
 
 (* --- persistence ----------------------------------------------------------- *)
 
-let entry_line key e =
-  Printf.sprintf "entry %s %s %s %s %d %d" key (provenance_name e.provenance)
-    e.stage
+let floats_field = function
+  | [||] -> "-"
+  | xs ->
+    String.concat ","
+      (Array.to_list (Array.map Checkpoint.float_field xs))
+
+let floats_of_field = function
+  | "-" -> Some [||]
+  | s -> (
+    let parts = String.split_on_char ',' s in
+    match
+      List.map
+        (fun p ->
+          match Int64.of_string_opt ("0x" ^ p) with
+          | Some bits -> Int64.float_of_bits bits
+          | None -> raise Exit)
+        parts
+    with
+    | xs -> Some (Array.of_list xs)
+    | exception Exit -> None)
+
+let entry_line key slot =
+  let e = slot.e in
+  let ets, qs =
+    match e.schedule with
+    | None -> ("-", "-")
+    | Some (ets, qs) when Array.length ets = 0 || Array.length qs = 0 ->
+      ("-", "-")
+    | Some (ets, qs) -> (floats_field ets, floats_field qs)
+  in
+  Printf.sprintf "entry %s %s %s %s %d %d %d %d %s %s" key
+    (provenance_name e.provenance) e.stage
     (match e.mean_energy with
     | None -> "-"
     | Some x -> Checkpoint.float_field x)
-    e.attempts e.crashes
+    e.attempts e.crashes slot.last_hit
+    (if slot.chance then 1 else 0)
+    ets qs
 
 let save t ~path =
   let sorted =
-    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [])
+    List.sort
+      (fun (k1, _) (k2, _) -> String.compare k1 k2)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [])
   in
-  let body = List.map (fun (k, e) -> entry_line k e) sorted in
+  let bound_line =
+    Printf.sprintf "bound %s"
+      (match t.max_entries with None -> "-" | Some m -> string_of_int m)
+  in
+  let body = bound_line :: List.map (fun (k, s) -> entry_line k s) sorted in
   Checkpoint.Snapshot.write ~path
     (Checkpoint.Snapshot.render ~magic ~version:snapshot_version
        ~fingerprint:t.fingerprint ~body);
@@ -155,12 +282,15 @@ let entry_of_line ~path line =
     Printf.ksprintf (fun m -> Error (Printf.sprintf "%s: %s" path m)) fmt
   in
   match String.split_on_char ' ' line with
-  | [ "entry"; key; prov; stage; energy; attempts; crashes ] -> (
+  | [ "entry"; key; prov; stage; energy; attempts; crashes; last_hit; chance;
+      ets; qs ] -> (
     match
       ( provenance_of_name prov, int_of_string_opt attempts,
-        int_of_string_opt crashes )
+        int_of_string_opt crashes, int_of_string_opt last_hit,
+        int_of_string_opt chance )
     with
-    | Some provenance, Some attempts, Some crashes -> (
+    | Some provenance, Some attempts, Some crashes, Some last_hit, Some chance
+      when chance = 0 || chance = 1 -> (
       let energy_result =
         if energy = "-" then Ok None
         else
@@ -170,31 +300,93 @@ let entry_of_line ~path line =
       in
       match energy_result with
       | Error () -> fail "malformed energy field %S in line %S" energy line
-      | Ok mean_energy ->
-        if key = "" || stage = "" then fail "malformed line %S" line
-        else Ok (key, { stage; mean_energy; attempts; crashes; provenance }))
+      | Ok mean_energy -> (
+        match (floats_of_field ets, floats_of_field qs) with
+        | Some ets, Some qs ->
+          let schedule =
+            if Array.length ets = 0 || Array.length ets <> Array.length qs
+            then None
+            else Some (ets, qs)
+          in
+          if key = "" || stage = "" then fail "malformed line %S" line
+          else
+            Ok
+              ( key,
+                { e =
+                    { stage; mean_energy; attempts; crashes; provenance;
+                      schedule };
+                  last_hit; chance = chance = 1 } )
+        | _ -> fail "malformed schedule field in line %S" line))
     | _ -> fail "malformed line %S" line)
   | _ -> fail "malformed line %S" line
 
-let load ~path ~fingerprint:run_fp =
+(* Deterministic truncation for a snapshot holding more entries than
+   the loading daemon's bound allows: retained entries are the ones the
+   eviction order would keep — authoritative before fallback, then most
+   recently hit, then key order — so two daemons loading the same
+   oversized snapshot under the same bound keep identical entries. *)
+let truncate_to_bound t =
+  match t.max_entries with
+  | None -> ()
+  | Some bound ->
+    let excess = Hashtbl.length t.table - bound in
+    if excess > 0 then begin
+      Log.warn (fun f ->
+          f "snapshot holds %d entries over this daemon's bound of %d: \
+             truncating deterministically"
+            excess bound);
+      let order = eviction_order t in
+      List.iteri
+        (fun i (k, _) ->
+          if i < excess then begin
+            Hashtbl.remove t.table k;
+            t.evictions <- t.evictions + 1;
+            Metrics.incr m_evicted
+          end)
+        order
+    end
+
+let load ?max_entries ~path ~fingerprint:run_fp () =
   match Checkpoint.Snapshot.read ~path ~magic ~version:snapshot_version with
   | Error _ as e -> e
   | Ok (file_fp, body) ->
     if file_fp <> run_fp then
       Error (Checkpoint.Snapshot.mismatch ~path ~file_fp ~run_fp)
-    else
-      let t = create ~fingerprint:run_fp in
-      let rec fill = function
-        | [] ->
-          Metrics.incr m_warm_loads;
-          Log.info (fun f ->
-              f "%s: warm start with %d cached schedule(s)" path (size t));
-          Ok t
-        | line :: rest -> (
-          match entry_of_line ~path line with
-          | Error _ as e -> e
-          | Ok (key, entry) ->
-            Hashtbl.replace t.table key entry;
-            fill rest)
-      in
-      fill body
+    else (
+      match body with
+      | [] -> Error (Printf.sprintf "%s: missing bound line" path)
+      | bound_line :: entries -> (
+        let bound =
+          match String.split_on_char ' ' bound_line with
+          | [ "bound"; "-" ] -> Ok None
+          | [ "bound"; m ] -> (
+            match int_of_string_opt m with
+            | Some m when m >= 1 -> Ok (Some m)
+            | _ -> Error ())
+          | _ -> Error ()
+        in
+        match bound with
+        | Error () ->
+          Error (Printf.sprintf "%s: malformed bound line %S" path bound_line)
+        | Ok snapshot_bound ->
+          (* The loading daemon's own bound wins; absent one, adopt the
+             snapshot's, so save-load-save round-trips the bound. *)
+          let max_entries =
+            match max_entries with Some _ -> max_entries | None -> snapshot_bound
+          in
+          let t = create ?max_entries ~fingerprint:run_fp () in
+          let rec fill = function
+            | [] ->
+              truncate_to_bound t;
+              Metrics.incr m_warm_loads;
+              Log.info (fun f ->
+                  f "%s: warm start with %d cached schedule(s)" path (size t));
+              Ok t
+            | line :: rest -> (
+              match entry_of_line ~path line with
+              | Error _ as e -> e
+              | Ok (key, slot) ->
+                Hashtbl.replace t.table key slot;
+                fill rest)
+          in
+          fill entries))

@@ -14,7 +14,8 @@
     entry. Parameters of the hosting daemon that change results (the
     power model) are pinned by the cache-level {!fingerprint} instead,
     so a snapshot written under one power model is refused by a daemon
-    running another.
+    running another. {!family_key} additionally blinds the ratio — the
+    address of the near-identical family the engine warm-chains.
 
     {2 Provenance}
 
@@ -27,14 +28,30 @@
     lookups that find one report [`Stale], so the engine re-solves.
     An authoritative entry is never demoted.
 
+    {2 Bounded size}
+
+    A cache created (or loaded) with [max_entries] never exceeds it:
+    inserting into a full cache first evicts exactly one entry, chosen
+    by a deterministic second-chance scan ordered by (provenance —
+    fallback first, last-hit wave, key). Every touch (insert, upgrade,
+    hit) sets the entry's second-chance bit and stamps its wave; the
+    scan clears bits until it finds one already clear. The order is a
+    pure function of cache content, so equal runs evict identical keys
+    and a warm restart under eviction pressure still byte-matches the
+    uninterrupted run. Evictions are counted in [stats] and in
+    [lepts_serve_evicted_total].
+
     {2 Persistence}
 
     Snapshots use the {!Lepts_robust.Checkpoint.Snapshot} framing
-    ([lepts-cache/1]): atomic write-rename, checksummed, fingerprinted;
-    floats stored as exact IEEE-754 bits so a warm-started daemon
-    serves the bit-identical response an uninterrupted one would.
-    Corrupt or mismatched snapshots are refused with a diagnostic
-    naming the failed check (magic / version / checksum / fingerprint).
+    ([lepts-cache/2]): atomic write-rename, checksummed, fingerprinted;
+    floats (including the cached schedule vectors that seed warm
+    chains) stored as exact IEEE-754 bits so a warm-started daemon
+    serves the bit-identical response an uninterrupted one would. The
+    size bound and per-entry eviction state round-trip through the
+    snapshot. Corrupt or mismatched snapshots are refused with a
+    diagnostic naming the failed check (magic / version / checksum /
+    fingerprint).
 
     Not domain-safe: the service engine confines all lookups and stores
     to the sequential plan/fold phases on the coordinating domain. *)
@@ -52,6 +69,9 @@ type entry = {
   attempts : int;  (** attempts the recorded solve took *)
   crashes : int;  (** worker crashes the recorded solve absorbed *)
   provenance : provenance;
+  schedule : (float array * float array) option;
+      (** the solved [(end_times, quotas)] vectors, exact bits — the
+          seed a warm chain rebuilds its previous schedule from *)
 }
 
 type t
@@ -63,12 +83,15 @@ type stats = {
   s_stale : int;  (** lookups that found only a fallback entry *)
   s_inserts : int;
   s_upgrades : int;  (** fallback entries upgraded to authoritative *)
+  s_evictions : int;  (** entries evicted to stay under [max_entries] *)
 }
 
-val create : fingerprint:string -> t
+val create : ?max_entries:int -> fingerprint:string -> unit -> t
 (** An empty cache pinned to a configuration [fingerprint]
     ({!Lepts_robust.Checkpoint.fingerprint} of the daemon parameters
-    that change results — the power model, not [jobs]). *)
+    that change results — the power model, not [jobs]). [max_entries]
+    (default: unbounded) caps the stored entries; raises
+    [Invalid_argument] when [< 1]. *)
 
 val fingerprint : t -> string
 (** The configuration fingerprint the cache was created (or loaded)
@@ -77,9 +100,12 @@ val fingerprint : t -> string
 val size : t -> int
 (** Entries currently stored, whatever their provenance. *)
 
+val max_entries : t -> int option
+(** The size bound, if any. *)
+
 val stats : t -> stats
-(** Lookup/insert counters since creation (warm-loaded entries count
-    in [entries] but not in [s_inserts]). *)
+(** Lookup/insert/eviction counters since creation (warm-loaded
+    entries count in [entries] but not in [s_inserts]). *)
 
 val hit_rate : t -> float
 (** Hits over all lookups ([0.] before the first lookup). *)
@@ -87,21 +113,32 @@ val hit_rate : t -> float
 val key : Request.t -> string
 (** Content address of a request (see module docs). *)
 
-val find : t -> key:string -> [ `Hit of entry | `Stale of entry | `Miss ]
+val family_key : Request.t -> string
+(** The content address with the ratio blinded: equal for requests that
+    differ only in [ratio] — the warm-chain grouping key. *)
+
+val find : ?wave:int -> t -> key:string -> [ `Hit of entry | `Stale of entry | `Miss ]
 (** [`Hit] only for authoritative entries; [`Stale] reports a
-    fallback-provenance entry the caller must not serve. Counted in
+    fallback-provenance entry the caller must not serve. A found entry
+    is touched (its last-hit stamp set to [wave], default 0, and its
+    second-chance bit set). Counted in
     [lepts_cache_{hits,misses,stale}_total]. *)
 
-val store : t -> key:string -> entry -> unit
-(** Insert or upgrade (see provenance rules above). *)
+val store : ?wave:int -> t -> key:string -> entry -> unit
+(** Insert or upgrade (see provenance rules above), touching the entry
+    with [wave]. A full bounded cache evicts one entry first. *)
 
 val save : t -> path:string -> unit
-(** Atomic snapshot ([lepts-cache/1]). Entries are written sorted by
-    key, so equal caches produce byte-identical files. Counted in
-    [lepts_cache_saves_total]. *)
+(** Atomic snapshot ([lepts-cache/2]): the size bound, then entries
+    sorted by key with their eviction state, so equal caches produce
+    byte-identical files. Counted in [lepts_cache_saves_total]. *)
 
-val load : path:string -> fingerprint:string -> (t, string) result
+val load :
+  ?max_entries:int -> path:string -> fingerprint:string -> unit -> (t, string) result
 (** Validate and load a snapshot. The error message names the failed
     check — magic, version, checksum or fingerprint — or the malformed
-    entry line. Counted in [lepts_cache_warm_loads_total] on
-    success. *)
+    body line. [max_entries] overrides the snapshot's recorded bound
+    (absent, the snapshot's bound is adopted — so save→load→save is
+    byte-identical); a snapshot holding more entries than the effective
+    bound is truncated deterministically in eviction order, never
+    refused. Counted in [lepts_cache_warm_loads_total] on success. *)

@@ -11,11 +11,16 @@ type profile = {
   slow_ms : int;
   drop_prob : float;
   corrupt_snapshot : bool;
+  cut_prob : float;
+  stall_prob : float;
+  stall_ms : int;
+  flip_prob : float;
 }
 
 let zero =
   { seed = 2005; crash_prob = 0.; slow_prob = 0.; slow_ms = 1; drop_prob = 0.;
-    corrupt_snapshot = false }
+    corrupt_snapshot = false; cut_prob = 0.; stall_prob = 0.; stall_ms = 1;
+    flip_prob = 0. }
 
 (* Per-field validation in the Fault_injector style: probabilities are
    checked with a negated [>=]-conjunction so NaN fails every check
@@ -32,11 +37,18 @@ let validate p =
   prob "crash" p.crash_prob;
   prob "slow" p.slow_prob;
   prob "drop" p.drop_prob;
-  if p.slow_ms < 0 then reject "slow-ms" (string_of_int p.slow_ms) ">= 0"
+  prob "cut" p.cut_prob;
+  prob "stall" p.stall_prob;
+  prob "flip" p.flip_prob;
+  if p.slow_ms < 0 then reject "slow-ms" (string_of_int p.slow_ms) ">= 0";
+  if p.stall_ms < 0 then reject "stall-ms" (string_of_int p.stall_ms) ">= 0"
 
 let pp_profile ppf p =
-  Format.fprintf ppf "seed=%d crash=%g slow=%g@@%dms drop=%g corrupt=%b"
+  Format.fprintf ppf
+    "seed=%d crash=%g slow=%g@@%dms drop=%g corrupt=%b cut=%g stall=%g@@%dms \
+     flip=%g"
     p.seed p.crash_prob p.slow_prob p.slow_ms p.drop_prob p.corrupt_snapshot
+    p.cut_prob p.stall_prob p.stall_ms p.flip_prob
 
 (* Profile strings: comma-separated [key=value] pairs, e.g.
    ["crash=0.2,slow=0.1,slow-ms=2,drop=0.1,corrupt=1,seed=7"]. *)
@@ -75,6 +87,10 @@ let of_string s =
           Result.map
             (fun n -> { p with corrupt_snapshot = n <> 0 })
             (int_v ())
+        | "cut" -> Result.map (fun f -> { p with cut_prob = f }) (float_v ())
+        | "stall" -> Result.map (fun f -> { p with stall_prob = f }) (float_v ())
+        | "stall-ms" -> Result.map (fun n -> { p with stall_ms = n }) (int_v ())
+        | "flip" -> Result.map (fun f -> { p with flip_prob = f }) (float_v ())
         | _ -> Error (Printf.sprintf "chaos profile: unknown key %S" k)))
   in
   if String.trim s = "" then Error "chaos profile: empty"
@@ -95,12 +111,16 @@ type t = {
   crashes : int Atomic.t;
   slowed : int Atomic.t;
   dropped : int Atomic.t;
+  cuts : int Atomic.t;
+  stalls : int Atomic.t;
+  flips : int Atomic.t;
 }
 
 let create ~profile =
   validate profile;
   { profile; rng = Rng.create ~seed:profile.seed;
-    crashes = Atomic.make 0; slowed = Atomic.make 0; dropped = Atomic.make 0 }
+    crashes = Atomic.make 0; slowed = Atomic.make 0; dropped = Atomic.make 0;
+    cuts = Atomic.make 0; stalls = Atomic.make 0; flips = Atomic.make 0 }
 
 let profile t = t.profile
 
@@ -124,20 +144,69 @@ let draw t tag = Rng.float (Rng.split_key t.rng ~key:(fnv tag))
 (* Drop injection: requests vanish before admission, as if the network
    ate them. Keyed by line index so the decision survives any change
    to the line's content. *)
+let drop_line t ~index =
+  t.profile.drop_prob > 0.
+  && draw t (Printf.sprintf "drop:%d" index) < t.profile.drop_prob
+  && begin
+       Atomic.incr t.dropped;
+       Log.info (fun f -> f "chaos: dropped request line %d" (index + 1));
+       true
+     end
+
 let filter_lines t lines =
   if t.profile.drop_prob <= 0. then lines
-  else
-    List.filteri
-      (fun i _ ->
-        let keep =
-          draw t (Printf.sprintf "drop:%d" i) >= t.profile.drop_prob
-        in
-        if not keep then begin
-          Atomic.incr t.dropped;
-          Log.info (fun f -> f "chaos: dropped request line %d" (i + 1))
-        end;
-        keep)
-      lines
+  else List.filteri (fun i _ -> not (drop_line t ~index:i)) lines
+
+(* Transport ingress injections. Decisions are keyed by the arrival
+   sequence number — the same key the journal records — so a fixed-seed
+   run injects the same transport faults whatever the socket timing
+   was, and the offline journal replay (which carries the post-fault
+   arrivals) never re-injects them. *)
+
+(* Connection cut mid-line: [Some k] truncates the line to its first
+   [k] bytes (at least one survives, so the partial-line path sees
+   actual debris) and the transport must treat the connection as
+   dropped by the peer. *)
+let cut_line t ~seq ~len =
+  if t.profile.cut_prob <= 0. || len < 2 then None
+  else if draw t (Printf.sprintf "cut:%d" seq) >= t.profile.cut_prob then None
+  else begin
+    let at = 1 + (fnv (Printf.sprintf "cut-at:%d" seq) mod (len - 1)) in
+    Atomic.incr t.cuts;
+    Log.info (fun f ->
+        f "chaos: cut connection mid-line at arrival %d, byte %d/%d" seq at len);
+    Some at
+  end
+
+(* Slow client: the transport sleeps [stall_ms] before consuming the
+   arrival, exercising the read-timeout bookkeeping without mocking
+   the clock. *)
+let stall t ~seq =
+  if t.profile.stall_prob <= 0. then None
+  else if draw t (Printf.sprintf "stall:%d" seq) >= t.profile.stall_prob then
+    None
+  else begin
+    Atomic.incr t.stalls;
+    Some t.profile.stall_ms
+  end
+
+(* Spool-file corruption: flip one bit of the file contents before the
+   transport parses it, keyed by the file's basename. The damaged line
+   must then fail request parsing (or framing) through the real
+   rejection path. *)
+let flip_spool t ~name contents =
+  let len = String.length contents in
+  if t.profile.flip_prob <= 0. || len = 0 then contents
+  else if draw t ("flip:" ^ name) >= t.profile.flip_prob then contents
+  else begin
+    let pos = fnv ("flip-at:" ^ name) mod len in
+    let bytes = Bytes.of_string contents in
+    Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x01));
+    Atomic.incr t.flips;
+    Log.warn (fun f ->
+        f "chaos: flipped a bit of spool file %s at offset %d" name pos);
+    Bytes.to_string bytes
+  end
 
 (* Worker-side injection, composed into the service's [before_solve]
    hook: runs on the worker domain, so counters are atomic and draws
@@ -190,6 +259,7 @@ let corrupt_file t ~path =
 let report_json t ~snapshot =
   Printf.sprintf
     "{\"chaos\":{\"seed\":%d,\"crashes\":%d,\"slowed\":%d,\"dropped\":%d,\
-     \"snapshot\":\"%s\"}}"
+     \"cuts\":%d,\"stalls\":%d,\"flips\":%d,\"snapshot\":\"%s\"}}"
     t.profile.seed (Atomic.get t.crashes) (Atomic.get t.slowed)
-    (Atomic.get t.dropped) snapshot
+    (Atomic.get t.dropped) (Atomic.get t.cuts) (Atomic.get t.stalls)
+    (Atomic.get t.flips) snapshot

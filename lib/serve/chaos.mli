@@ -28,6 +28,17 @@ type profile = {
   corrupt_snapshot : bool;
       (** flip one bit of the final cache snapshot, then verify the
           daemon refuses to load it *)
+  cut_prob : float;
+      (** per arrival: drop the connection mid-line, leaving a partial
+          line the transport must reject with a diagnostic; in [0, 1] *)
+  stall_prob : float;
+      (** per arrival: a slow client — the transport stalls [stall_ms]
+          before consuming the bytes; in [0, 1] *)
+  stall_ms : int;  (** injected delay per stall, milliseconds; >= 0 *)
+  flip_prob : float;
+      (** per spool file: flip one bit of its contents before parsing,
+          so the damaged line goes through the real rejection path;
+          in [0, 1] *)
 }
 
 val zero : profile
@@ -41,7 +52,8 @@ val of_string : string -> (profile, string) result
 (** Parse a profile string of comma-separated [key=value] pairs over
     {!zero}: ["crash=0.2,slow=0.1,slow-ms=2,drop=0.1,corrupt=1,seed=7"].
     Keys: [seed], [crash], [slow], [slow-ms], [drop], [corrupt]
-    (0 or 1). The error message names the offending pair. *)
+    (0 or 1), [cut], [stall], [stall-ms], [flip]. The error message
+    names the offending pair. *)
 
 val pp_profile : Format.formatter -> profile -> unit
 (** Render a profile in the [key=value] syntax {!of_string} parses. *)
@@ -59,6 +71,26 @@ val profile : t -> profile
 val filter_lines : t -> string list -> string list
 (** Drop injection, keyed by line index. Identity when
     [drop_prob = 0]. *)
+
+val drop_line : t -> index:int -> bool
+(** One drop decision (the primitive {!filter_lines} folds): [true]
+    means the line at [index] vanishes before admission — the live
+    transports apply it per arrival, before a sequence number is
+    assigned, so a dropped line never reaches the journal. *)
+
+val cut_line : t -> seq:int -> len:int -> int option
+(** Connection-cut injection for arrival [seq] carrying a [len]-byte
+    line: [Some k] means the peer vanished after [k] bytes ([1 <= k <
+    len]) and the transport must reject the partial line through its
+    real disconnect path. [None] for [len < 2]. *)
+
+val stall : t -> seq:int -> int option
+(** Slow-client injection: [Some ms] asks the transport to stall that
+    many milliseconds before consuming arrival [seq]. *)
+
+val flip_spool : t -> name:string -> string -> string
+(** Spool corruption: maybe flip one bit of a spool file's [contents]
+    (keyed by basename [name]) before the transport parses it. *)
 
 val before_solve : t -> attempt:int -> Request.t -> unit
 (** Worker-side injection hook, composed into

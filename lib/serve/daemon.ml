@@ -11,11 +11,13 @@ type config = {
   cache_path : string option;
   snapshot_every : int;
   health_every : int;
+  journal_path : string option;
+  max_cache_entries : int option;
 }
 
 let default_config =
   { service = Service.default_config; cache_path = None; snapshot_every = 8;
-    health_every = 0 }
+    health_every = 0; journal_path = None; max_cache_entries = None }
 
 type start = Cold | Warm of int | Refused of string
 
@@ -35,7 +37,10 @@ type result = {
    responses — today, the power model (exact IEEE-754 bits of its
    voltage rails). [jobs], [shards] and the breaker thresholds change
    scheduling of work, never a schedule, so they are deliberately
-   absent: a snapshot stays warm across a re-tuned deployment. *)
+   absent: a snapshot stays warm across a re-tuned deployment. The
+   cache size bound is likewise absent — {!Cache.load} reconciles a
+   differently-bounded snapshot by deterministic truncation instead of
+   refusing it. *)
 let cache_fingerprint ~power =
   Checkpoint.fingerprint
     ~parts:
@@ -47,20 +52,21 @@ let cache_fingerprint ~power =
    or mismatched snapshot is refused with its diagnostic and the
    daemon falls back to a cold start — it must never trust bytes that
    fail a check, and never crash because a restart found debris. *)
-let start_cache ~path_opt ~fingerprint =
+let start_cache ~path_opt ~max_entries ~fingerprint =
+  let fresh () = Cache.create ?max_entries ~fingerprint () in
   match path_opt with
-  | None -> (Cold, Cache.create ~fingerprint)
+  | None -> (Cold, fresh ())
   | Some path ->
     if not (Sys.file_exists path) then begin
       Log.info (fun f -> f "%s: no snapshot, cold start" path);
-      (Cold, Cache.create ~fingerprint)
+      (Cold, fresh ())
     end
     else (
-      match Cache.load ~path ~fingerprint with
+      match Cache.load ?max_entries ~path ~fingerprint () with
       | Ok cache -> (Warm (Cache.size cache), cache)
       | Error msg ->
         Log.err (fun f -> f "refusing cache snapshot: %s" msg);
-        (Refused msg, Cache.create ~fingerprint))
+        (Refused msg, fresh ()))
 
 let g_entries =
   Metrics.gauge ~help:"schedules held by the serve cache" Metrics.default
@@ -82,27 +88,46 @@ let state_code = function
 let health_line ~cache (p : Service.progress) =
   let stats = Cache.stats cache in
   Printf.sprintf
-    "health wave=%d processed=%d backlog=%d cache{entries=%d,hits=%d,\
-     hit_rate=%.2f} shards=[%s]"
+    "health wave=%d processed=%d backlog=%d expired=%d coalesced=%d \
+     cache{entries=%d,hits=%d,hit_rate=%.2f,stale=%d,upgrades=%d,\
+     evictions=%d} shards=[%s]"
     p.Service.p_wave p.Service.p_processed p.Service.p_backlog
-    stats.Cache.entries stats.Cache.s_hits (Cache.hit_rate cache)
+    p.Service.p_expired p.Service.p_coalesced stats.Cache.entries
+    stats.Cache.s_hits (Cache.hit_rate cache) stats.Cache.s_stale
+    stats.Cache.s_upgrades stats.Cache.s_evictions
     (String.concat ","
        (List.map
           (fun (i, st, backlog) ->
             Printf.sprintf "%d:%s:%d" i (Breaker.state_name st) backlog)
           p.Service.p_shards))
 
-let run ?(config = default_config) ?(power = Model.ideal ()) ?chaos
-    ?before_solve ?(should_stop = fun () -> false) ~lines () =
+let cache_stats_line ~cache =
+  let s = Cache.stats cache in
+  Printf.sprintf
+    "{\"cache\":{\"entries\":%d,\"hits\":%d,\"misses\":%d,\"stale\":%d,\
+     \"inserts\":%d,\"upgrades\":%d,\"evictions\":%d}}"
+    s.Cache.entries s.Cache.s_hits s.Cache.s_misses s.Cache.s_stale
+    s.Cache.s_inserts s.Cache.s_upgrades s.Cache.s_evictions
+
+let run_source ?(config = default_config) ?(power = Model.ideal ()) ?chaos
+    ?before_solve ?(should_stop = fun () -> false) ~source () =
   if config.snapshot_every < 1 then
     invalid_arg "Daemon.run: snapshot_every must be >= 1";
   if config.health_every < 0 then
     invalid_arg "Daemon.run: health_every must be >= 0";
   let fingerprint = cache_fingerprint ~power in
-  let start, cache = start_cache ~path_opt:config.cache_path ~fingerprint in
+  let start, cache =
+    start_cache ~path_opt:config.cache_path
+      ~max_entries:config.max_cache_entries ~fingerprint
+  in
   Log.info (fun f -> f "daemon start: %s" (start_name start));
-  let lines =
-    match chaos with None -> lines | Some ch -> Chaos.filter_lines ch lines
+  let journal =
+    Option.map (fun _ -> Transport.Journal.create ()) config.journal_path
+  in
+  let save_journal () =
+    match (journal, config.journal_path) with
+    | Some j, Some path -> Transport.Journal.save j ~path
+    | _ -> ()
   in
   let before_solve ~attempt req =
     Option.iter (fun ch -> Chaos.before_solve ch ~attempt req) chaos;
@@ -119,20 +144,22 @@ let run ?(config = default_config) ?(power = Model.ideal ()) ?chaos
       p.Service.p_shards;
     (* Periodic snapshot: the persistence that makes a kill -9 at any
        wave boundary recoverable. Atomic write-rename, so a crash
-       mid-save leaves the previous snapshot intact. *)
-    Option.iter
-      (fun path ->
-        if p.Service.p_wave mod config.snapshot_every = 0 then
-          Cache.save cache ~path)
-      config.cache_path;
+       mid-save leaves the previous snapshot intact. The arrival
+       journal is saved on the same cadence — after a kill, everything
+       up to the last completed wave replays offline. *)
+    if p.Service.p_wave mod config.snapshot_every = 0 then begin
+      Option.iter (fun path -> Cache.save cache ~path) config.cache_path;
+      save_journal ()
+    end;
     if config.health_every > 0 && p.Service.p_wave mod config.health_every = 0
     then prerr_endline (health_line ~cache p)
   in
   let report =
-    Service.run ~config:config.service ~power ~cache ~before_solve ~after_wave
-      ~should_stop ~lines ()
+    Service.run_source ~config:config.service ~power ~cache ?journal
+      ~before_solve ~after_wave ~should_stop ~source ()
   in
   Option.iter (fun path -> Cache.save cache ~path) config.cache_path;
+  save_journal ();
   (* Chaos epilogue: corrupt the final snapshot and verify the daemon's
      own validating loader refuses it — then restore the good bytes so
      the next restart still comes up warm. *)
@@ -149,7 +176,10 @@ let run ?(config = default_config) ?(power = Model.ideal ()) ?chaos
               Log.err (fun f -> f "chaos: corruption failed: %s" msg);
               "corrupt-error"
             | Ok _ -> (
-              match Cache.load ~path ~fingerprint with
+              match
+                Cache.load ?max_entries:config.max_cache_entries ~path
+                  ~fingerprint ()
+              with
               | Error msg ->
                 Log.info (fun f ->
                     f "chaos: corrupted snapshot refused as expected: %s" msg);
@@ -164,3 +194,13 @@ let run ?(config = default_config) ?(power = Model.ideal ()) ?chaos
       chaos
   in
   { report; start; cache; chaos_line }
+
+let run ?config ?power ?chaos ?before_solve ?should_stop ~lines () =
+  (* Chaos line drops happen here, before the transport, exactly as
+     earlier releases did for batch mode; live transports instead take
+     a [?chaos] at construction and drop at ingress. *)
+  let lines =
+    match chaos with None -> lines | Some ch -> Chaos.filter_lines ch lines
+  in
+  run_source ?config ?power ?chaos ?before_solve ?should_stop
+    ~source:(Transport.of_lines lines) ()

@@ -12,13 +12,19 @@
     with a diagnostic naming the failed check (magic / version /
     checksum / fingerprint) and the daemon falls back to a cold start —
     it never trusts bytes that fail a check and never crashes on
-    restart debris. {e Drain} — [should_stop] is honoured at wave
-    boundaries; the final snapshot is written either way, so the next
-    start is warm.
+    restart debris. A snapshot whose size bound differs from
+    [max_cache_entries] is {e not} refused: the daemon's bound wins and
+    excess entries are truncated deterministically in eviction order.
+    {e Drain} — [should_stop] (or the transport's drain flag) is
+    honoured at the next poll; the final snapshot is written either
+    way, so the next start is warm.
 
     Snapshots are written every [snapshot_every] waves and once after
     the run, via {!Lepts_robust.Checkpoint.Snapshot}'s atomic
     write-rename — a [kill -9] at any point leaves the previous intact.
+    With [journal_path] set, the arrival journal is saved on the same
+    cadence: after a kill, everything up to the last completed wave
+    replays offline byte-identically via {!Transport.replay}.
 
     {2 Observability}
 
@@ -26,7 +32,8 @@
     [lepts_serve_cache_entries], [lepts_breaker_state{shard}]
     (0 closed / 1 open / 2 half-open), and
     [lepts_serve_shard_backlog{shard}]. With [health_every > 0], a
-    one-line health report (wave, processed, backlog, cache hit rate,
+    one-line health report (wave, processed, backlog, expired and
+    coalesced counts, cache hit/stale/upgrade/eviction counters,
     per-shard breaker states and depths) goes to stderr every
     [health_every] waves — stderr, so the NDJSON report on stdout stays
     byte-comparable.
@@ -36,19 +43,26 @@
     With [chaos] attached, requests may be dropped before admission,
     solves slowed or crashed on the worker domain, and the final
     snapshot corrupted and re-validated (then restored) — see {!Chaos}.
-    The injections go through the real supervision, shedding and
-    validation paths; nothing is mocked. *)
+    Transport-level faults (connection cuts, stalls, spool bit flips)
+    are injected by the transport itself when it is constructed with
+    the same chaos handle. The injections go through the real
+    supervision, shedding and validation paths; nothing is mocked. *)
 
 type config = {
   service : Service.config;
   cache_path : string option;  (** snapshot location; [None] disables *)
   snapshot_every : int;  (** waves between periodic snapshots; >= 1 *)
   health_every : int;  (** waves between health lines; 0 disables *)
+  journal_path : string option;
+      (** arrival-journal location; [None] disables journaling *)
+  max_cache_entries : int option;
+      (** cache size bound; [None] leaves it unbounded (or adopts a
+          loaded snapshot's recorded bound) *)
 }
 
 val default_config : config
 (** {!Service.default_config}, no cache path, [snapshot_every = 8],
-    [health_every = 0]. *)
+    [health_every = 0], no journal, unbounded cache. *)
 
 type start =
   | Cold
@@ -67,6 +81,33 @@ type result = {
       (** the [{"chaos": ...}] trailer, when chaos was attached *)
 }
 
+val cache_stats_line : cache:Cache.t -> string
+(** One [{"cache": ...}] JSON line with the entry count and
+    hit/miss/stale/insert/upgrade/eviction counters — the optional
+    report trailer behind the CLI's [--cache-stats] flag. Off by
+    default because the counters differ between cold and warm runs,
+    which would break the byte-identical-report contract. *)
+
+val run_source :
+  ?config:config ->
+  ?power:Lepts_power.Model.t ->
+  ?chaos:Chaos.t ->
+  ?before_solve:(attempt:int -> Request.t -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  source:Transport.source ->
+  unit ->
+  result
+(** One daemon run over a transport source: load-or-create the cache,
+    serve via {!Service.run_source} until the source closes or a drain
+    strikes, snapshot (and journal) periodically and at the end. The
+    cache fingerprint pins the [power] model (exact voltage rail bits),
+    so a snapshot written under another model is refused.
+    [before_solve] composes after chaos injection. Note that a live
+    source takes its own [?chaos] at construction for transport-level
+    faults — this function's [chaos] drives only solve-time and
+    snapshot-corruption injection (and, through {!run}, batch-mode
+    line drops). *)
+
 val run :
   ?config:config ->
   ?power:Lepts_power.Model.t ->
@@ -76,8 +117,9 @@ val run :
   lines:string list ->
   unit ->
   result
-(** One daemon run over a batch of NDJSON lines: load-or-create the
-    cache, serve via {!Service.run}, snapshot periodically and at the
-    end. The cache fingerprint pins the [power] model (exact voltage
-    rail bits), so a snapshot written under another model is refused.
-    [before_solve] composes after chaos injection. *)
+(** One daemon run over a fixed batch of NDJSON lines: chaos line drops
+    (when configured), then {!run_source} over {!Transport.of_lines}.
+    Kept as a thin replay wrapper so existing batch callers and tests
+    are unaffected; new long-running deployments should prefer
+    {!run_source} with a socket transport, or the CLI's [--spool] mode
+    for file-fed batch work. *)

@@ -162,12 +162,24 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Shortest decimal rendering that parses back to the exact same
+   IEEE-754 value: [%g] alone loses bits (e.g. 0.1 +. 0.2), which
+   would break the of_json∘to_json round-trip the cache key relies
+   on. *)
+let float_json x =
+  let exact s = float_of_string s = x in
+  let g = Printf.sprintf "%g" x in
+  if exact g then g
+  else
+    let p15 = Printf.sprintf "%.15g" x in
+    if exact p15 then p15 else Printf.sprintf "%.17g" x
+
 let to_json r =
   let fields = ref [] in
   let add s = fields := s :: !fields in
   add (Printf.sprintf "\"id\":\"%s\"" (escape r.id));
   if r.tasks <> 0 then add (Printf.sprintf "\"tasks\":%d" r.tasks);
-  if r.ratio <> 0.1 then add (Printf.sprintf "\"ratio\":%g" r.ratio);
+  if r.ratio <> 0.1 then add (Printf.sprintf "\"ratio\":%s" (float_json r.ratio));
   if r.seed <> 0 then add (Printf.sprintf "\"seed\":%d" r.seed);
   if r.rounds <> 0 then add (Printf.sprintf "\"rounds\":%d" r.rounds);
   Option.iter (fun b -> add (Printf.sprintf "\"budget_ms\":%d" b)) r.budget_ms;

@@ -24,8 +24,11 @@ type t = {
   rounds : int;
       (** post-solve simulation rounds; [0] (default) = solve only *)
   budget_ms : int option;
-      (** per-request deadline budget: wall cap, in milliseconds,
-          applied to each NLP stage of the solve pipeline *)
+      (** end-to-end deadline, in milliseconds, charged from arrival:
+          time spent queued counts against it (a request that expires
+          while queued is shed with status [expired], never
+          dispatched), and the remainder is the wall cap applied to
+          each NLP stage of the solve pipeline *)
   acs_max_outer : int option;
       (** override for the ACS stage's outer-iteration budget; [0]
           fails the stage deterministically (the fault-injection hook

@@ -1,32 +1,46 @@
 (** The scheduling service: a supervised, admission-controlled queue of
     solve jobs in front of the resilient pipeline.
 
-    Requests arrive as NDJSON lines ({!Request}) and are partitioned
-    into {!Shard}s by a content hash of the request id. Each shard has
-    its own circuit breaker, logical clock and admission high-water
-    mark (requests above it are shed — predictable degradation beats an
-    unbounded queue), so a flood of failures from one client family
-    degrades one shard while the others keep serving. Admitted requests
-    are processed in fixed-size {e waves}:
+    Requests arrive through a {!Transport.source} — a fixed batch of
+    NDJSON lines, a Unix-domain socket, a watched spool directory or a
+    replayed arrival journal — and are partitioned into {!Shard}s by a
+    content hash of the request id. Each shard has its own circuit
+    breaker, logical clock and admission high-water mark (requests
+    above it are shed — predictable degradation beats an unbounded
+    queue), so a flood of failures from one client family degrades one
+    shard while the others keep serving. Admitted requests are
+    processed in fixed-size {e waves}:
 
-    + routes are planned for the whole wave from each shard's
+    + each queued request's end-to-end deadline ([budget_ms], charged
+      from its arrival stamp) is checked first: a request that expired
+      while queued is shed with status {!Expired} — it is never
+      dispatched, never solves and never observes the breaker;
+    + routes are planned for the rest of the wave from each shard's
       {!Breaker} state, in request order; ACS-routed requests then
       consult the schedule {!Cache} (when one is attached) and replay
       an authoritative hit without solving;
-    + the remaining solves run on a {!Lepts_par.Pool} of [jobs]
-      domains — each solve is a pure function of (request, route);
+    + content-identical solve slots (same {!Cache.key} and route) are
+      {e coalesced}: one solve runs, and its result fans out to every
+      waiter; near-identical requests (equal {!Cache.family_key} —
+      same content except the ratio) in one wave are chained in ratio
+      order on one worker so each solve warm-starts the next through
+      the continuation path, with a cached family member contributing
+      its stored schedule as the seed;
+    + the remaining work runs on a {!Lepts_par.Pool} of [jobs]
+      domains — each unit is a pure function of its (requests, routes);
     + outcomes are folded back into the shard breakers in request
-      order, one shard-clock tick per request; a cache hit folds as a
-      successful ACS observation, and fresh schedules are stored with
-      their provenance (never overwriting an authoritative entry with
-      a degraded one).
+      order, one shard-clock tick per dispatched request; a cache hit
+      folds as a successful ACS observation, and fresh schedules are
+      stored back with their provenance and exact solution vectors
+      (never overwriting an authoritative entry with a degraded one).
 
     Because routing reads only pre-wave breaker state, cache traffic is
-    confined to the sequential plan/fold phases, and folding is
-    sequential, the report is {e bit-identical for every [jobs]
-    value} — and a warm-started daemon replaying cached schedules
-    produces the byte-identical report an uninterrupted run would.
-    Both properties are what the CI determinism and warm-restart jobs
+    confined to the sequential plan/fold phases, folding is sequential,
+    and every time comparison uses the transport's recorded arrival
+    stamps (never a wall clock read by the engine), the report is
+    {e bit-identical for every [jobs] value} — and replaying a live
+    run's arrival journal offline reproduces its report byte-for-byte.
+    Both properties are what the CI determinism and socket-soak jobs
     diff for.
 
     Supervision: a worker exception (the solve must never take the
@@ -35,8 +49,9 @@
     marked degraded. Solver-level failures are retried up to
     [max_retries] times with exponential backoff and deterministic
     per-request jitter. A drain request ([should_stop], typically
-    {!Drain.requested}) is honoured at the next wave boundary; the
-    unprocessed tail is reported as such, never silently dropped. *)
+    {!Drain.requested}, or the transport's drain flag) is honoured at
+    the next poll; the unprocessed tail is reported as such, never
+    silently dropped. *)
 
 type config = {
   jobs : int;  (** worker domains per wave; >= 1 *)
@@ -71,8 +86,14 @@ type status =
       (** solved; [stage] is the winning pipeline stage, [mean_energy]
           the post-solve simulation mean when [rounds > 0] *)
   | Failed of string  (** all retries/restarts exhausted *)
-  | Rejected of string  (** malformed NDJSON line (never admitted) *)
+  | Rejected of string
+      (** malformed NDJSON line, or a transport-level rejection
+          (partial line at connection close, oversized line, read
+          timeout) — never admitted *)
   | Shed  (** load-shed at admission (above the high-water mark) *)
+  | Expired
+      (** admitted, but its [budget_ms] deadline lapsed while queued —
+          shed at dispatch, never solved *)
   | Drained  (** admitted but unprocessed when a drain arrived *)
 
 type outcome = {
@@ -87,11 +108,14 @@ type outcome = {
 }
 
 type report = {
-  outcomes : outcome list;  (** one per input line, in input order *)
+  outcomes : outcome list;  (** one per input line, in arrival order *)
   admitted : int;
   processed : int;
   shed : int;
   rejected : int;
+  expired : int;  (** deadline lapsed in queue — shed at dispatch *)
+  coalesced : int;
+      (** requests served by a content-identical in-flight solve *)
   drained : bool;  (** a drain interrupted processing *)
   degraded : bool;  (** some request exhausted its worker restarts *)
   shards : Shard.stat list;
@@ -103,9 +127,64 @@ type progress = {
   p_wave : int;  (** waves completed so far (counts from 1) *)
   p_processed : int;  (** requests folded so far *)
   p_backlog : int;  (** admitted requests not yet processed *)
+  p_expired : int;  (** deadline-expired requests shed so far *)
+  p_coalesced : int;  (** coalesced requests served so far *)
   p_shards : (int * Breaker.state * int) list;
       (** per shard: (index, breaker state, backlog) *)
 }
+
+val run_source :
+  ?config:config ->
+  ?power:Lepts_power.Model.t ->
+  ?cache:Cache.t ->
+  ?journal:Transport.Journal.t ->
+  ?before_solve:(attempt:int -> Request.t -> unit) ->
+  ?after_wave:(progress -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  source:Transport.source ->
+  unit ->
+  report
+(** [run_source ~source ()] serves requests from a transport source
+    until it closes (or a drain strikes), polling it between waves.
+
+    [power] defaults to {!Lepts_power.Model.ideal}. [cache] (default:
+    none) attaches a schedule cache: ACS-routed requests whose content
+    key holds an authoritative entry are served from it without
+    solving, and fresh schedules are stored back with their provenance
+    and exact solution vectors. The caller is responsible for the cache
+    fingerprint matching [power] — {!Daemon} pins it. [journal]
+    (default: none) records every batch the engine acted on, exactly as
+    polled, so {!Transport.replay} reproduces the run's wave boundaries
+    and arrival stamps byte-identically. [before_solve] is the
+    supervision test hook, called on the worker domain before every
+    solve attempt (attempts count from 1 across retries and restarts);
+    an exception it raises is handled exactly like a worker crash, so
+    it must be domain-safe. It is never called for expired, cache-hit
+    or coalesced-follower requests. [after_wave] (default: none) is
+    called on the coordinating domain after each wave's fold with a
+    {!progress} snapshot — the daemon's periodic-snapshot and
+    health-report hook; it must not mutate the cache. [should_stop]
+    (default: never) is polled once per event-loop iteration, with the
+    same effect as the transport's drain flag.
+
+    Deterministic in (config minus [jobs], the polled batch sequence,
+    cache contents) — and bit-identical across [jobs] — provided the
+    requests themselves solve deterministically (no [budget_ms] wall
+    caps racing real time inside the solver). A cache warmed by a
+    previous identical run changes which requests are solved but not
+    the report: hits replay the recorded outcome and fold the same
+    breaker signal the original solve did.
+
+    Counters in {!Lepts_obs.Metrics.default}:
+    [lepts_serve_requests_total], [..._rejected_total],
+    [..._admitted_total], [..._shed_total], [..._processed_total],
+    [..._retries_total], [..._worker_restarts_total],
+    [..._degraded_total], [..._drained_total], [..._expired_total],
+    [..._coalesced_total]; histograms
+    [lepts_serve_admission_to_dispatch_ms] and
+    [lepts_serve_dispatch_to_done_ms] — plus the breaker's
+    [lepts_breaker_transitions_total{to}] and the cache's
+    [lepts_cache_*] family. *)
 
 val run :
   ?config:config ->
@@ -117,44 +196,23 @@ val run :
   lines:string list ->
   unit ->
   report
-(** [run ~lines ()] serves one batch of NDJSON request lines.
-
-    [power] defaults to {!Lepts_power.Model.ideal}. [cache] (default:
-    none) attaches a schedule cache: ACS-routed requests whose content
-    key holds an authoritative entry are served from it without
-    solving, and fresh schedules are stored back with their provenance.
-    The caller is responsible for the cache fingerprint matching
-    [power] — {!Daemon} pins it. [before_solve] is the supervision test
-    hook, called on the worker domain before every solve attempt
-    (attempts count from 1 across retries and restarts); an exception
-    it raises is handled exactly like a worker crash, so it must be
-    domain-safe. [after_wave] (default: none) is called on the
-    coordinating domain after each wave's fold with a {!progress}
-    snapshot — the daemon's periodic-snapshot and health-report hook;
-    it must not mutate the cache. [should_stop] (default: never) is
-    polled at wave boundaries.
-
-    Deterministic in (config minus [jobs], lines, cache contents) —
-    and bit-identical across [jobs] — provided the requests themselves
-    solve deterministically (no [budget_ms] wall caps racing real
-    time). A cache warmed by a previous identical run changes which
-    requests are solved but not the report: hits replay the recorded
-    outcome and fold the same breaker signal the original solve did.
-
-    Counters in {!Lepts_obs.Metrics.default}:
-    [lepts_serve_requests_total], [..._rejected_total],
-    [..._admitted_total], [..._shed_total], [..._processed_total],
-    [..._retries_total], [..._worker_restarts_total],
-    [..._degraded_total], [..._drained_total] — plus the breaker's
-    [lepts_breaker_transitions_total{to}] and the cache's
-    [lepts_cache_*] family. *)
+(** [run ~lines ()] serves one fixed batch of NDJSON request lines:
+    {!run_source} over {!Transport.of_lines}. All lines arrive in one
+    batch stamped at time zero, so no deadline can expire — batch-mode
+    reports are unchanged from previous releases. Kept as the
+    replay-friendly entry point for tests and one-shot CLI batches;
+    long-running callers should prefer {!run_source} with a socket or
+    spool transport. *)
 
 val print_report : ?oc:out_channel -> report -> unit
-(** NDJSON: one object per outcome in input order, then one
-    [{"summary": ...}] trailer with the admission counts and per-shard
-    breaker transition logs. Contains no timing and no cache traffic
-    counts, so two runs over the same input are byte-identical whatever
-    [jobs] was — and whether the cache was cold or warm. *)
+(** NDJSON: one object per outcome in arrival order, then one
+    [{"summary": ...}] trailer with the admission counts (including
+    [expired]) and per-shard breaker transition logs. Contains no
+    timing, no cache traffic counts and no coalescing counts (a warm
+    restart serves duplicates from the cache instead of coalescing
+    them, and the trailer must stay byte-identical across that
+    difference), so two runs over the same arrivals are byte-identical
+    whatever [jobs] was — and whether the cache was cold or warm. *)
 
 val pp_status : Format.formatter -> status -> unit
 (** Human-readable status — the winning stage and simulated mean for

@@ -5,6 +5,7 @@ type t = {
   mutable admitted : int;
   mutable shed : int;
   mutable processed : int;
+  mutable expired : int;
 }
 
 type stat = {
@@ -12,18 +13,22 @@ type stat = {
   s_admitted : int;
   s_shed : int;
   s_processed : int;
+  s_expired : int;
   transitions : (int * Breaker.state) list;
 }
 
 let create ~config ~index =
   { index; breaker = Breaker.create ~config (); clock = 0; admitted = 0;
-    shed = 0; processed = 0 }
+    shed = 0; processed = 0; expired = 0 }
 
-let backlog t = t.admitted - t.processed
+(* Expired requests left the queue without being processed, so they
+   no longer count against the shard's admission backlog. *)
+let backlog t = t.admitted - t.processed - t.expired
 
 let stat t =
   { shard = t.index; s_admitted = t.admitted; s_shed = t.shed;
-    s_processed = t.processed; transitions = Breaker.transitions t.breaker }
+    s_processed = t.processed; s_expired = t.expired;
+    transitions = Breaker.transitions t.breaker }
 
 (* Content-addressed routing: FNV-1a of the request id, reduced mod the
    shard count. The same id lands on the same shard in every run and

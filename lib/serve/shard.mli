@@ -18,6 +18,9 @@ type t = {
   mutable admitted : int;
   mutable shed : int;
   mutable processed : int;
+  mutable expired : int;
+      (** admitted requests whose deadline lapsed while queued — shed
+          at dispatch, never solved, no breaker observation *)
 }
 
 type stat = {
@@ -25,6 +28,7 @@ type stat = {
   s_admitted : int;
   s_shed : int;
   s_processed : int;
+  s_expired : int;
   transitions : (int * Breaker.state) list;
       (** the shard breaker's transition log, logical-clock stamped *)
 }
@@ -34,7 +38,7 @@ val create : config:Breaker.config -> index:int -> t
     [config]), logical clock at zero and all counters cleared. *)
 
 val backlog : t -> int
-(** Admitted requests not yet processed. *)
+(** Admitted requests not yet processed or expired. *)
 
 val stat : t -> stat
 (** Immutable snapshot of the shard's counters and its breaker's

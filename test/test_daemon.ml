@@ -56,11 +56,11 @@ let test_cache_key_ignores_id () =
 (* --- provenance rules ------------------------------------------------------ *)
 
 let entry ?(stage = "acs") ?mean_energy ?(attempts = 1) ?(crashes = 0)
-    provenance =
-  { Cache.stage; mean_energy; attempts; crashes; provenance }
+    ?schedule provenance =
+  { Cache.stage; mean_energy; attempts; crashes; provenance; schedule }
 
 let test_cache_provenance_rules () =
-  let c = Cache.create ~fingerprint:"fp" in
+  let c = Cache.create ~fingerprint:"fp" () in
   let key = "k1" in
   Alcotest.(check bool) "empty cache misses" true (Cache.find c ~key = `Miss);
   (* A degraded schedule is stored but never served as authoritative. *)
@@ -90,13 +90,13 @@ let test_cache_provenance_rules () =
 let test_cache_snapshot_roundtrip () =
   with_path @@ fun path ->
   let fp = Checkpoint.fingerprint ~parts:[ "roundtrip" ] in
-  let c = Cache.create ~fingerprint:fp in
+  let c = Cache.create ~fingerprint:fp () in
   Cache.store c ~key:"ka" (entry ~mean_energy:0.1 ~attempts:2 Cache.Authoritative);
   Cache.store c ~key:"kb" (entry ~stage:"wcs" ~crashes:1 Cache.Fallback);
   Cache.store c ~key:"kc" (entry ~mean_energy:1e-300 Cache.Authoritative);
   Cache.save c ~path;
   let c' =
-    match Cache.load ~path ~fingerprint:fp with
+    match Cache.load ~path ~fingerprint:fp () with
     | Ok c' -> c'
     | Error msg -> Alcotest.failf "valid snapshot refused: %s" msg
   in
@@ -118,13 +118,13 @@ let test_cache_snapshot_roundtrip () =
 let test_cache_snapshot_refusals () =
   with_path @@ fun path ->
   let fp = Checkpoint.fingerprint ~parts:[ "refusals" ] in
-  let c = Cache.create ~fingerprint:fp in
+  let c = Cache.create ~fingerprint:fp () in
   Cache.store c ~key:"ka" (entry Cache.Authoritative);
   Cache.save c ~path;
   let good = read_file path in
   (* Fingerprint: a snapshot from a differently-configured daemon. *)
   let other = Checkpoint.fingerprint ~parts:[ "other-power-model" ] in
-  (match Cache.load ~path ~fingerprint:other with
+  (match Cache.load ~path ~fingerprint:other () with
   | Ok _ -> Alcotest.fail "accepted a foreign snapshot"
   | Error msg ->
     Alcotest.(check bool) "names the fingerprint check and both prints" true
@@ -134,14 +134,14 @@ let test_cache_snapshot_refusals () =
   let flipped = Bytes.of_string good in
   Bytes.set flipped (String.index good 'k') 'K';
   write_file path (Bytes.to_string flipped);
-  (match Cache.load ~path ~fingerprint:fp with
+  (match Cache.load ~path ~fingerprint:fp () with
   | Ok _ -> Alcotest.fail "accepted a corrupt snapshot"
   | Error msg ->
     Alcotest.(check bool) "names the checksum check" true
       (contains ~sub:"checksum check failed" msg));
   (* Truncation (a torn write). *)
   write_file path (String.sub good 0 (String.length good - 7));
-  (match Cache.load ~path ~fingerprint:fp with
+  (match Cache.load ~path ~fingerprint:fp () with
   | Ok _ -> Alcotest.fail "accepted a truncated snapshot"
   | Error msg ->
     Alcotest.(check bool) "truncation caught" true
@@ -150,7 +150,7 @@ let test_cache_snapshot_refusals () =
   write_file path
     (Checkpoint.Snapshot.render ~magic:"lepts-checkpoint" ~version:1
        ~fingerprint:fp ~body:[]);
-  (match Cache.load ~path ~fingerprint:fp with
+  (match Cache.load ~path ~fingerprint:fp () with
   | Ok _ -> Alcotest.fail "accepted another family's snapshot"
   | Error msg ->
     Alcotest.(check bool) "names the magic check" true
@@ -159,20 +159,96 @@ let test_cache_snapshot_refusals () =
   write_file path
     (Checkpoint.Snapshot.render ~magic:"lepts-cache" ~version:99
        ~fingerprint:fp ~body:[]);
-  (match Cache.load ~path ~fingerprint:fp with
+  (match Cache.load ~path ~fingerprint:fp () with
   | Ok _ -> Alcotest.fail "accepted a future version"
   | Error msg ->
     Alcotest.(check bool) "names the version check" true
       (contains ~sub:"version check failed" msg));
   (* Body: a malformed entry line in a checksum-valid file. *)
   write_file path
-    (Checkpoint.Snapshot.render ~magic:"lepts-cache" ~version:1
-       ~fingerprint:fp ~body:[ "entry only-three fields" ]);
-  match Cache.load ~path ~fingerprint:fp with
+    (Checkpoint.Snapshot.render ~magic:"lepts-cache" ~version:2
+       ~fingerprint:fp ~body:[ "bound -"; "entry only-three fields" ]);
+  match Cache.load ~path ~fingerprint:fp () with
   | Ok _ -> Alcotest.fail "accepted a malformed entry"
   | Error msg ->
     Alcotest.(check bool) "names the malformed line" true
       (contains ~sub:"malformed line" msg)
+
+(* --- bounded cache --------------------------------------------------------- *)
+
+let test_cache_bound_evicts_deterministically () =
+  let make () =
+    let c = Cache.create ~max_entries:2 ~fingerprint:"fp" () in
+    Cache.store ~wave:1 c ~key:"k1" (entry Cache.Authoritative);
+    Cache.store ~wave:1 c ~key:"k2" (entry ~stage:"wcs" Cache.Fallback);
+    Cache.store ~wave:2 c ~key:"k3" (entry Cache.Authoritative);
+    c
+  in
+  let c = make () in
+  Alcotest.(check int) "never exceeds the bound" 2 (Cache.size c);
+  Alcotest.(check int) "one eviction counted" 1
+    (Cache.stats c).Cache.s_evictions;
+  (* Fallback entries go first, whatever their recency. *)
+  Alcotest.(check bool) "fallback evicted first" true
+    (Cache.find c ~key:"k2" = `Miss);
+  (match Cache.find c ~key:"k1" with
+  | `Hit _ -> ()
+  | _ -> Alcotest.fail "authoritative entry evicted before the fallback");
+  (* The acceptance pin: equal runs under eviction pressure evict the
+     same keys — their snapshots are byte-identical. *)
+  with_path @@ fun p1 ->
+  with_path @@ fun p2 ->
+  Cache.save (make ()) ~path:p1;
+  Cache.save (make ()) ~path:p2;
+  Alcotest.(check string) "equal runs, byte-identical snapshots"
+    (read_file p1) (read_file p2)
+
+let test_cache_load_zero_entries () =
+  with_path @@ fun path ->
+  let fp = Checkpoint.fingerprint ~parts:[ "empty" ] in
+  Cache.save (Cache.create ~fingerprint:fp ()) ~path;
+  match Cache.load ~path ~fingerprint:fp () with
+  | Ok c ->
+    Alcotest.(check int) "zero entries round-trip" 0 (Cache.size c);
+    Alcotest.(check bool) "unboundedness preserved" true
+      (Cache.max_entries c = None)
+  | Error msg -> Alcotest.failf "empty snapshot refused: %s" msg
+
+let test_cache_load_truncates_larger_snapshot () =
+  with_path @@ fun path ->
+  let fp = Checkpoint.fingerprint ~parts:[ "trunc" ] in
+  let c = Cache.create ~fingerprint:fp () in
+  Cache.store ~wave:1 c ~key:"k1" (entry Cache.Authoritative);
+  Cache.store ~wave:2 c ~key:"k2" (entry Cache.Authoritative);
+  Cache.store ~wave:3 c ~key:"k3" (entry Cache.Authoritative);
+  Cache.store ~wave:1 c ~key:"k0" (entry ~stage:"wcs" Cache.Fallback);
+  Cache.save c ~path;
+  (* A snapshot over the daemon's bound is truncated deterministically
+     in eviction order — never refused. *)
+  let c2 =
+    match Cache.load ~max_entries:2 ~path ~fingerprint:fp () with
+    | Ok c2 -> c2
+    | Error msg -> Alcotest.failf "bounded load refused: %s" msg
+  in
+  Alcotest.(check int) "truncated to the bound" 2 (Cache.size c2);
+  Alcotest.(check int) "truncation counted as evictions" 2
+    (Cache.stats c2).Cache.s_evictions;
+  Alcotest.(check bool) "fallback dropped first" true
+    (Cache.find c2 ~key:"k0" = `Miss);
+  Alcotest.(check bool) "oldest authoritative dropped next" true
+    (Cache.find c2 ~key:"k1" = `Miss);
+  Alcotest.(check bool) "daemon bound adopted" true
+    (Cache.max_entries c2 = Some 2);
+  (* save → load → save is byte-identical once the bound settled. *)
+  with_path @@ fun p2 ->
+  with_path @@ fun p3 ->
+  Cache.save c2 ~path:p2;
+  match Cache.load ~path:p2 ~fingerprint:fp () with
+  | Ok c3 ->
+    Cache.save c3 ~path:p3;
+    Alcotest.(check string) "save→load→save byte-identical" (read_file p2)
+      (read_file p3)
+  | Error msg -> Alcotest.failf "re-load refused: %s" msg
 
 (* --- warm restart byte-identity (the acceptance gate) ---------------------- *)
 
@@ -185,7 +261,8 @@ let serve_lines =
 
 let daemon_config ?cache_path ?(jobs = 1) () =
   { Daemon.service = { Service.default_config with Service.jobs; wave = 2 };
-    cache_path; snapshot_every = 1; health_every = 0 }
+    cache_path; snapshot_every = 1; health_every = 0; journal_path = None;
+    max_cache_entries = None }
 
 let energy_bits (r : Service.report) =
   List.filter_map
@@ -280,6 +357,26 @@ let test_daemon_fingerprint_pins_power_model () =
     Alcotest.(check bool) "names the fingerprint check" true
       (contains ~sub:"fingerprint check failed" msg)
   | _ -> Alcotest.fail "schedules computed under another power model accepted"
+
+let test_daemon_bounded_cache_same_answers () =
+  with_path @@ fun path ->
+  let bounded =
+    Daemon.run
+      ~config:
+        { (daemon_config ~cache_path:path ()) with
+          Daemon.max_cache_entries = Some 1 }
+      ~power ~lines:serve_lines ()
+  in
+  Alcotest.(check bool) "bound respected" true
+    (Cache.size bounded.Daemon.cache <= 1);
+  Alcotest.(check bool) "entries were evicted" true
+    ((Cache.stats bounded.Daemon.cache).Cache.s_evictions > 0);
+  (* Eviction changes what is cached, never what is answered. *)
+  let unbounded =
+    Daemon.run ~config:(daemon_config ()) ~power ~lines:serve_lines ()
+  in
+  Alcotest.(check bool) "eviction never changes answers" true
+    (bounded.Daemon.report = unbounded.Daemon.report)
 
 (* --- chaos harness --------------------------------------------------------- *)
 
@@ -394,7 +491,7 @@ let test_chaos_snapshot_corruption_refused_and_restored () =
       (contains ~sub:{|"snapshot":"corrupted+refused"|} line)
   | None -> Alcotest.fail "chaos trailer missing");
   (* The harness restores the good bytes, so the next start is warm. *)
-  match Cache.load ~path ~fingerprint:(Cache.fingerprint r.Daemon.cache) with
+  match Cache.load ~path ~fingerprint:(Cache.fingerprint r.Daemon.cache) () with
   | Ok c -> Alcotest.(check bool) "snapshot restored" true (Cache.size c > 0)
   | Error msg -> Alcotest.failf "restored snapshot unreadable: %s" msg
 
@@ -403,6 +500,13 @@ let suite =
     ("cache provenance rules", `Quick, test_cache_provenance_rules);
     ("cache snapshot round-trip", `Quick, test_cache_snapshot_roundtrip);
     ("cache snapshot refusals", `Quick, test_cache_snapshot_refusals);
+    ("cache bound evicts deterministically", `Quick,
+     test_cache_bound_evicts_deterministically);
+    ("cache load zero entries", `Quick, test_cache_load_zero_entries);
+    ("cache load truncates larger snapshot", `Quick,
+     test_cache_load_truncates_larger_snapshot);
+    ("daemon bounded cache same answers", `Quick,
+     test_daemon_bounded_cache_same_answers);
     ("daemon warm restart identical", `Quick,
      test_daemon_warm_restart_identical);
     ("daemon refuses corrupt snapshot", `Quick,

@@ -22,6 +22,7 @@ let () =
       ("adaptive", Test_adaptive.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("serve", Test_serve.suite);
+      ("transport", Test_transport.suite);
       ("daemon", Test_daemon.suite);
       ("workloads", Test_workloads.suite);
       ("experiments", Test_experiments.suite);

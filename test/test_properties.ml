@@ -160,8 +160,75 @@ let test_solver_idempotent_warm_start () =
         Alcotest.(check bool) "no regression" true (e again <= e acs +. 1e-6))
     (Lazy.force fixtures)
 
+(* --- serve wire format ----------------------------------------------------- *)
+
+module Request = Lepts_serve.Request
+module Cache = Lepts_serve.Cache
+module Rng = Lepts_prng.Xoshiro256
+
+(* Random requests covering the whole wire surface: ids that need every
+   escape, defaulted and explicit fields, and ratios chosen to lose
+   bits under a naive float printer (0.1 +. 0.2, 1/3, random draws). *)
+let random_request rng =
+  let alphabet = "abcXYZ09 _-./\\\"\n\t" in
+  let id =
+    let n = 1 + Rng.int rng ~bound:12 in
+    String.init n (fun _ ->
+        alphabet.[Rng.int rng ~bound:(String.length alphabet)])
+  in
+  { Request.id;
+    tasks = Rng.int rng ~bound:65;
+    ratio =
+      (match Rng.int rng ~bound:4 with
+      | 0 -> 0.1
+      | 1 -> 0.1 +. 0.2
+      | 2 -> 1. /. 3.
+      | _ -> Rng.float rng);
+    seed = Rng.int rng ~bound:1_000_000;
+    rounds = Rng.int rng ~bound:50;
+    budget_ms =
+      (if Rng.int rng ~bound:2 = 0 then None
+       else Some (1 + Rng.int rng ~bound:10_000));
+    acs_max_outer =
+      (if Rng.int rng ~bound:2 = 0 then None
+       else Some (Rng.int rng ~bound:10)) }
+
+let test_request_json_roundtrip () =
+  let rng = Rng.create ~seed:77 in
+  for _ = 1 to 500 do
+    let r = random_request rng in
+    match Request.of_json (Request.to_json r) with
+    | Ok r' ->
+      if r' <> r then
+        Alcotest.failf "round-trip mutated %s into %s" (Request.to_json r)
+          (Request.to_json r')
+    | Error msg ->
+      Alcotest.failf "round-trip rejected %s: %s" (Request.to_json r) msg
+  done
+
+let test_cache_key_content_addressed () =
+  let rng = Rng.create ~seed:78 in
+  for _ = 1 to 500 do
+    let r = random_request rng in
+    let other = random_request rng in
+    (* The id is the client's name for the request, never its content. *)
+    if Cache.key r <> Cache.key { r with Request.id = other.Request.id } then
+      Alcotest.failf "id changed the key of %s" (Request.to_json r);
+    (* The family key blinds exactly the ratio — nothing else. *)
+    if
+      Cache.family_key r
+      <> Cache.family_key { r with Request.ratio = other.Request.ratio }
+    then Alcotest.failf "ratio changed the family key of %s" (Request.to_json r);
+    if
+      other.Request.ratio <> r.Request.ratio
+      && Cache.key r = Cache.key { r with Request.ratio = other.Request.ratio }
+    then Alcotest.failf "ratio did not change the key of %s" (Request.to_json r)
+  done
+
 let suite =
-  [ ("energy bounds", `Quick, test_energy_bounds);
+  [ ("request JSON round-trip", `Quick, test_request_json_roundtrip);
+    ("cache key content-addressed", `Quick, test_cache_key_content_addressed);
+    ("energy bounds", `Quick, test_energy_bounds);
     ("no misses on any draw", `Quick, test_no_misses_on_any_draw);
     ("workload monotone energy", `Quick, test_bcec_cheaper_than_wcec);
     ("predicted = simulated (both modes)", `Quick, test_predicted_equals_simulated_everywhere);
